@@ -1,0 +1,22 @@
+PYTHON ?= python
+
+.PHONY: install test bench bench-smoke examples lint
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-smoke:
+	REPRO_SCALE=smoke $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/custom_dataset.py
+	$(PYTHON) examples/compare_methods.py
+	$(PYTHON) examples/cross_domain_transfer.py
+	$(PYTHON) examples/slot_filling.py

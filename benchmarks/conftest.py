@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is selected with ``REPRO_SCALE`` (smoke | default | paper); the
+default preset regenerates every table of the paper on a single CPU core
+in well under an hour.
+"""
+
+import pytest
+
+from repro.experiments import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def emit(text: str) -> None:
+    """Print a result block and persist it to ``bench_tables.txt``.
+
+    pytest captures stdout of passing tests, so the rendered tables are
+    additionally appended to a side file next to the repository root —
+    that file is the canonical record of the regenerated paper tables.
+    """
+    block = "\n" + text + "\n"
+    print(block, flush=True)
+    try:
+        with open("bench_tables.txt", "a", encoding="utf-8") as fh:
+            fh.write(block)
+    except OSError:
+        pass

@@ -1,0 +1,57 @@
+"""Extension ablation: first-order vs second-order outer update.
+
+DESIGN.md §5 item 6.  The paper uses the exact second-order update
+(Eq. 6); this bench trains FEWNER both ways under an identical small
+budget and reports the two scores side by side.
+"""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.splits import split_by_types
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.meta.evaluate import evaluate_method, fixed_episodes
+from repro.meta.fewner import FewNER
+
+
+def _train_and_eval(scale, second_order: bool) -> float:
+    ds = generate_dataset("NNE", scale=scale.corpus_scale, seed=0)
+    from repro.experiments.table2 import TYPE_SPLITS, _fit_counts
+
+    counts = _fit_counts(TYPE_SPLITS["NNE"], len(ds.types))
+    train, _val, test = split_by_types(ds, counts, seed=1)
+    wv = Vocabulary.from_datasets([train])
+    cv = CharVocabulary.from_datasets([train])
+    config = dataclasses.replace(
+        scale.method_config,
+        second_order=second_order,
+        pretrain_iterations=max(scale.method_config.pretrain_iterations // 2, 1),
+    )
+    adapter = FewNER(wv, cv, scale.n_way, config)
+    sampler = EpisodeSampler(train, scale.n_way, 1,
+                             query_size=scale.query_size, seed=7)
+    adapter.fit(sampler, max(scale.iterations_for("FewNER") // 2, 1))
+    episodes = fixed_episodes(test, scale.n_way, 1,
+                              max(scale.eval_episodes // 2, 2),
+                              seed=42, query_size=scale.query_size)
+    return evaluate_method(adapter, episodes).f1
+
+
+def test_first_order_vs_second_order(benchmark, scale):
+    def run_both():
+        return (
+            _train_and_eval(scale, second_order=False),
+            _train_and_eval(scale, second_order=True),
+        )
+
+    fo, so = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        "Ablation: outer-update order (NNE, 5-way 1-shot)\n"
+        f"  first-order  F1 = {100 * fo:.2f}%\n"
+        f"  second-order F1 = {100 * so:.2f}%"
+    )
+    assert 0.0 <= fo <= 1.0
+    assert 0.0 <= so <= 1.0

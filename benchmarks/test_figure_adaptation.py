@@ -1,0 +1,19 @@
+"""Figure-1 extension: F1 vs inner adaptation steps, φ vs θ sizes."""
+
+from conftest import emit
+
+from repro.experiments import figures
+
+
+def test_adaptation_curve(benchmark, scale):
+    result = benchmark.pedantic(figures.run, args=(scale,), rounds=1,
+                                iterations=1)
+    emit(result.render())
+    assert result.step_counts[0] == 0
+    assert all(0.0 <= f <= 1.0 for f in result.mean_f1)
+    # FEWNER adapts a strict subset of the parameters.
+    assert result.adapted_parameters < result.total_parameters
+    # Adaptation must help: the best adapted step count beats no
+    # adaptation (guarded at meaningful scales only).
+    if scale.name != "smoke":
+        assert max(result.mean_f1[1:]) >= result.mean_f1[0]

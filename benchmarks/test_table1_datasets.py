@@ -1,0 +1,21 @@
+"""E1 — Table 1: regenerate the dataset-statistics table."""
+
+from conftest import emit
+
+from repro.experiments import table1
+
+
+def test_table1_statistics(benchmark, scale):
+    rows = benchmark.pedantic(
+        table1.run, args=(scale,), rounds=1, iterations=1
+    )
+    emit(table1.render(rows))
+    assert len(rows) == 6
+    for row in rows:
+        # Type inventories survive scaling; sentence/mention counts keep
+        # the paper's relative ordering.
+        assert row.types <= row.paper_types
+        assert row.sentences > 0
+    by_name = {r.dataset: r for r in rows}
+    assert by_name["OntoNotes"].sentences > by_name["BioNLP13CG"].sentences
+    assert by_name["NNE"].mentions > by_name["FG-NER"].mentions

@@ -1,0 +1,29 @@
+"""E2 — Table 2: intra-domain cross-type adaptation, all ten methods."""
+
+from conftest import emit
+
+from repro.experiments import table2
+from repro.experiments.harness import TABLE_METHODS
+
+
+def test_table2_intra_domain_cross_type(benchmark, scale):
+    result = benchmark.pedantic(
+        table2.run, args=(scale,), kwargs={"methods": TABLE_METHODS},
+        rounds=1, iterations=1,
+    )
+    emit(result.render())
+    assert result.settings == ["NNE", "FG-NER", "GENIA"]
+    for method in TABLE_METHODS:
+        for setting in result.settings:
+            for k in scale.shots:
+                cell = result.cell(method, setting, k)
+                assert 0.0 <= cell.f1 <= 1.0
+    # Headline shape: FEWNER beats the non-adaptive FineTune baseline on
+    # every dataset at every shot count (statistical guard; skipped at
+    # smoke scale where episode counts are too small to be meaningful).
+    if scale.name != "smoke":
+        for setting in result.settings:
+            for k in scale.shots:
+                fewner = result.cell("FewNER", setting, k).f1
+                finetune = result.cell("FineTune", setting, k).f1
+                assert fewner + 0.02 >= finetune, (setting, k, fewner, finetune)

@@ -1,0 +1,27 @@
+"""E3 — Table 3: cross-domain intra-type adaptation on ACE2005."""
+
+from conftest import emit
+
+from repro.experiments import table3
+from repro.experiments.harness import TABLE_METHODS
+
+
+def test_table3_cross_domain_intra_type(benchmark, scale):
+    result = benchmark.pedantic(
+        table3.run, args=(scale,), kwargs={"methods": TABLE_METHODS},
+        rounds=1, iterations=1,
+    )
+    emit(result.render())
+    assert result.settings == ["BC->UN", "BN->CTS", "NW->WL"]
+    for method in TABLE_METHODS:
+        for setting in result.settings:
+            for k in scale.shots:
+                assert 0.0 <= result.cell(method, setting, k).f1 <= 1.0
+    # Domain-distance shape: the close BN->CTS transfer should not be the
+    # worst of the three for FEWNER (paper: it is the best).
+    if scale.name != "smoke":
+        fewner_by_setting = {
+            s: result.cell("FewNER", s, min(scale.shots)).f1
+            for s in result.settings
+        }
+        assert fewner_by_setting["BN->CTS"] >= min(fewner_by_setting.values())

@@ -1,0 +1,38 @@
+"""E5 — Table 5: ablation study of FEWNER on NNE."""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.experiments import table5
+
+
+def test_table5_ablation(benchmark, scale):
+    # The 11 ablation variants each train a FEWNER model; halve the
+    # warm-up budget so the sweep stays tractable on one core.
+    lean = dataclasses.replace(
+        scale,
+        method_config=dataclasses.replace(
+            scale.method_config,
+            pretrain_iterations=max(scale.method_config.pretrain_iterations // 2, 1),
+        ),
+    )
+    rows = benchmark.pedantic(table5.run, args=(lean,), rounds=1, iterations=1)
+    emit(table5.render(rows))
+    variants = {r.variant for r in rows}
+    assert "FewNER (baseline)" in variants
+    assert "Remove character CNN" in variants
+    assert len(variants) == 11
+    # Baseline rows must carry zero delta by construction.
+    for r in rows:
+        if r.variant == "FewNER (baseline)":
+            assert r.delta == 0.0
+    # The paper's strongest ablation finding: removing the char-CNN hurts.
+    if lean.name == "smoke":
+        return
+    for k in lean.shots:
+        base = next(r for r in rows
+                    if r.variant == "FewNER (baseline)" and r.k_shot == k)
+        no_char = next(r for r in rows
+                       if r.variant == "Remove character CNN" and r.k_shot == k)
+        assert no_char.ci.mean <= base.ci.mean + 0.05

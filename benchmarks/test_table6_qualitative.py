@@ -1,0 +1,30 @@
+"""E7 — Table 6: qualitative positive/negative examples."""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.experiments import table6
+from repro.experiments.registry import render_result
+
+
+def test_table6_qualitative(benchmark, scale):
+    lean = dataclasses.replace(
+        scale,
+        train_iterations={**scale.train_iterations, "FewNER": 4},
+        method_config=dataclasses.replace(
+            scale.method_config,
+            pretrain_iterations=max(scale.method_config.pretrain_iterations // 2, 1),
+        ),
+    )
+    examples = benchmark.pedantic(table6.run, args=(lean,), rounds=1, iterations=1)
+    emit(render_result("table6", examples))
+    adaptations = {e.adaptation for e in examples}
+    # All nine adaptation settings of the paper are exercised.
+    assert {"NNE -> NNE", "FG-NER -> FG-NER", "GENIA -> GENIA"} <= adaptations
+    assert {"BC->UN", "BN->CTS", "NW->WL"} <= adaptations
+    assert {
+        "GENIA->BioNLP13CG", "OntoNotes->BioNLP13CG", "OntoNotes->FG-NER"
+    } <= adaptations
+    for ex in examples:
+        assert ex.rendered  # every row renders bracketed text

@@ -1,0 +1,86 @@
+"""E6 — §4.5.2: time-consumption analysis of FEWNER.
+
+Unlike the table benches (single pedantic rounds around a whole
+experiment) these are genuine micro-benchmarks of the individual phases
+the paper times: an inner gradient step, a full outer meta-batch, and
+test-time adaptation/evaluation of one task.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import emit
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.splits import split_by_types
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.experiments import timing as timing_mod
+from repro.experiments.table2 import TYPE_SPLITS, _fit_counts
+from repro.meta.fewner import FewNER
+
+
+@pytest.fixture(scope="module")
+def env():
+    from repro.experiments import get_scale
+
+    scale = get_scale()
+    ds = generate_dataset("NNE", scale=scale.corpus_scale, seed=0)
+    counts = _fit_counts(TYPE_SPLITS["NNE"], len(ds.types))
+    train, _val, test = split_by_types(ds, counts, seed=1)
+    wv = Vocabulary.from_datasets([train])
+    cv = CharVocabulary.from_datasets([train])
+    config = dataclasses.replace(scale.method_config, pretrain_iterations=0)
+    adapter = FewNER(wv, cv, scale.n_way, config)
+    return scale, train, test, adapter
+
+
+def test_inner_step_1shot(benchmark, env):
+    scale, train, test, adapter = env
+    episode = EpisodeSampler(test, scale.n_way, 1, query_size=scale.query_size,
+                             seed=3).sample()
+    benchmark(lambda: adapter._inner_adapt(episode, 1, create_graph=True))
+
+
+def test_inner_step_5shot(benchmark, env):
+    scale, train, test, adapter = env
+    episode = EpisodeSampler(test, scale.n_way, 5, query_size=scale.query_size,
+                             seed=4).sample()
+    benchmark(lambda: adapter._inner_adapt(episode, 1, create_graph=True))
+
+
+def test_outer_meta_batch(benchmark, env):
+    scale, train, _test, adapter = env
+    sampler = EpisodeSampler(train, scale.n_way, 1,
+                             query_size=scale.query_size, seed=5)
+    benchmark.pedantic(lambda: adapter.fit(sampler, 1), rounds=2, iterations=1)
+
+
+def test_adapt_task(benchmark, env):
+    scale, _train, test, adapter = env
+    episode = EpisodeSampler(test, scale.n_way, 1, query_size=scale.query_size,
+                             seed=6).sample()
+    benchmark(lambda: adapter.adapt_context(episode))
+
+
+def test_evaluate_task(benchmark, env):
+    scale, _train, test, adapter = env
+    episode = EpisodeSampler(test, scale.n_way, 1, query_size=scale.query_size,
+                             seed=7).sample()
+    benchmark(lambda: adapter.predict_episode(episode))
+
+
+def test_timing_report_relationships(benchmark, env):
+    """The structural claims of §4.5.2, asserted on measured numbers."""
+    from repro.experiments import get_scale
+
+    report = benchmark.pedantic(
+        timing_mod.run, args=(get_scale(),), rounds=1, iterations=1
+    )
+    emit(report.render())
+    # Inner steps are far cheaper than a full outer meta-batch.
+    assert report.inner_step_1shot < report.outer_batch_1shot
+    assert report.inner_step_5shot < report.outer_batch_5shot
+    # 5-shot support sets cost at least as much as 1-shot to adapt on
+    # (time grows with data size), within measurement noise.
+    assert report.adapt_task_5shot > 0.5 * report.adapt_task_1shot

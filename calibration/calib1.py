@@ -1,0 +1,17 @@
+import time, numpy as np
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr]); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0)
+test_eps = fixed_episodes(te, 5, 1, 30, seed=99, query_size=4)
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+t0=time.time()
+for chunk in range(8):
+    losses = m.fit(sampler, 25)
+    res = evaluate_method(m, test_eps)
+    print(f"iter {(chunk+1)*25:4d} loss={np.mean(losses):6.2f} F1={res.ci} ({time.time()-t0:5.0f}s)", flush=True)

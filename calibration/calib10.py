@@ -1,0 +1,25 @@
+import sys, time, numpy as np, dataclasses
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+
+mlr = float(sys.argv[1])
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, meta_lr=mlr, pretrain_iterations=150)
+test_eps = fixed_episodes(te, 5, 1, 20, seed=99, query_size=4)
+test5 = fixed_episodes(te, 5, 5, 20, seed=104, query_size=4)
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+t0=time.time()
+m.fit(sampler, 0)
+r1 = evaluate_method(m, test_eps); r5 = evaluate_method(m, test5)
+print(f"[mlr={mlr}] pretrain: 1shot={r1.ci} 5shot={r5.ci} ({time.time()-t0:.0f}s)", flush=True)
+m.config = dataclasses.replace(m.config, pretrain_iterations=0)
+for chunk in range(8):
+    m.fit(sampler, 25)
+    r1 = evaluate_method(m, test_eps)
+    extra = ""
+    if chunk % 2: extra = f" 5shot={evaluate_method(m, test5).ci}"
+    print(f"[mlr={mlr}] it {25*(chunk+1):3d}: 1shot={r1.ci}{extra} ({time.time()-t0:.0f}s)", flush=True)

@@ -1,0 +1,27 @@
+import sys, time, numpy as np
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+
+ctx_dim = int(sys.argv[1]); inner_lr = float(sys.argv[2]); steps = int(sys.argv[3])
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr]); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, inner_lr=inner_lr, inner_steps_train=steps,
+                   backbone=BackboneConfig(context_dim=ctx_dim))
+test_eps = fixed_episodes(te, 5, 1, 20, seed=99, query_size=4)
+train_eps = fixed_episodes(tr, 5, 1, 20, seed=98, query_size=4)
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+t0=time.time()
+for chunk in range(6):
+    losses = m.fit(sampler, 25)
+    rtr = evaluate_method(m, train_eps)
+    rte = evaluate_method(m, test_eps)
+    # all-O fraction on test
+    allo = 0
+    for ep in test_eps[:10]:
+        preds = m.predict_episode(ep)
+        if all(len(p)==0 for p in preds): allo += 1
+    print(f"[ctx={ctx_dim} lr={inner_lr} k={steps}] it {(chunk+1)*25:4d} loss={np.mean(losses):6.2f} trainF1={rtr.ci} testF1={rte.ci} allO={allo}/10 ({time.time()-t0:4.0f}s)", flush=True)

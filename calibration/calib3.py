@@ -1,0 +1,27 @@
+import sys, time, numpy as np
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+
+ctx_dim = int(sys.argv[1]) if len(sys.argv)>1 else 32
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr]); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, inner_lr=0.5, pretrain_iterations=120,
+                   backbone=BackboneConfig(context_dim=ctx_dim))
+test_eps = fixed_episodes(te, 5, 1, 20, seed=99, query_size=4)
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+t0=time.time()
+# pretraining happens inside the first fit call
+losses = m.fit(sampler, 25)
+res = evaluate_method(m, test_eps)
+print(f"after pretrain+25 meta: loss={losses[-1]:.2f} testF1={res.ci} ({time.time()-t0:.0f}s)", flush=True)
+# continue meta only
+m.config = m.config.__class__(**{**m.config.__dict__, "pretrain_iterations": 0, "backbone": m.config.backbone, "inner_lr": 0.5, "seed": 0})
+for chunk in range(6):
+    losses = m.fit(sampler, 25)
+    res = evaluate_method(m, test_eps)
+    allo = sum(1 for ep in test_eps[:10] if all(len(p)==0 for p in m.predict_episode(ep)))
+    print(f"meta it {(chunk+2)*25:4d} loss={np.mean(losses):6.2f} testF1={res.ci} allO={allo}/10 ({time.time()-t0:4.0f}s)", flush=True)

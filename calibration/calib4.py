@@ -1,0 +1,25 @@
+import sys, time, numpy as np
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+
+inner_lr = float(sys.argv[1]); k_test = int(sys.argv[2])
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, inner_lr=inner_lr, inner_steps_test=k_test, pretrain_iterations=250,
+                   backbone=BackboneConfig(context_dim=32, char_filters=24))
+test_eps = fixed_episodes(te, 5, 1, 20, seed=99, query_size=4)
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+t0=time.time()
+m.fit(sampler, 0)  # pretrain only
+res = evaluate_method(m, test_eps)
+print(f"[lr={inner_lr} ktest={k_test}] after pretrain: testF1={res.ci} ({time.time()-t0:.0f}s)", flush=True)
+import dataclasses
+m.config = dataclasses.replace(m.config, pretrain_iterations=0)
+for chunk in range(6):
+    m.fit(sampler, 50)
+    res = evaluate_method(m, test_eps)
+    print(f"[lr={inner_lr} ktest={k_test}] meta {50*(chunk+1):4d}: testF1={res.ci} ({time.time()-t0:.0f}s)", flush=True)

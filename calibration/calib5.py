@@ -1,0 +1,28 @@
+import sys, time, numpy as np, dataclasses
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+
+method = sys.argv[1]; meta_lr = float(sys.argv[2]); inner_lr = float(sys.argv[3]); kt = int(sys.argv[4])
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, meta_lr=meta_lr, inner_lr=inner_lr,
+                   inner_steps_train=2, inner_steps_test=kt, pretrain_iterations=250,
+                   backbone=BackboneConfig(context_dim=32, char_filters=24))
+test_eps = fixed_episodes(te, 5, 1, 20, seed=99, query_size=4)
+train_eps = fixed_episodes(tr, 5, 1, 20, seed=98, query_size=4)
+m = build_method(method, wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+tag = f"[{method} mlr={meta_lr} ilr={inner_lr} kt={kt}]"
+t0=time.time()
+m.fit(sampler, 0) if method in ("FewNER","MAML","FOMAML") else None
+if method in ("FewNER","MAML","FOMAML"):
+    rtr = evaluate_method(m, train_eps); rte = evaluate_method(m, test_eps)
+    print(f"{tag} pretrain: trainF1={rtr.ci} testF1={rte.ci} ({time.time()-t0:.0f}s)", flush=True)
+    m.config = dataclasses.replace(m.config, pretrain_iterations=0)
+for chunk in range(8):
+    m.fit(sampler, 25)
+    rtr = evaluate_method(m, train_eps); rte = evaluate_method(m, test_eps)
+    print(f"{tag} it {25*(chunk+1):3d}: trainF1={rtr.ci} testF1={rte.ci} ({time.time()-t0:.0f}s)", flush=True)

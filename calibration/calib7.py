@@ -1,0 +1,30 @@
+import sys, time, numpy as np, dataclasses
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+
+method = sys.argv[1]; ilr = float(sys.argv[2]); kt = int(sys.argv[3])
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, meta_lr=0.005, inner_lr=ilr,
+                   inner_steps_train=2, inner_steps_test=kt, pretrain_iterations=200,
+                   backbone=BackboneConfig(context_dim=16, conditioning="film+bias"))
+test_eps = fixed_episodes(te, 5, 1, 20, seed=99, query_size=4)
+test_eps5 = fixed_episodes(te, 5, 5, 20, seed=104, query_size=4)
+m = build_method(method, wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+tag = f"[{method} ilr={ilr} kt={kt} FO]"
+t0=time.time()
+if method in ("FewNER","MAML","FOMAML"):
+    m.fit(sampler, 0)
+    rte = evaluate_method(m, test_eps)
+    print(f"{tag} pretrain: testF1={rte.ci} ({time.time()-t0:.0f}s)", flush=True)
+    m.config = dataclasses.replace(m.config, pretrain_iterations=0)
+for chunk in range(8):
+    m.fit(sampler, 25)
+    rte = evaluate_method(m, test_eps)
+    r5 = evaluate_method(m, test_eps5) if chunk % 2 == 1 else None
+    extra = f" 5shotF1={r5.ci}" if r5 else ""
+    print(f"{tag} it {25*(chunk+1):3d}: testF1={rte.ci}{extra} ({time.time()-t0:.0f}s)", flush=True)

@@ -1,0 +1,28 @@
+import sys, time, numpy as np, dataclasses
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+
+ilr = float(sys.argv[1]) if len(sys.argv)>1 else 0.2
+kt = int(sys.argv[2]) if len(sys.argv)>2 else 4
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, meta_lr=0.005, inner_lr=ilr,
+                   inner_steps_train=2, inner_steps_test=kt, pretrain_iterations=200,
+                   backbone=BackboneConfig(conditioning="head"))
+test_eps = fixed_episodes(te, 5, 1, 20, seed=99, query_size=4)
+test_eps5 = fixed_episodes(te, 5, 5, 20, seed=104, query_size=4)
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+t0=time.time()
+m.fit(sampler, 0)
+r1 = evaluate_method(m, test_eps); r5 = evaluate_method(m, test_eps5)
+print(f"[head ilr={ilr} kt={kt}] pretrain: 1shot={r1.ci} 5shot={r5.ci} ({time.time()-t0:.0f}s)", flush=True)
+m.config = dataclasses.replace(m.config, pretrain_iterations=0)
+for chunk in range(6):
+    m.fit(sampler, 25)
+    r1 = evaluate_method(m, test_eps)
+    r5 = evaluate_method(m, test_eps5) if chunk % 2 else None
+    print(f"[head ilr={ilr} kt={kt}] it {25*(chunk+1):3d}: 1shot={r1.ci}" + (f" 5shot={r5.ci}" if r5 else "") + f" ({time.time()-t0:.0f}s)", flush=True)

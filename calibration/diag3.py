@@ -1,0 +1,34 @@
+import numpy as np
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+from repro.eval import episode_f1
+
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, inner_lr=0.5, pretrain_iterations=120, backbone=BackboneConfig(context_dim=32))
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+m.fit(sampler, 0)
+def untyped(eps):
+    ts, ds_ = [], []
+    for ep in eps:
+        preds = m.predict_episode(ep)
+        gold = [[(s.start, s.end, "E") for s in q.spans] for q in ep.query]
+        pr = [[(a,b,"E") for a,b,_ in p] for p in preds]
+        ts.append(episode_f1(gold, pr))
+    return np.mean(ts)
+test_eps = fixed_episodes(te, 5, 1, 10, seed=99, query_size=4)
+train_eps = fixed_episodes(tr, 5, 1, 10, seed=98, query_size=4)
+print("untyped F1 train-types:", round(untyped(train_eps),3))
+print("untyped F1 test-types :", round(untyped(test_eps),3))
+# suffix overlap check
+from repro.data.synthetic import SyntheticCorpusGenerator
+from repro.data.specs import DATASET_SPECS
+g = SyntheticCorpusGenerator(DATASET_SPECS["NNE"], scale=0.05, seed=0)
+tr_types = set(tr.types); te_types = set(te.types)
+tr_suf = {g.types[t].suffix for t in tr_types}
+te_suf = {g.types[t].suffix for t in te_types}
+print("test suffixes seen in train:", len(te_suf & tr_suf), "/", len(te_suf))

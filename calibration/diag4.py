@@ -1,0 +1,31 @@
+import sys, numpy as np
+import repro.data.synthetic as syn
+intro = float(sys.argv[1]); pre = int(sys.argv[2]); filt = int(sys.argv[3])
+syn.INTRODUCER_PROB = intro
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+from repro.eval import episode_f1
+
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, inner_lr=0.5, pretrain_iterations=pre,
+                   backbone=BackboneConfig(context_dim=32, char_filters=filt))
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+m.fit(sampler, 0)
+def scores(eps):
+    u, t = [], []
+    for ep in eps:
+        preds = m.predict_episode(ep)
+        goldt = [[s.as_tuple() for s in q.spans] for q in ep.query]
+        goldu = [[(s.start, s.end, "E") for s in q.spans] for q in ep.query]
+        pru = [[(a,b,"E") for a,b,_ in p] for p in preds]
+        u.append(episode_f1(goldu, pru)); t.append(episode_f1(goldt, preds))
+    return np.mean(u), np.mean(t)
+test_eps = fixed_episodes(te, 5, 1, 10, seed=99, query_size=4)
+train_eps = fixed_episodes(tr, 5, 1, 10, seed=98, query_size=4)
+utr, ttr = scores(train_eps); ute, tte = scores(test_eps)
+print(f"intro={intro} pre={pre} filt={filt}: train untyped {utr:.3f} typed {ttr:.3f} | test untyped {ute:.3f} typed {tte:.3f}")

@@ -1,0 +1,34 @@
+import numpy as np
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+from repro.eval.metrics import span_prf, PRF
+
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, inner_lr=0.5, pretrain_iterations=250,
+                   backbone=BackboneConfig(context_dim=32, char_filters=24))
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+m.fit(sampler, 0)
+def prf(eps):
+    tot = PRF(0,0,0)
+    for ep in eps:
+        preds = m.predict_episode(ep)
+        for q, p in zip(ep.query, preds):
+            gold = [(s.start, s.end, "E") for s in q.spans]
+            pu = [(a,b,"E") for a,b,_ in p]
+            tot = tot + span_prf(gold, pu)
+    return tot
+test_eps = fixed_episodes(te, 5, 1, 10, seed=99, query_size=4)
+train_eps = fixed_episodes(tr, 5, 1, 10, seed=98, query_size=4)
+ttr, tte = prf(train_eps), prf(test_eps)
+print(f"train untyped P={ttr.precision:.3f} R={ttr.recall:.3f} (g={ttr.gold},r={ttr.predicted})")
+print(f"test  untyped P={tte.precision:.3f} R={tte.recall:.3f} (g={tte.gold},r={tte.predicted})")
+ep = test_eps[0]
+preds = m.predict_episode(ep)
+for q, p in list(zip(ep.query, preds))[:4]:
+    print("SENT:", " ".join(q.tokens))
+    print("  gold:", [s.as_tuple() for s in q.spans], " pred:", p)

@@ -1,0 +1,40 @@
+import numpy as np
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+from repro.eval.metrics import span_prf, PRF
+from repro.autodiff import no_grad, Tensor
+
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, inner_lr=0.5, pretrain_iterations=250,
+                   backbone=BackboneConfig(context_dim=32, char_filters=24))
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+m.fit(sampler, 0)
+test_eps = fixed_episodes(te, 5, 1, 10, seed=99, query_size=4)
+
+def prf_with(phi_fn):
+    tot = PRF(0,0,0); tottyped = PRF(0,0,0)
+    m.model.eval()
+    for ep in test_eps:
+        phi = phi_fn(ep)
+        with no_grad():
+            preds = m.model.predict_spans(list(ep.query), ep.scheme, phi=phi)
+        for q, p in zip(ep.query, preds):
+            gold = [(s.start, s.end, "E") for s in q.spans]
+            pu = [(a,b,"E") for a,b,_ in p]
+            tot = tot + span_prf(gold, pu)
+            tottyped = tottyped + span_prf([s.as_tuple() for s in q.spans], p)
+    return tot, tottyped
+
+for label, fn in [
+    ("phi=0      ", lambda ep: None),
+    ("adapt k=1  ", lambda ep: m._inner_adapt(ep, 1, False).detach()),
+    ("adapt k=2  ", lambda ep: m._inner_adapt(ep, 2, False).detach()),
+    ("adapt k=8  ", lambda ep: m._inner_adapt(ep, 8, False).detach()),
+]:
+    u, t = fn and prf_with(fn)
+    print(f"{label} untyped P={u.precision:.3f} R={u.recall:.3f} | typed P={t.precision:.3f} R={t.recall:.3f}")

@@ -1,0 +1,33 @@
+import numpy as np, dataclasses
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary
+from repro.meta import MethodConfig, build_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+from repro.eval.metrics import span_prf, PRF
+from repro.autodiff import no_grad
+
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+wv = Vocabulary.from_datasets([tr], min_count=2); cv = CharVocabulary.from_datasets([tr])
+cfg = MethodConfig(seed=0, inner_lr=0.5, pretrain_iterations=150, inner_loss="ce",
+                   backbone=BackboneConfig(conditioning="head"))
+m = build_method("FewNER", wv, cv, 5, cfg)
+sampler = EpisodeSampler(tr, 5, 1, query_size=4, seed=7)
+m.fit(sampler, 0)
+test_eps = fixed_episodes(te, 5, 1, 10, seed=99, query_size=4)
+def eval_with(ilr, steps):
+    m.config = dataclasses.replace(m.config, inner_lr=ilr)
+    tot = PRF(0,0,0); tu = PRF(0,0,0)
+    m.model.eval()
+    for ep in test_eps:
+        phi = m._inner_adapt(ep, steps, False).detach()
+        with no_grad():
+            preds = m.model.predict_spans(list(ep.query), ep.scheme, phi=phi)
+        for q,p in zip(ep.query, preds):
+            tot = tot + span_prf([s.as_tuple() for s in q.spans], p)
+            tu = tu + span_prf([(s.start,s.end,"E") for s in q.spans], [(a,b,"E") for a,b,_ in p])
+    return tot, tu
+for ilr in (10.0, 20.0, 40.0, 80.0):
+    for steps in (8, 16):
+        t, u = eval_with(ilr, steps)
+        print(f"ilr={ilr:4} k={steps:2}: typed P={t.precision:.2f} R={t.recall:.2f} F={t.f1:.3f} | untyped F={u.f1:.3f}", flush=True)

@@ -1,0 +1,8 @@
+#!/bin/bash
+# Final wrap-up sequence (run after the main benchmark completes).
+set -x
+cd /root/repo
+# 1. Append the encoder-ablation bench (added after the main run started).
+python -m pytest benchmarks/test_ablation_encoder.py --benchmark-only -s 2>&1 | tee -a bench_output.txt
+# 2. Full test suite.
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt

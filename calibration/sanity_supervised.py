@@ -1,0 +1,41 @@
+import time, numpy as np
+from repro.data import generate_dataset, split_by_types, EpisodeSampler, Vocabulary, CharVocabulary, TagScheme
+from repro.models import CNNBiGRUCRF, BackboneConfig
+from repro.embeddings import StaticEmbeddings
+from repro.nn import Adam, clip_grad_norm
+from repro.eval import episode_f1
+from repro.autodiff import no_grad
+
+ds = generate_dataset("NNE", scale=0.05, seed=0)
+tr, va, te = split_by_types(ds, (52,10,15), seed=1)
+types = tr.types[:5]
+print("fixed types:", types)
+scheme = TagScheme(tuple(types))
+pool = [s.restrict_labels(types) for s in tr if any(sp.label in types for sp in s.spans)]
+print("pool:", len(pool))
+train_pool, test_pool = pool[:-20], pool[-20:]
+wv = Vocabulary.from_datasets([tr]); cv = CharVocabulary.from_datasets([tr])
+cfg = BackboneConfig(context_dim=0)
+rng = np.random.default_rng(0)
+model = CNNBiGRUCRF(wv, cv, scheme.num_tags, cfg, rng,
+                    pretrained_word=StaticEmbeddings(dim=cfg.word_dim, seed=0).matrix(wv),
+                    tag_names=scheme.tags)
+opt = Adam(model.parameters(), lr=0.01)
+rng2 = np.random.default_rng(1)
+t0=time.time()
+for it in range(300):
+    idx = rng2.choice(len(train_pool), size=8, replace=False)
+    batch = model.encode([train_pool[i] for i in idx], scheme)
+    model.zero_grad()
+    loss = model.loss(batch)
+    loss.backward()
+    clip_grad_norm(model.parameters(), 5.0)
+    opt.step()
+    if (it+1) % 50 == 0:
+        model.eval()
+        with no_grad():
+            preds = model.predict_spans(test_pool, scheme)
+        gold = [[sp.as_tuple() for sp in s.spans] for s in test_pool]
+        f1 = episode_f1(gold, preds)
+        print(f"it {it+1} loss {loss.item():.3f} testF1 {f1:.3f} ({time.time()-t0:.0f}s)", flush=True)
+        model.train()

@@ -1,0 +1,53 @@
+"""Cross-domain transfer on ACE2005 (the Table 3 scenario).
+
+Trains FEWNER on the Broadcast News (BN) domain of the simulated ACE2005
+corpus and adapts it to Conversational Telephone Speech (CTS) — same
+entity types, different vocabulary distribution — then compares with the
+harder BC -> UN transfer:
+
+    python examples/cross_domain_transfer.py
+"""
+
+from repro.data import (
+    CharVocabulary,
+    EpisodeSampler,
+    Vocabulary,
+    generate_dataset,
+    split_by_ratio,
+)
+from repro.meta import FewNER, MethodConfig, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+
+
+def run_transfer(ace, source: str, target: str, config: MethodConfig) -> str:
+    source_ds = ace.by_domain(source)
+    target_ds = ace.by_domain(target)
+    train, _val, _test = split_by_ratio(source_ds, (0.8, 0.1, 0.1), seed=3)
+
+    word_vocab = Vocabulary.from_datasets([train], min_count=2)
+    char_vocab = CharVocabulary.from_datasets([train])
+    fewner = FewNER(word_vocab, char_vocab, n_way=5, config=config)
+    sampler = EpisodeSampler(train, n_way=5, k_shot=1, query_size=4, seed=11)
+    fewner.fit(sampler, iterations=6)
+
+    episodes = fixed_episodes(target_ds, n_way=5, k_shot=1, n_episodes=8,
+                              seed=2000, query_size=4)
+    result = evaluate_method(fewner, episodes)
+    return f"{source} -> {target}: F1 = {result.ci}"
+
+
+def main() -> None:
+    # ACE2005 carries nested mentions; the paper keeps the innermost
+    # annotation only (§4.3.1).
+    ace = generate_dataset("ACE2005", scale=0.15, seed=0).innermost()
+    print(f"ACE2005 domains: {ace.domains}")
+
+    config = MethodConfig(seed=0, pretrain_iterations=30)
+    # BN and CTS are close domains, BC and UN are far apart — the paper
+    # finds the first transfer much easier than the second.
+    print(run_transfer(ace, "BN", "CTS", config))
+    print(run_transfer(ace, "BC", "UN", config))
+
+
+if __name__ == "__main__":
+    main()

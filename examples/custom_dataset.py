@@ -1,0 +1,69 @@
+"""Using the library on your own annotated data.
+
+The public API is corpus-agnostic: anything that provides ``Sentence``
+objects works.  This example builds a tiny hand-annotated dataset about a
+fictional sports league, samples N-way K-shot episodes from it with the
+paper's greedy-including procedure, and runs an un-metatrained FEWNER
+adaptation on one episode.
+
+    python examples/custom_dataset.py
+"""
+
+from repro.data import Dataset, EpisodeSampler, Sentence, CharVocabulary, Vocabulary
+from repro.data.sentence import Span
+from repro.eval import episode_f1
+from repro.meta import FewNER, MethodConfig
+
+
+def build_corpus() -> Dataset:
+    rows = [
+        (["the", "Falcons", "signed", "Mara", "Voss", "yesterday"],
+         [(1, 2, "TEAM"), (3, 5, "PLAYER")]),
+        (["Voss", "scored", "twice", "against", "the", "Comets"],
+         [(0, 1, "PLAYER"), (5, 6, "TEAM")]),
+        (["the", "Comets", "host", "the", "Falcons", "in", "Delmar", "Arena"],
+         [(1, 2, "TEAM"), (4, 5, "TEAM"), (6, 8, "VENUE")]),
+        (["Delmar", "Arena", "sold", "out", "for", "Kern"],
+         [(0, 2, "VENUE"), (5, 6, "PLAYER")]),
+        (["Kern", "joins", "the", "Harriers", "next", "season"],
+         [(0, 1, "PLAYER"), (3, 4, "TEAM")]),
+        (["the", "Harriers", "play", "at", "Quarry", "Field"],
+         [(1, 2, "TEAM"), (4, 6, "VENUE")]),
+        (["Quarry", "Field", "hosts", "Voss", "and", "Kern"],
+         [(0, 2, "VENUE"), (3, 4, "PLAYER"), (5, 6, "PLAYER")]),
+        (["fans", "booed", "when", "Mara", "Voss", "left"],
+         [(3, 5, "PLAYER")]),
+    ]
+    sentences = [
+        Sentence(tuple(tokens), tuple(Span(*s) for s in spans))
+        for tokens, spans in rows
+    ]
+    return Dataset("league", sentences, genre="sports")
+
+
+def main() -> None:
+    corpus = build_corpus()
+    print(f"corpus: {corpus}")
+    print(f"types: {corpus.types}")
+
+    # Greedy-including 3-way 1-shot episode construction (paper §3.1).
+    sampler = EpisodeSampler(corpus, n_way=3, k_shot=1, query_size=3, seed=0)
+    episode = sampler.sample()
+    print(f"episode ways: {episode.types}")
+    print(f"support ({len(episode.support)} sentences):")
+    for s in episode.support:
+        print("  ", s.pretty())
+
+    word_vocab = Vocabulary.from_datasets([corpus])
+    char_vocab = CharVocabulary.from_datasets([corpus])
+    fewner = FewNER(word_vocab, char_vocab, n_way=3,
+                    config=MethodConfig(seed=0, pretrain_iterations=0))
+    predictions = fewner.predict_episode(episode)
+    gold = [[sp.as_tuple() for sp in s.spans] for s in episode.query]
+    print(f"episode F1 without any meta-training: "
+          f"{episode_f1(gold, predictions):.3f}")
+    print("(train on a larger source corpus first — see quickstart.py)")
+
+
+if __name__ == "__main__":
+    main()

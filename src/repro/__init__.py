@@ -1,0 +1,16 @@
+"""FewNER reproduction: few-shot named entity recognition via meta-learning.
+
+The package implements, from scratch over numpy:
+
+* ``repro.autodiff`` -- reverse-mode autodiff with higher-order gradients;
+* ``repro.nn`` -- neural-network layers and optimisers;
+* ``repro.crf`` -- differentiable linear-chain CRF;
+* ``repro.data`` -- synthetic NER corpora, tag schemes, N-way K-shot episodes;
+* ``repro.embeddings`` -- static and simulated contextual embedding providers;
+* ``repro.models`` -- the CNN-BiGRU-CRF backbone and context conditioning;
+* ``repro.meta`` -- FEWNER and all baseline adaptation methods;
+* ``repro.eval`` -- entity-level F1 and episode aggregation;
+* ``repro.experiments`` -- harnesses regenerating each table of the paper.
+"""
+
+__version__ = "1.0.0"

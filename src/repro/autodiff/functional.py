@@ -1,0 +1,97 @@
+"""Composite differentiable functions built from tensor primitives.
+
+Because these are compositions of primitives whose VJPs are themselves
+differentiable, everything here supports higher-order gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import (
+    Tensor,
+    _ensure_tensor,
+    exp,
+    getitem,
+    log,
+    max_,
+    mean,
+    mul,
+    sub,
+    sum_,
+)
+
+
+def logsumexp(x: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Numerically-stable log-sum-exp reduction."""
+    x = _ensure_tensor(x)
+    m = max_(x, axis=axis, keepdims=True)
+    shifted = sub(x, m)
+    s = log(sum_(exp(shifted), axis=axis, keepdims=True))
+    out = m + s
+    if keepdims:
+        return out
+    if axis is None:
+        return out.reshape(())
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = {a % x.ndim for a in axes}
+    squeezed = tuple(d for i, d in enumerate(out.shape) if i not in axes)
+    return out.reshape(squeezed)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log of the softmax along ``axis``."""
+    return sub(x, logsumexp(x, axis=axis, keepdims=True))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return exp(log_softmax(x, axis=axis))
+
+
+def nll_loss(log_probs: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood given ``(N, C)`` log-probabilities.
+
+    ``targets`` is an integer array of shape ``(N,)``.
+    """
+    targets = np.asarray(targets, dtype=np.intp)
+    n = log_probs.shape[0]
+    picked = getitem(log_probs, (np.arange(n), targets))
+    loss = mul(Tensor(np.array(-1.0)), picked)
+    if reduction == "mean":
+        return mean(loss)
+    if reduction == "sum":
+        return sum_(loss)
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction: {reduction!r}")
+
+
+def cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy over the last axis of ``(N, C)`` logits."""
+    return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
+
+
+def mse_loss(pred: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    diff = sub(pred, _ensure_tensor(target))
+    sq = mul(diff, diff)
+    if reduction == "mean":
+        return mean(sq)
+    if reduction == "sum":
+        return sum_(sq)
+    return sq
+
+
+def dropout_mask(shape, p: float, rng: np.random.Generator) -> Tensor:
+    """Inverted-dropout mask: scale kept units by ``1/(1-p)``.
+
+    Returned as a constant tensor; multiply activations by it during
+    training and skip it entirely at evaluation time.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if p == 0.0:
+        return Tensor(np.ones(shape))
+    keep = (rng.random(shape) >= p).astype(float) / (1.0 - p)
+    return Tensor(keep)

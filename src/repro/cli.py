@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate``   — write a simulated corpus to a CoNLL file;
+* ``stats``      — print Table-1-style statistics for a corpus;
+* ``train``      — train an adaptation method and save a checkpoint;
+* ``evaluate``   — evaluate a trained FEWNER checkpoint on episodes;
+* ``experiment`` — run one of the paper's experiments (table1..table6,
+  timing) at a chosen scale and print the rendered result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.conll import write_conll_file
+from repro.data.specs import DATASET_SPECS
+from repro.data.splits import split_by_types
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.data.episodes import EpisodeSampler
+
+
+def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=sorted(DATASET_SPECS),
+                        default="GENIA")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's sentence count")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    write_conll_file(dataset, args.output, scheme=args.scheme)
+    print(f"wrote {len(dataset)} sentences / {dataset.num_mentions} mentions "
+          f"to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.experiments import table1
+
+    rows = table1.run(None, corpus_scale=args.scale, seed=args.seed)
+    print(table1.render(rows))
+    if args.detailed:
+        from repro.data.statistics import profile_corpus
+
+        for row in rows:
+            dataset = generate_dataset(row.dataset, scale=args.scale,
+                                       seed=args.seed)
+            print()
+            print(profile_corpus(dataset).render())
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.meta import MethodConfig, build_method
+    from repro.nn import save_module
+
+    dataset = generate_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    n_types = len(dataset.types)
+    counts = (n_types - 2 * args.holdout_types, args.holdout_types,
+              args.holdout_types)
+    train, _val, _test = split_by_types(dataset, counts, seed=args.seed + 1)
+    word_vocab = Vocabulary.from_datasets([train], min_count=2)
+    char_vocab = CharVocabulary.from_datasets([train])
+    config = MethodConfig(seed=args.seed,
+                          pretrain_iterations=args.pretrain_iterations)
+    adapter = build_method(args.method, word_vocab, char_vocab,
+                           args.n_way, config)
+    sampler = EpisodeSampler(train, args.n_way, args.k_shot,
+                             query_size=4, seed=args.seed + 7)
+    print(f"training {args.method} on {args.dataset} "
+          f"({args.n_way}-way {args.k_shot}-shot) ...")
+    losses = adapter.fit(sampler, args.iterations)
+    print(f"final loss: {losses[-1]:.4f}")
+    model = getattr(adapter, "model", None) or getattr(adapter, "tagger")
+    save_module(model, args.output, metadata={
+        "method": args.method,
+        "dataset": args.dataset,
+        "n_way": args.n_way,
+        "k_shot": args.k_shot,
+        "scale": args.scale,
+        "seed": args.seed,
+    })
+    print(f"checkpoint written to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.meta import MethodConfig, build_method, evaluate_method
+    from repro.meta.evaluate import fixed_episodes
+    from repro.nn import load_module, load_state
+
+    _state, metadata = load_state(args.checkpoint)
+    method = metadata.get("method", "FewNER")
+    dataset = generate_dataset(
+        metadata.get("dataset", args.dataset),
+        scale=metadata.get("scale", args.scale),
+        seed=metadata.get("seed", args.seed),
+    )
+    n_types = len(dataset.types)
+    counts = (n_types - 2 * args.holdout_types, args.holdout_types,
+              args.holdout_types)
+    train, _val, test = split_by_types(
+        dataset, counts, seed=metadata.get("seed", args.seed) + 1
+    )
+    word_vocab = Vocabulary.from_datasets([train], min_count=2)
+    char_vocab = CharVocabulary.from_datasets([train])
+    config = MethodConfig(seed=metadata.get("seed", args.seed))
+    adapter = build_method(method, word_vocab, char_vocab,
+                           metadata.get("n_way", args.n_way), config)
+    model = getattr(adapter, "model", None) or getattr(adapter, "tagger")
+    load_module(model, args.checkpoint)
+    episodes = fixed_episodes(
+        test, metadata.get("n_way", args.n_way), args.k_shot,
+        args.episodes, seed=args.seed + 99, query_size=4,
+    )
+    result = evaluate_method(adapter, episodes)
+    print(f"{method}: {result.ci} over {args.episodes} episodes")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import run_experiment
+    from repro.experiments.registry import render_result
+
+    result = run_experiment(args.name, args.preset)
+    print(render_result(args.name, result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FewNER reproduction: few-shot NER via meta-learning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a simulated corpus as CoNLL")
+    _add_corpus_args(p)
+    p.add_argument("--scheme", choices=("bio", "iobes"), default="bio")
+    p.add_argument("output")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("stats", help="Table-1 statistics for all corpora")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--detailed", action="store_true",
+                   help="also print per-corpus distribution profiles")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("train", help="train a method, save a checkpoint")
+    _add_corpus_args(p)
+    p.add_argument("--method", default="FewNER")
+    p.add_argument("--n-way", type=int, default=5)
+    p.add_argument("--k-shot", type=int, default=1)
+    p.add_argument("--iterations", type=int, default=20)
+    p.add_argument("--pretrain-iterations", type=int, default=60)
+    p.add_argument("--holdout-types", type=int, default=5)
+    p.add_argument("output")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate a checkpoint on episodes")
+    _add_corpus_args(p)
+    p.add_argument("--n-way", type=int, default=5)
+    p.add_argument("--k-shot", type=int, default=1)
+    p.add_argument("--episodes", type=int, default=50)
+    p.add_argument("--holdout-types", type=int, default=5)
+    p.add_argument("checkpoint")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument("name", choices=(
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "timing", "figure_adaptation",
+    ))
+    p.add_argument("--preset", default=None,
+                   help="scale preset (smoke | default | paper)")
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Linear-chain conditional random field (tag decoder of the backbone)."""
+
+from repro.crf.crf import LinearChainCRF
+from repro.crf.transitions import bio_transition_mask, bio_start_mask, bio_end_mask
+
+__all__ = [
+    "LinearChainCRF",
+    "bio_transition_mask",
+    "bio_start_mask",
+    "bio_end_mask",
+]

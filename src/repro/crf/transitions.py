@@ -1,0 +1,42 @@
+"""BIO transition constraints.
+
+Under the BIO (IOB2) scheme, ``I-X`` may only follow ``B-X`` or ``I-X``.
+These masks are used at decode time to keep Viterbi from emitting invalid
+label sequences, which would otherwise break span extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _parse(tag: str) -> tuple[str, str | None]:
+    if tag == "O":
+        return "O", None
+    if len(tag) > 2 and tag[1] == "-" and tag[0] in ("B", "I"):
+        return tag[0], tag[2:]
+    raise ValueError(f"not a BIO tag: {tag!r}")
+
+
+def bio_transition_mask(tags: list[str]) -> np.ndarray:
+    """Boolean ``(T, T)`` matrix; ``mask[i, j]`` true if ``i -> j`` is legal."""
+    n = len(tags)
+    mask = np.ones((n, n), dtype=bool)
+    parsed = [_parse(t) for t in tags]
+    for j, (prefix_j, type_j) in enumerate(parsed):
+        if prefix_j != "I":
+            continue
+        for i, (prefix_i, type_i) in enumerate(parsed):
+            legal = prefix_i in ("B", "I") and type_i == type_j
+            mask[i, j] = legal
+    return mask
+
+
+def bio_start_mask(tags: list[str]) -> np.ndarray:
+    """Boolean ``(T,)`` vector; true where a sequence may start."""
+    return np.array([_parse(t)[0] != "I" for t in tags], dtype=bool)
+
+
+def bio_end_mask(tags: list[str]) -> np.ndarray:
+    """Boolean ``(T,)`` vector; any tag may end a sequence under BIO."""
+    return np.ones(len(tags), dtype=bool)

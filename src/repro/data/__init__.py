@@ -1,0 +1,52 @@
+"""Data substrate: tag schemes, corpora, splits and few-shot episodes."""
+
+from repro.data.tags import (
+    TagScheme,
+    spans_to_bio,
+    bio_to_spans,
+    spans_to_iobes,
+    iobes_to_spans,
+    convert_scheme,
+)
+from repro.data.conll import read_conll, read_conll_file, write_conll, write_conll_file
+from repro.data.slots import generate_slot_filling_dataset, slot_types
+from repro.data.statistics import CorpusProfile, profile_corpus, length_histogram
+from repro.data.sentence import Span, Sentence, Dataset
+from repro.data.vocab import Vocabulary, CharVocabulary
+from repro.data.specs import DATASET_SPECS, DatasetSpec, DomainSpec
+from repro.data.synthetic import SyntheticCorpusGenerator, generate_dataset
+from repro.data.splits import split_by_types, split_by_ratio, holdout_split
+from repro.data.episodes import Episode, EpisodeSampler
+
+__all__ = [
+    "TagScheme",
+    "spans_to_bio",
+    "bio_to_spans",
+    "Span",
+    "Sentence",
+    "Dataset",
+    "Vocabulary",
+    "CharVocabulary",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "DomainSpec",
+    "SyntheticCorpusGenerator",
+    "generate_dataset",
+    "split_by_types",
+    "split_by_ratio",
+    "holdout_split",
+    "Episode",
+    "EpisodeSampler",
+    "spans_to_iobes",
+    "iobes_to_spans",
+    "convert_scheme",
+    "read_conll",
+    "read_conll_file",
+    "write_conll",
+    "write_conll_file",
+    "generate_slot_filling_dataset",
+    "slot_types",
+    "CorpusProfile",
+    "profile_corpus",
+    "length_histogram",
+]

@@ -1,0 +1,102 @@
+"""Data augmentation for low-resource sequence labeling.
+
+Two standard augmentations, both annotation-preserving:
+
+* **Mention replacement** — swap a mention's surface form with the
+  surface of another mention of the *same type* found elsewhere in the
+  dataset.  Expands lexical coverage of each type without changing the
+  label structure.
+* **Context token dropout** — replace random non-entity tokens with an
+  UNK placeholder, regularising the context encoder the same way word
+  dropout does in classic BiLSTM-CRF training.
+
+Augmentation operates on :class:`~repro.data.sentence.Dataset` objects,
+so it composes with splits and episode sampling.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.data.sentence import Dataset, Sentence, Span
+
+UNK_TOKEN = "<unk>"
+
+
+def mention_inventory(dataset: Dataset) -> dict[str, list[tuple[str, ...]]]:
+    """Collect every mention surface per type."""
+    inventory: dict[str, list[tuple[str, ...]]] = defaultdict(list)
+    for sentence in dataset:
+        for span in sentence.spans:
+            inventory[span.label].append(
+                tuple(sentence.tokens[span.start : span.end])
+            )
+    return dict(inventory)
+
+
+def replace_mentions(sentence: Sentence,
+                     inventory: dict[str, list[tuple[str, ...]]],
+                     rng: np.random.Generator,
+                     probability: float = 0.5) -> Sentence:
+    """Swap each mention, with ``probability``, for a same-type surface.
+
+    Spans are rebuilt left-to-right so lengths may change; nested
+    annotations are not supported (apply ``innermost()`` first).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    if any(
+        a is not b and a.overlaps(b)
+        for a in sentence.spans for b in sentence.spans
+    ):
+        raise ValueError("replace_mentions requires non-overlapping spans")
+    ordered = sorted(sentence.spans, key=lambda s: s.start)
+    tokens: list[str] = []
+    new_spans: list[Span] = []
+    cursor = 0
+    for span in ordered:
+        tokens.extend(sentence.tokens[cursor : span.start])
+        surface = tuple(sentence.tokens[span.start : span.end])
+        candidates = inventory.get(span.label, [])
+        if candidates and rng.random() < probability:
+            surface = candidates[int(rng.integers(len(candidates)))]
+        start = len(tokens)
+        tokens.extend(surface)
+        new_spans.append(Span(start, len(tokens), span.label))
+        cursor = span.end
+    tokens.extend(sentence.tokens[cursor:])
+    return Sentence(tuple(tokens), tuple(new_spans), sentence.domain)
+
+
+def context_dropout(sentence: Sentence, rng: np.random.Generator,
+                    probability: float = 0.1) -> Sentence:
+    """Replace non-entity tokens with UNK at the given rate."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    inside = set()
+    for span in sentence.spans:
+        inside.update(range(span.start, span.end))
+    tokens = tuple(
+        UNK_TOKEN if i not in inside and rng.random() < probability else tok
+        for i, tok in enumerate(sentence.tokens)
+    )
+    return Sentence(tokens, sentence.spans, sentence.domain)
+
+
+def augment_dataset(dataset: Dataset, rng: np.random.Generator,
+                    copies: int = 1, replace_probability: float = 0.5,
+                    dropout_probability: float = 0.1) -> Dataset:
+    """Return the dataset plus ``copies`` augmented variants per sentence."""
+    if copies < 0:
+        raise ValueError(f"copies must be >= 0, got {copies}")
+    inventory = mention_inventory(dataset)
+    sentences = list(dataset.sentences)
+    for _c in range(copies):
+        for sentence in dataset:
+            aug = replace_mentions(sentence, inventory, rng,
+                                   replace_probability)
+            aug = context_dropout(aug, rng, dropout_probability)
+            sentences.append(aug)
+    return Dataset(f"{dataset.name}+aug", sentences, dataset.genre)

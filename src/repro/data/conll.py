@@ -1,0 +1,75 @@
+"""CoNLL-format reading and writing.
+
+The two-column CoNLL format (token, tag, blank line between sentences)
+is the lingua franca of NER corpora.  Reading accepts BIO or IOBES tags;
+writing emits either scheme.  This is how users bring real annotated
+data into the library or export the simulated corpora for other tools.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.data.sentence import Dataset, Sentence, Span
+from repro.data.tags import bio_to_spans, iobes_to_spans, spans_to_bio, spans_to_iobes
+
+
+def _sentences_from_rows(rows: list[tuple[str, str]], scheme: str) -> Sentence:
+    tokens = tuple(tok for tok, _tag in rows)
+    tags = [tag for _tok, tag in rows]
+    decode = iobes_to_spans if scheme == "iobes" else bio_to_spans
+    spans = tuple(Span(s, e, lab) for s, e, lab in decode(tags))
+    return Sentence(tokens, spans)
+
+
+def read_conll(lines: Iterable[str], name: str = "conll",
+               scheme: str = "bio", genre: str = "") -> Dataset:
+    """Parse CoNLL lines into a :class:`Dataset`.
+
+    Each non-blank line is ``token<whitespace>tag``; extra middle columns
+    (POS, chunk) are ignored, matching the common 4-column layout.
+    """
+    if scheme not in ("bio", "iobes"):
+        raise ValueError(f"scheme must be 'bio' or 'iobes', got {scheme!r}")
+    sentences: list[Sentence] = []
+    rows: list[tuple[str, str]] = []
+    for raw in lines:
+        line = raw.rstrip("\n")
+        if not line.strip() or line.startswith("-DOCSTART-"):
+            if rows:
+                sentences.append(_sentences_from_rows(rows, scheme))
+                rows = []
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed CoNLL line: {line!r}")
+        rows.append((parts[0], parts[-1]))
+    if rows:
+        sentences.append(_sentences_from_rows(rows, scheme))
+    return Dataset(name, sentences, genre=genre)
+
+
+def read_conll_file(path: str, name: str | None = None,
+                    scheme: str = "bio", genre: str = "") -> Dataset:
+    """Read a CoNLL file from disk."""
+    with open(path, encoding="utf-8") as fh:
+        return read_conll(fh, name=name or path, scheme=scheme, genre=genre)
+
+
+def write_conll(dataset: Dataset, scheme: str = "bio") -> Iterator[str]:
+    """Yield CoNLL lines for ``dataset`` (no trailing newline per line)."""
+    if scheme not in ("bio", "iobes"):
+        raise ValueError(f"scheme must be 'bio' or 'iobes', got {scheme!r}")
+    encode = spans_to_iobes if scheme == "iobes" else spans_to_bio
+    for sentence in dataset:
+        tags = encode([s.as_tuple() for s in sentence.spans], len(sentence))
+        for token, tag in zip(sentence.tokens, tags):
+            yield f"{token}\t{tag}"
+        yield ""
+
+
+def write_conll_file(dataset: Dataset, path: str, scheme: str = "bio") -> None:
+    """Write ``dataset`` to ``path`` in CoNLL format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in write_conll(dataset, scheme=scheme):
+            fh.write(line + "\n")

@@ -1,0 +1,170 @@
+"""Sentence and dataset containers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Span:
+    """An entity mention: token span ``[start, end)`` with a type label."""
+
+    start: int
+    end: int
+    label: str
+
+    def __post_init__(self):
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    def overlaps(self, other: "Span") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, other: "Span") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def as_tuple(self) -> tuple[int, int, str]:
+        return (self.start, self.end, self.label)
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """A tokenised sentence with (possibly nested) entity annotations."""
+
+    tokens: tuple[str, ...]
+    spans: tuple[Span, ...] = ()
+    domain: str = ""
+
+    def __post_init__(self):
+        for span in self.spans:
+            if span.end > len(self.tokens):
+                raise ValueError(
+                    f"span {span} exceeds sentence length {len(self.tokens)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def labels(self) -> set[str]:
+        return {s.label for s in self.spans}
+
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+    def innermost(self) -> "Sentence":
+        """Keep only innermost entities (ACE2005 nested-NER preprocessing).
+
+        A span is dropped when it strictly contains another span.
+        """
+        kept = tuple(
+            s
+            for s in self.spans
+            if not any(s is not o and s.contains(o) for o in self.spans)
+        )
+        return replace(self, spans=kept)
+
+    def restrict_labels(self, labels: Sequence[str]) -> "Sentence":
+        """Drop spans whose label is outside ``labels``."""
+        allowed = set(labels)
+        return replace(
+            self, spans=tuple(s for s in self.spans if s.label in allowed)
+        )
+
+    def pretty(self) -> str:
+        """Render with bracketed mentions, Table 6 style."""
+        openers: dict[int, list[str]] = {}
+        closers: dict[int, list[str]] = {}
+        for s in sorted(self.spans, key=lambda x: (x.start, -x.end)):
+            openers.setdefault(s.start, []).append("[")
+            closers.setdefault(s.end - 1, []).append(f"]_{s.label}")
+        parts = []
+        for i, tok in enumerate(self.tokens):
+            piece = "".join(openers.get(i, [])) + tok + "".join(closers.get(i, []))
+            parts.append(piece)
+        return " ".join(parts)
+
+
+class Dataset:
+    """A named collection of sentences with corpus-level statistics."""
+
+    def __init__(self, name: str, sentences: Sequence[Sentence], genre: str = ""):
+        self.name = name
+        self.genre = genre
+        self.sentences: list[Sentence] = list(sentences)
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    def __iter__(self) -> Iterator[Sentence]:
+        return iter(self.sentences)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Dataset(self.name, self.sentences[index], self.genre)
+        return self.sentences[index]
+
+    @property
+    def types(self) -> list[str]:
+        """Sorted list of entity types present."""
+        return sorted({s.label for sent in self.sentences for s in sent.spans})
+
+    @property
+    def num_types(self) -> int:
+        return len(self.types)
+
+    @property
+    def num_mentions(self) -> int:
+        return sum(len(sent.spans) for sent in self.sentences)
+
+    @property
+    def domains(self) -> list[str]:
+        return sorted({sent.domain for sent in self.sentences if sent.domain})
+
+    def type_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for sent in self.sentences:
+            for span in sent.spans:
+                counts[span.label] += 1
+        return counts
+
+    def filter(self, predicate: Callable[[Sentence], bool]) -> "Dataset":
+        return Dataset(self.name, [s for s in self.sentences if predicate(s)],
+                       self.genre)
+
+    def restrict_labels(self, labels: Sequence[str]) -> "Dataset":
+        """Keep only annotations of ``labels`` (sentences are kept)."""
+        return Dataset(
+            self.name,
+            [s.restrict_labels(labels) for s in self.sentences],
+            self.genre,
+        )
+
+    def innermost(self) -> "Dataset":
+        return Dataset(self.name, [s.innermost() for s in self.sentences],
+                       self.genre)
+
+    def by_domain(self, domain: str) -> "Dataset":
+        return Dataset(
+            f"{self.name}/{domain}",
+            [s for s in self.sentences if s.domain == domain],
+            self.genre,
+        )
+
+    def statistics(self) -> dict:
+        """Table 1 row: genre, #types, #sentences, #mentions."""
+        return {
+            "dataset": self.name,
+            "genre": self.genre,
+            "types": self.num_types,
+            "sentences": len(self),
+            "mentions": self.num_mentions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, sentences={len(self)}, "
+            f"types={self.num_types}, mentions={self.num_mentions})"
+        )

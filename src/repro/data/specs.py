@@ -1,0 +1,125 @@
+"""Specifications of the six corpora used in the paper (Table 1).
+
+Real NNE / FG-NER / GENIA / ACE2005 / OntoNotes / BioNLP13CG are licensed
+and unavailable offline, so each is simulated by a parametric spec that
+preserves what the experiments actually depend on:
+
+* the *type inventory size* (Table 1 "#Types") and mention density
+  ("#Mentions" / "#Sentences");
+* the *genre*, realised as a morphology family for entity surface forms
+  (newswire entities are TitleCase-alphabetic, medical entities are
+  lower-case alphanumeric with digits and dashes) and a context
+  vocabulary;
+* for ACE2005: six sub-domains with a controlled vocabulary-overlap
+  matrix (BN/CTS close, BC/UN far, NW/WL intermediate — the ordering the
+  paper observes), 7 coarse types refined into 54 subtypes, and nested
+  mentions.
+
+Sentence counts are scaled down by ``scale`` (default 1/20 of Table 1) so
+the whole suite runs on CPU; densities and type counts are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """A text domain: its name and how much vocabulary it shares."""
+
+    name: str
+    #: Fraction of filler vocabulary drawn from the genre-shared pool
+    #: (higher = more similar to sibling domains of the same genre).
+    shared_vocab_fraction: float = 0.5
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parameters of one simulated corpus."""
+
+    name: str
+    genre: str  # "newswire" | "medical" | "various"
+    num_types: int
+    num_sentences: int  # Table 1 count (before scaling)
+    num_mentions: int  # Table 1 count (used for mention density)
+    domains: tuple[DomainSpec, ...] = (DomainSpec("main"),)
+    #: Seed offset so each corpus has its own type system unless shared.
+    type_seed: int = 0
+    #: Fraction of mentions wrapped inside a nested outer mention.
+    nested_fraction: float = 0.0
+    #: For ACE2005-style corpora: number of coarse types that the fine
+    #: types are grouped under (0 = flat type system).
+    coarse_types: int = 0
+
+    @property
+    def mention_density(self) -> float:
+        return self.num_mentions / self.num_sentences
+
+
+# The ACE2005 sub-domains.  ``shared_vocab_fraction`` encodes the paper's
+# observed domain distances: BN and CTS are both spoken news-like (close),
+# BC and UN are conversational broadcast vs. internet forum (far), NW and
+# WL are written news vs. weblog (intermediate).
+ACE_DOMAINS = (
+    DomainSpec("BC", shared_vocab_fraction=0.30),
+    DomainSpec("BN", shared_vocab_fraction=0.75),
+    DomainSpec("CTS", shared_vocab_fraction=0.75),
+    DomainSpec("NW", shared_vocab_fraction=0.50),
+    DomainSpec("UN", shared_vocab_fraction=0.20),
+    DomainSpec("WL", shared_vocab_fraction=0.45),
+)
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "NNE": DatasetSpec(
+        name="NNE",
+        genre="newswire",
+        num_types=114,
+        num_sentences=39932,
+        num_mentions=185925,
+        type_seed=11,
+    ),
+    "FG-NER": DatasetSpec(
+        name="FG-NER",
+        genre="newswire",
+        num_types=200,
+        num_sentences=3941,
+        num_mentions=7384,
+        type_seed=13,
+    ),
+    "GENIA": DatasetSpec(
+        name="GENIA",
+        genre="medical",
+        num_types=36,
+        num_sentences=18546,
+        num_mentions=76625,
+        type_seed=17,
+    ),
+    "ACE2005": DatasetSpec(
+        name="ACE2005",
+        genre="various",
+        num_types=54,
+        num_sentences=17399,
+        num_mentions=48397,
+        domains=ACE_DOMAINS,
+        type_seed=19,
+        nested_fraction=0.15,
+        coarse_types=7,
+    ),
+    "OntoNotes": DatasetSpec(
+        name="OntoNotes",
+        genre="various",
+        num_types=18,
+        num_sentences=42224,
+        num_mentions=104248,
+        type_seed=23,
+    ),
+    "BioNLP13CG": DatasetSpec(
+        name="BioNLP13CG",
+        genre="medical",
+        num_types=16,
+        num_sentences=5939,
+        num_mentions=21315,
+        type_seed=29,
+    ),
+}

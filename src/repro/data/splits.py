@@ -1,0 +1,102 @@
+"""Train/validation/test splits along the paper's three axes.
+
+* **Type splits** (§4.2.1): partition the type inventory into disjoint
+  train/val/test sets; a sentence goes to the split of its types, and its
+  annotations are restricted to that split's types so test types never
+  leak into training.
+* **Ratio splits** (§4.3.1): plain 8/1/1 sentence split within a domain.
+* **Holdout splits** (§4.4.1): 20 % validation / 80 % test of a target
+  corpus, used for cross-domain cross-type adaptation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.sentence import Dataset
+
+
+def split_by_types(dataset: Dataset, counts: tuple[int, int, int],
+                   seed: int = 0) -> tuple[Dataset, Dataset, Dataset]:
+    """Split into type-disjoint train/val/test datasets.
+
+    ``counts`` gives the number of entity types per split, e.g. the
+    paper's ``(52, 10, 15)`` for NNE.  Sentences are routed to the split
+    whose types they mention most; annotations of out-of-split types are
+    removed.  Sentences with no mentions are given to train.
+    """
+    types = dataset.types
+    total = sum(counts)
+    if total > len(types):
+        raise ValueError(
+            f"requested {total} types but dataset has only {len(types)}"
+        )
+    rng = np.random.default_rng(seed)
+    order = list(types)
+    rng.shuffle(order)
+    train_types = set(order[: counts[0]])
+    val_types = set(order[counts[0] : counts[0] + counts[1]])
+    test_types = set(order[counts[0] + counts[1] : total])
+
+    buckets: dict[str, list] = {"train": [], "val": [], "test": []}
+    groups = (("train", train_types), ("val", val_types), ("test", test_types))
+    for sent in dataset:
+        votes = {
+            name: sum(1 for s in sent.spans if s.label in tset)
+            for name, tset in groups
+        }
+        if not sent.spans or max(votes.values()) == 0:
+            buckets["train"].append(sent.restrict_labels(train_types))
+            continue
+        winner = max(votes, key=lambda k: votes[k])
+        allowed = dict(groups)[winner]
+        buckets[winner].append(sent.restrict_labels(allowed))
+    return (
+        Dataset(f"{dataset.name}[train]", buckets["train"], dataset.genre),
+        Dataset(f"{dataset.name}[val]", buckets["val"], dataset.genre),
+        Dataset(f"{dataset.name}[test]", buckets["test"], dataset.genre),
+    )
+
+
+def split_by_ratio(dataset: Dataset, ratios: tuple[float, float, float] = (0.8, 0.1, 0.1),
+                   seed: int = 0) -> tuple[Dataset, Dataset, Dataset]:
+    """Random sentence-level split with the given ratios."""
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(dataset))
+    n_train = int(round(len(dataset) * ratios[0]))
+    n_val = int(round(len(dataset) * ratios[1]))
+    parts = (
+        idx[:n_train],
+        idx[n_train : n_train + n_val],
+        idx[n_train + n_val :],
+    )
+    names = ("train", "val", "test")
+    return tuple(
+        Dataset(
+            f"{dataset.name}[{nm}]",
+            [dataset[int(i)] for i in part],
+            dataset.genre,
+        )
+        for nm, part in zip(names, parts)
+    )
+
+
+def holdout_split(dataset: Dataset, validation_fraction: float = 0.2,
+                  seed: int = 0) -> tuple[Dataset, Dataset]:
+    """Split a target corpus into (validation, test) per §4.4.1."""
+    if not 0 < validation_fraction < 1:
+        raise ValueError(
+            f"validation fraction must be in (0, 1), got {validation_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(dataset))
+    n_val = int(round(len(dataset) * validation_fraction))
+    val = Dataset(
+        f"{dataset.name}[val]", [dataset[int(i)] for i in idx[:n_val]], dataset.genre
+    )
+    test = Dataset(
+        f"{dataset.name}[test]", [dataset[int(i)] for i in idx[n_val:]], dataset.genre
+    )
+    return val, test

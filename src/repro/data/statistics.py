@@ -1,0 +1,103 @@
+"""Corpus statistics beyond the Table 1 headline counts.
+
+Used by analyses and by ``python -m repro stats``: sentence-length and
+mention-length distributions, per-type frequency (the Zipf profile that
+makes FG-NER hard), and mention-density summaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.sentence import Dataset
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Distributional summary of one dataset."""
+
+    name: str
+    sentences: int
+    mentions: int
+    types: int
+    sentence_length_mean: float
+    sentence_length_p95: float
+    mention_length_mean: float
+    mentions_per_sentence: float
+    #: Fraction of all mentions carried by the 20 % most frequent types.
+    head_type_mass: float
+    singleton_types: int  # types with exactly one mention
+
+    def render(self) -> str:
+        return "\n".join([
+            f"Corpus profile: {self.name}",
+            f"  sentences           {self.sentences}",
+            f"  mentions            {self.mentions}"
+            f"  ({self.mentions_per_sentence:.2f} / sentence)",
+            f"  types               {self.types}"
+            f"  ({self.singleton_types} singletons)",
+            f"  sentence length     mean {self.sentence_length_mean:.1f},"
+            f" p95 {self.sentence_length_p95:.0f}",
+            f"  mention length      mean {self.mention_length_mean:.2f} tokens",
+            f"  head-type mass      {100 * self.head_type_mass:.1f}% of mentions"
+            " in the top 20% of types",
+        ])
+
+
+def profile_corpus(dataset: Dataset) -> CorpusProfile:
+    """Compute a :class:`CorpusProfile` for any dataset."""
+    if len(dataset) == 0:
+        raise ValueError("cannot profile an empty dataset")
+    sent_lengths = np.array([len(s) for s in dataset], dtype=float)
+    mention_lengths: list[int] = []
+    counts: Counter = Counter()
+    for sentence in dataset:
+        for span in sentence.spans:
+            mention_lengths.append(span.end - span.start)
+            counts[span.label] += 1
+    mentions = int(sum(counts.values()))
+    types = len(counts)
+    if counts:
+        by_freq = sorted(counts.values(), reverse=True)
+        head = max(int(round(0.2 * types)), 1)
+        head_mass = sum(by_freq[:head]) / mentions
+        singleton = sum(1 for c in counts.values() if c == 1)
+        mention_mean = float(np.mean(mention_lengths))
+    else:
+        head_mass = 0.0
+        singleton = 0
+        mention_mean = 0.0
+    return CorpusProfile(
+        name=dataset.name,
+        sentences=len(dataset),
+        mentions=mentions,
+        types=types,
+        sentence_length_mean=float(sent_lengths.mean()),
+        sentence_length_p95=float(np.percentile(sent_lengths, 95)),
+        mention_length_mean=mention_mean,
+        mentions_per_sentence=mentions / len(dataset),
+        head_type_mass=float(head_mass),
+        singleton_types=singleton,
+    )
+
+
+def length_histogram(dataset: Dataset, bin_width: int = 5,
+                     max_width: int = 40) -> str:
+    """ASCII histogram of sentence lengths."""
+    if bin_width < 1:
+        raise ValueError(f"bin_width must be >= 1, got {bin_width}")
+    lengths = [len(s) for s in dataset]
+    if not lengths:
+        raise ValueError("cannot histogram an empty dataset")
+    top = max(lengths)
+    bins = Counter((l // bin_width) * bin_width for l in lengths)
+    peak = max(bins.values())
+    lines = [f"Sentence lengths ({dataset.name}):"]
+    for lo in range(0, top + 1, bin_width):
+        count = bins.get(lo, 0)
+        bar = "#" * int(round(max_width * count / peak)) if count else ""
+        lines.append(f"  {lo:>4}-{lo + bin_width - 1:<4} {count:>6} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,307 @@
+"""Synthetic NER corpus generator.
+
+The generator produces corpora whose *learnability structure* mirrors real
+NER data, which is what the paper's experiments exercise.  Two kinds of
+evidence are deliberately separated, because the few-shot experiments
+depend on them transferring differently:
+
+* **Generic entity-ness** (transfers across types and domains):
+  entity tokens are drawn from a *genre-level* character distribution
+  that differs from filler words (rare consonants, digits/dashes in the
+  medical genre, capitalisation in newswire), and mentions are frequently
+  preceded by a small set of genre-level *introducer* words.  A model
+  that learns these cues can detect mentions of entity types it has
+  never seen — the transfer that the paper's cross-type experiments
+  require.
+* **Type identity** (the few-shot problem): each type has a suffix
+  morphology, a small reusable head lexicon, and type-specific trigger
+  words.  Fresh surface forms are sampled at generation time, so most
+  entity tokens are out-of-training-vocabulary — which is why removing
+  the char-CNN collapses performance (Table 5 ablation).
+
+Domains mix a genre-shared filler pool with domain-unique words; the
+mixing fraction controls cross-domain distance (ACE2005's BN/CTS close,
+BC/UN far).  ACE-style corpora also have coarse->fine subtypes and nested
+mentions, exercising the innermost-only preprocessing of §4.3.1.
+
+Generation is fully deterministic given ``(spec, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.sentence import Dataset, Sentence, Span
+from repro.data.specs import DATASET_SPECS, DatasetSpec
+
+_VOWELS = "aeiou"
+#: Filler (non-entity) words are built from common consonants ...
+_FILLER_CONSONANTS = "bcdfglmnprst"
+#: ... while entity stems use a rarer consonant inventory, giving every
+#: genre a recognisable "looks like a name" character signature.
+_ENTITY_CONSONANTS = "kqvwxzjhg"
+
+#: Probability that a mention is preceded by a genre-level introducer
+#: word (the strongest *generic* detection cue).
+INTRODUCER_PROB = 0.55
+#: Probability that a mention is preceded by one of its type's trigger
+#: words (a *typing* cue available from context).
+TRIGGER_PROB = 0.35
+
+#: Function words shared by every domain of every genre.
+FUNCTION_WORDS = (
+    "the a an of in on at to for with and or but is was are were has had "
+    "be been this that these those it its their his her from by as not"
+).split()
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent string hash (``hash()`` is salted per run)."""
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def _word(rng: np.random.Generator, min_len: int = 3, max_len: int = 7,
+          consonants: str = _FILLER_CONSONANTS) -> str:
+    """A pronounceable lowercase nonsense word (CV syllables)."""
+    length = int(rng.integers(min_len, max_len + 1))
+    out = []
+    for i in range(length):
+        pool = consonants if i % 2 == 0 else _VOWELS
+        out.append(pool[int(rng.integers(len(pool)))])
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class GenreProfile:
+    """Genre-level regularities shared by every type of a corpus genre."""
+
+    #: Words that frequently precede a mention, whatever its type.
+    introducers: tuple[str, ...]
+    #: The genre's inventory of entity-word suffixes.  Types pick their
+    #: suffix *from this shared pool*, so an unseen type's surface shape
+    #: is still in-distribution for detection — like real names sharing
+    #: morphology — and only the suffix -> type binding is novel.
+    suffix_pool: tuple[str, ...]
+    capitalize: bool
+    digit_prob: float
+    dash_prob: float
+
+
+def _genre_profile(genre: str, seed: int, pool_size: int = 24) -> GenreProfile:
+    rng = np.random.default_rng((seed, _stable_hash("genre:" + genre)))
+    introducers = tuple(_word(rng, 4, 7) for _ in range(8))
+    suffixes = set()
+    while len(suffixes) < pool_size:
+        length = int(rng.integers(2, 4))
+        suffixes.add(
+            "".join(
+                (_ENTITY_CONSONANTS if i % 2 else _VOWELS)[int(rng.integers(5))]
+                for i in range(length)
+            )
+        )
+    suffix_pool = tuple(sorted(suffixes))
+    if genre == "medical":
+        return GenreProfile(introducers, suffix_pool, capitalize=False,
+                            digit_prob=0.5, dash_prob=0.35)
+    if genre == "newswire":
+        return GenreProfile(introducers, suffix_pool, capitalize=True,
+                            digit_prob=0.05, dash_prob=0.0)
+    return GenreProfile(introducers, suffix_pool,
+                        capitalize=bool(rng.random() < 0.6),
+                        digit_prob=0.2, dash_prob=0.1)
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """Morphology + lexical profile of one entity type."""
+
+    name: str
+    suffix: str
+    capitalize: bool
+    digit_prob: float
+    dash_prob: float
+    head_lexicon: tuple[str, ...]
+    triggers: tuple[str, ...]
+    max_span_len: int
+
+    def sample_surface(self, rng: np.random.Generator) -> list[str]:
+        """Sample a fresh (usually OOTV) surface form: 1..max_span_len tokens."""
+        n_tokens = 1 + int(rng.binomial(self.max_span_len - 1, 0.3))
+        tokens = []
+        for i in range(n_tokens):
+            if i == 0 and rng.random() < 0.5:
+                word = self.head_lexicon[int(rng.integers(len(self.head_lexicon)))]
+            else:
+                stem = _word(rng, 2, 5, consonants=_ENTITY_CONSONANTS)
+                word = stem + self.suffix
+                if rng.random() < self.digit_prob:
+                    word += str(int(rng.integers(10, 100)))
+                if rng.random() < self.dash_prob:
+                    word = word[: max(2, len(word) // 2)] + "-" + word[len(word) // 2 :]
+                if self.capitalize:
+                    word = word.capitalize()
+            tokens.append(word)
+        return tokens
+
+
+def _make_type(rng: np.random.Generator, name: str,
+               profile: GenreProfile) -> TypeSpec:
+    """Draw a type's morphology within its genre profile."""
+    suffix = profile.suffix_pool[int(rng.integers(len(profile.suffix_pool)))]
+    head_rng = np.random.default_rng(rng.integers(2**32))
+    head_lexicon = tuple(
+        (_word(head_rng, 2, 5, consonants=_ENTITY_CONSONANTS) + suffix).capitalize()
+        if profile.capitalize
+        else _word(head_rng, 2, 5, consonants=_ENTITY_CONSONANTS) + suffix
+        for _ in range(6)
+    )
+    triggers = tuple(_word(head_rng, 4, 8) for _ in range(3))
+    return TypeSpec(
+        name=name,
+        suffix=suffix,
+        capitalize=profile.capitalize,
+        digit_prob=profile.digit_prob,
+        dash_prob=profile.dash_prob,
+        head_lexicon=head_lexicon,
+        triggers=triggers,
+        max_span_len=3,
+    )
+
+
+def _type_names(spec: DatasetSpec, rng: np.random.Generator) -> list[str]:
+    """Human-ish type names; ACE-style corpora get COARSE:Fine names."""
+    if spec.coarse_types:
+        coarse = [f"C{c}" for c in range(spec.coarse_types)]
+        names = []
+        i = 0
+        while len(names) < spec.num_types:
+            names.append(f"{coarse[i % spec.coarse_types]}:Sub{i // spec.coarse_types}")
+            i += 1
+        return names
+    return [f"{spec.name}-T{i:03d}" for i in range(spec.num_types)]
+
+
+class SyntheticCorpusGenerator:
+    """Generates one corpus from a :class:`DatasetSpec`."""
+
+    def __init__(self, spec: DatasetSpec, scale: float = 0.05, seed: int = 0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.spec = spec
+        self.scale = scale
+        self.seed = seed
+        self._rng = np.random.default_rng((seed, spec.type_seed))
+        self.profile = _genre_profile(spec.genre, seed)
+        self.types = self._build_types()
+        self._shared_pool = self._build_vocab_pool(
+            np.random.default_rng((seed, _stable_hash(spec.genre))), 120
+        )
+        self._domain_vocab = {
+            d.name: self._mix_domain_vocab(d.name, d.shared_vocab_fraction)
+            for d in spec.domains
+        }
+
+    # ------------------------------------------------------------------
+    # Vocabulary construction
+    # ------------------------------------------------------------------
+    def _build_types(self) -> dict[str, TypeSpec]:
+        names = _type_names(self.spec, self._rng)
+        type_rng = np.random.default_rng((self.seed, self.spec.type_seed, 1))
+        return {n: _make_type(type_rng, n, self.profile) for n in names}
+
+    @staticmethod
+    def _build_vocab_pool(rng: np.random.Generator, size: int) -> list[str]:
+        return sorted({_word(rng, 3, 8) for _ in range(size * 2)})[:size]
+
+    def _mix_domain_vocab(self, domain: str, shared_fraction: float) -> list[str]:
+        rng = np.random.default_rng(
+            (self.seed, self.spec.type_seed, _stable_hash(domain))
+        )
+        unique = self._build_vocab_pool(rng, 120)
+        n_shared = int(round(len(unique) * shared_fraction))
+        picked_shared = list(
+            rng.choice(self._shared_pool, size=n_shared, replace=False)
+        )
+        picked_unique = unique[: len(unique) - n_shared]
+        return picked_shared + picked_unique
+
+    # ------------------------------------------------------------------
+    # Sentence generation
+    # ------------------------------------------------------------------
+    def _sample_sentence(self, rng: np.random.Generator, domain: str,
+                         forced_type: str | None = None) -> Sentence:
+        vocab = self._domain_vocab[domain]
+        density = self.spec.mention_density
+        n_entities = int(rng.poisson(max(density, 0.3)))
+        n_entities = int(np.clip(n_entities, 0 if forced_type is None else 1, 4))
+        type_names = list(self.types)
+        chosen: list[TypeSpec] = []
+        if forced_type is not None:
+            chosen.append(self.types[forced_type])
+        while len(chosen) < n_entities:
+            chosen.append(self.types[type_names[int(rng.integers(len(type_names)))]])
+
+        tokens: list[str] = []
+        spans: list[Span] = []
+
+        def emit_filler(k: int) -> None:
+            for _ in range(k):
+                if rng.random() < 0.35:
+                    tokens.append(FUNCTION_WORDS[int(rng.integers(len(FUNCTION_WORDS)))])
+                else:
+                    tokens.append(vocab[int(rng.integers(len(vocab)))])
+
+        emit_filler(int(rng.integers(1, 4)))
+        for tspec in chosen:
+            # Genre-level introducer (generic entity cue) and/or
+            # type-level trigger (typing cue from context).
+            if rng.random() < INTRODUCER_PROB:
+                intro = self.profile.introducers
+                tokens.append(intro[int(rng.integers(len(intro)))])
+            if rng.random() < TRIGGER_PROB:
+                tokens.append(tspec.triggers[int(rng.integers(len(tspec.triggers)))])
+            surface = tspec.sample_surface(rng)
+            start = len(tokens)
+            tokens.extend(surface)
+            spans.append(Span(start, len(tokens), tspec.name))
+            # Nested outer mention (ACE2005): wrap the inner span plus the
+            # following token under a different type.
+            if (
+                self.spec.nested_fraction
+                and rng.random() < self.spec.nested_fraction
+            ):
+                outer_type = type_names[int(rng.integers(len(type_names)))]
+                if outer_type != tspec.name:
+                    tokens.append(_word(rng))
+                    spans.append(Span(start, len(tokens), outer_type))
+            emit_filler(int(rng.integers(1, 4)))
+        emit_filler(int(rng.integers(0, 3)))
+        return Sentence(tuple(tokens), tuple(spans), domain=domain)
+
+    def generate(self) -> Dataset:
+        """Generate the full (scaled) corpus."""
+        n_sentences = max(int(round(self.spec.num_sentences * self.scale)), 50)
+        rng = np.random.default_rng((self.seed, self.spec.type_seed, 99))
+        domains = [d.name for d in self.spec.domains]
+        type_cycle = list(self.types)
+        rng.shuffle(type_cycle)
+        sentences = []
+        for i in range(n_sentences):
+            domain = domains[i % len(domains)]
+            # Round-robin a forced type through most sentences so every
+            # type has enough support even in small scaled corpora.
+            forced = type_cycle[i % len(type_cycle)] if rng.random() < 0.8 else None
+            sentences.append(self._sample_sentence(rng, domain, forced))
+        return Dataset(self.spec.name, sentences, genre=self.spec.genre)
+
+
+def generate_dataset(name: str, scale: float = 0.05, seed: int = 0) -> Dataset:
+    """Generate one of the six simulated corpora by Table 1 name."""
+    if name not in DATASET_SPECS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_SPECS)}"
+        )
+    return SyntheticCorpusGenerator(DATASET_SPECS[name], scale=scale, seed=seed).generate()

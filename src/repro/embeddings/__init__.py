@@ -1,0 +1,15 @@
+"""Embedding providers: static (GloVe surrogate) and simulated LMs."""
+
+from repro.embeddings.static import StaticEmbeddings
+from repro.embeddings.contextual import (
+    SimulatedContextualEmbedder,
+    PRETRAINED_LM_NAMES,
+    make_embedder,
+)
+
+__all__ = [
+    "StaticEmbeddings",
+    "SimulatedContextualEmbedder",
+    "PRETRAINED_LM_NAMES",
+    "make_embedder",
+]

@@ -1,0 +1,41 @@
+"""Evaluation: entity-level F1 and episode-level aggregation."""
+
+from repro.eval.metrics import PRF, span_prf, episode_f1
+from repro.eval.aggregate import (
+    ConfidenceInterval,
+    aggregate_f1,
+    format_mean_ci,
+    paired_bootstrap,
+    relative_improvement,
+)
+from repro.eval.qualitative import render_prediction, qualitative_row
+from repro.eval.report import (
+    classification_report,
+    summarize_report,
+    error_breakdown,
+    render_report,
+    ErrorBreakdown,
+)
+from repro.eval.analysis import OOTVReport, ootv_report, adaptation_curve, context_norms
+
+__all__ = [
+    "PRF",
+    "span_prf",
+    "episode_f1",
+    "ConfidenceInterval",
+    "aggregate_f1",
+    "format_mean_ci",
+    "paired_bootstrap",
+    "relative_improvement",
+    "render_prediction",
+    "qualitative_row",
+    "classification_report",
+    "summarize_report",
+    "error_breakdown",
+    "render_report",
+    "ErrorBreakdown",
+    "OOTVReport",
+    "ootv_report",
+    "adaptation_curve",
+    "context_norms",
+]

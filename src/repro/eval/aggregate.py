@@ -1,0 +1,84 @@
+"""Aggregation of per-episode F1 scores (paper §4.1.1).
+
+The paper reports the mean F1 over 1000 test episodes with a 95 %
+confidence interval: ``mean ± 1.96 * std / sqrt(n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Mean with a symmetric half-width at 95 % confidence."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{100 * self.mean:.2f} ± {100 * self.half_width:.2f}%"
+
+
+def aggregate_f1(scores: Sequence[float], z: float = 1.96) -> ConfidenceInterval:
+    """Mean ± z * sem over episode F1 scores."""
+    arr = np.asarray(list(scores), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no episode scores to aggregate")
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=0) / np.sqrt(arr.size)) if arr.size > 1 else 0.0
+    return ConfidenceInterval(mean=mean, half_width=z * sem, n=arr.size)
+
+
+def format_mean_ci(ci: ConfidenceInterval) -> str:
+    """Render like the paper's tables, e.g. ``23.74 ± 0.65%``."""
+    return str(ci)
+
+
+def relative_improvement(ours: float, baseline: float) -> float:
+    """Relative F1 improvement in percent, as quoted in §4.2.2."""
+    if baseline <= 0:
+        raise ValueError("baseline F1 must be positive")
+    return 100.0 * (ours - baseline) / baseline
+
+
+def paired_bootstrap(scores_a: Sequence[float], scores_b: Sequence[float],
+                     n_resamples: int = 2000, seed: int = 0) -> float:
+    """Paired bootstrap test over per-episode scores.
+
+    Both methods must have been evaluated on the *same* episodes (the
+    fixed-seed protocol of §4.2.1 guarantees this).  Returns the
+    probability that method A is **not** better than method B under
+    resampling — a one-sided p-value-style quantity; small values mean
+    A's advantage is consistent across episodes.
+    """
+    a = np.asarray(list(scores_a), dtype=float)
+    b = np.asarray(list(scores_b), dtype=float)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("score lists must be equal-length and non-empty")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    rng = np.random.default_rng(seed)
+    diffs = a - b
+    n = diffs.size
+    wins = 0
+    for _ in range(n_resamples):
+        sample = diffs[rng.integers(0, n, size=n)]
+        if sample.mean() > 0:
+            wins += 1
+    return 1.0 - wins / n_resamples

@@ -1,0 +1,95 @@
+"""Analysis utilities: OOTV rates, adaptation curves, context diagnostics.
+
+These support the qualitative claims of the paper — e.g. that entity
+words are prone to out-of-training-vocabulary tokens (the char-CNN
+ablation discussion) and that adaptation improves with inner steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.sentence import Dataset
+from repro.data.vocab import Vocabulary
+from repro.eval.metrics import episode_f1
+
+
+@dataclass(frozen=True)
+class OOTVReport:
+    """Out-of-training-vocabulary rates, split by token role."""
+
+    entity_tokens: int
+    entity_oov: int
+    context_tokens: int
+    context_oov: int
+
+    @property
+    def entity_oov_rate(self) -> float:
+        return self.entity_oov / self.entity_tokens if self.entity_tokens else 0.0
+
+    @property
+    def context_oov_rate(self) -> float:
+        return self.context_oov / self.context_tokens if self.context_tokens else 0.0
+
+
+def ootv_report(dataset: Dataset, vocabulary: Vocabulary) -> OOTVReport:
+    """Measure OOV rates separately for entity and context tokens.
+
+    The paper attributes the char-CNN's importance to entity tokens
+    being disproportionately out-of-vocabulary; this quantifies that on
+    any dataset/vocabulary pair.
+    """
+    entity_tokens = entity_oov = 0
+    context_tokens = context_oov = 0
+    for sentence in dataset:
+        inside = set()
+        for span in sentence.spans:
+            inside.update(range(span.start, span.end))
+        for i, token in enumerate(sentence.tokens):
+            oov = token not in vocabulary
+            if i in inside:
+                entity_tokens += 1
+                entity_oov += int(oov)
+            else:
+                context_tokens += 1
+                context_oov += int(oov)
+    return OOTVReport(entity_tokens, entity_oov, context_tokens, context_oov)
+
+
+def adaptation_curve(adapter, episode, step_counts=(0, 1, 2, 4, 8)) -> list[tuple[int, float]]:
+    """Episode F1 as a function of test-time inner steps (FEWNER only).
+
+    Realises the quantitative content of the paper's Figure 1: more
+    adaptation steps on φ refine the task fit while θ stays fixed.
+    """
+    from repro.autodiff import no_grad
+
+    gold = [[s.as_tuple() for s in q.spans] for q in episode.query]
+    curve = []
+    adapter.model.eval()
+    for steps in step_counts:
+        if steps == 0:
+            phi = None
+        else:
+            phi = adapter._inner_adapt(episode, steps, create_graph=False).detach()
+        with no_grad():
+            predictions = adapter.model.predict_spans(
+                list(episode.query), episode.scheme, phi=phi
+            )
+        curve.append((steps, episode_f1(gold, predictions)))
+    return curve
+
+
+def context_norms(adapter, episodes) -> np.ndarray:
+    """L2 norms of adapted φ across episodes — a dispersion diagnostic.
+
+    Near-zero norms mean adaptation is inert; exploding norms mean the
+    inner LR is destabilising (both failure modes observed during the
+    calibration study, DESIGN.md §5)."""
+    norms = []
+    for episode in episodes:
+        phi = adapter.adapt_context(episode)
+        norms.append(float(np.sqrt((phi.data**2).sum())))
+    return np.asarray(norms)

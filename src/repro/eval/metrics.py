@@ -1,0 +1,75 @@
+"""Entity-level precision/recall/F1 (paper §4.1.1).
+
+A detected entity counts as correct only when both its boundaries and its
+type match the ground truth exactly.  For an episode with g gold
+entities, r predicted entities and c correct ones:
+``F1 = 2c / (g + r)`` (the harmonic mean of c/r and c/g).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+SpanTuple = tuple[int, int, str]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 with the underlying counts."""
+
+    gold: int
+    predicted: int
+    correct: int
+
+    @property
+    def precision(self) -> float:
+        return self.correct / self.predicted if self.predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.correct / self.gold if self.gold else 0.0
+
+    @property
+    def f1(self) -> float:
+        denom = self.gold + self.predicted
+        return 2.0 * self.correct / denom if denom else 0.0
+
+    def __add__(self, other: "PRF") -> "PRF":
+        return PRF(
+            self.gold + other.gold,
+            self.predicted + other.predicted,
+            self.correct + other.correct,
+        )
+
+
+def span_prf(gold: Sequence[SpanTuple], predicted: Sequence[SpanTuple]) -> PRF:
+    """Score one sentence's predictions against gold spans.
+
+    Duplicate spans (which a model cannot legitimately emit under BIO,
+    but malformed input might contain) are matched with multiplicity.
+    """
+    gold_counts = Counter(gold)
+    correct = 0
+    for span in predicted:
+        if gold_counts[span] > 0:
+            gold_counts[span] -= 1
+            correct += 1
+    return PRF(gold=len(gold), predicted=len(predicted), correct=correct)
+
+
+def episode_f1(
+    gold_per_sentence: Sequence[Sequence[SpanTuple]],
+    pred_per_sentence: Sequence[Sequence[SpanTuple]],
+) -> float:
+    """Micro-averaged F1 over all sentences of one testing episode."""
+    if len(gold_per_sentence) != len(pred_per_sentence):
+        raise ValueError(
+            f"{len(gold_per_sentence)} gold vs {len(pred_per_sentence)} "
+            "predicted sentence lists"
+        )
+    total = PRF(0, 0, 0)
+    for gold, pred in zip(gold_per_sentence, pred_per_sentence):
+        total = total + span_prf(list(gold), list(pred))
+    return total.f1

@@ -1,0 +1,40 @@
+"""Qualitative rendering of predictions (Table 6 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.sentence import Sentence, Span
+from repro.eval.metrics import SpanTuple, span_prf
+
+
+def render_prediction(sentence: Sentence, predicted: list[SpanTuple]) -> str:
+    """Render a sentence with predicted mentions bracketed."""
+    spans = tuple(Span(s, e, lab) for s, e, lab in predicted)
+    return Sentence(sentence.tokens, spans, sentence.domain).pretty()
+
+
+@dataclass(frozen=True)
+class QualitativeExample:
+    """One row of a Table 6-style qualitative analysis."""
+
+    adaptation: str
+    rendered: str
+    gold: tuple[SpanTuple, ...]
+    predicted: tuple[SpanTuple, ...]
+    correct: bool
+
+
+def qualitative_row(adaptation: str, sentence: Sentence,
+                    predicted: list[SpanTuple]) -> QualitativeExample:
+    """Build a qualitative example, marking it correct iff P = R = 1."""
+    gold = tuple(s.as_tuple() for s in sentence.spans)
+    prf = span_prf(list(gold), predicted)
+    correct = prf.correct == prf.gold == prf.predicted
+    return QualitativeExample(
+        adaptation=adaptation,
+        rendered=render_prediction(sentence, predicted),
+        gold=gold,
+        predicted=tuple(predicted),
+        correct=correct,
+    )

@@ -1,0 +1,144 @@
+"""Per-type evaluation reports and error analysis.
+
+Beyond the single micro-F1 the paper reports per episode, a practical
+NER toolkit needs per-type precision/recall breakdowns and a boundary /
+type error decomposition — this module provides both.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.eval.metrics import PRF, SpanTuple, span_prf
+
+
+@dataclass(frozen=True)
+class ErrorBreakdown:
+    """Decomposition of prediction errors over a set of sentences.
+
+    * ``correct`` — exact boundary and type match;
+    * ``type_error`` — boundaries right, type wrong (the paper's
+      FG-NER -> FG-NER negative example);
+    * ``boundary_error`` — overlaps a gold mention but boundaries wrong
+      (the BN -> CTS negative example);
+    * ``spurious`` — no overlap with any gold mention;
+    * ``missed`` — gold mentions with no overlapping prediction.
+    """
+
+    correct: int
+    type_error: int
+    boundary_error: int
+    spurious: int
+    missed: int
+
+
+def classification_report(
+    gold_per_sentence: Sequence[Sequence[SpanTuple]],
+    pred_per_sentence: Sequence[Sequence[SpanTuple]],
+) -> dict[str, PRF]:
+    """Per-type PRF plus micro/macro aggregates.
+
+    Returns a mapping from type name to its :class:`PRF`; the special
+    keys ``"micro"`` and ``"macro"`` hold the aggregates (macro is the
+    unweighted mean expressed through summed per-type PRFs; its F1 is
+    reported as the mean of per-type F1s via the ``macro_f1`` entry of
+    :func:`summarize_report`).
+    """
+    if len(gold_per_sentence) != len(pred_per_sentence):
+        raise ValueError("gold/pred sentence counts differ")
+    per_type: dict[str, PRF] = defaultdict(lambda: PRF(0, 0, 0))
+    micro = PRF(0, 0, 0)
+    for gold, pred in zip(gold_per_sentence, pred_per_sentence):
+        micro = micro + span_prf(list(gold), list(pred))
+        types = {t for _s, _e, t in list(gold) + list(pred)}
+        for t in types:
+            g = [s for s in gold if s[2] == t]
+            p = [s for s in pred if s[2] == t]
+            per_type[t] = per_type[t] + span_prf(g, p)
+    out = dict(per_type)
+    out["micro"] = micro
+    return out
+
+
+def summarize_report(report: dict[str, PRF]) -> dict[str, float]:
+    """Scalar summary: micro P/R/F1 and macro-F1 over types."""
+    types = [k for k in report if k != "micro"]
+    macro_f1 = (
+        sum(report[t].f1 for t in types) / len(types) if types else 0.0
+    )
+    micro = report["micro"]
+    return {
+        "micro_precision": micro.precision,
+        "micro_recall": micro.recall,
+        "micro_f1": micro.f1,
+        "macro_f1": macro_f1,
+        "num_types": len(types),
+    }
+
+
+def error_breakdown(
+    gold_per_sentence: Sequence[Sequence[SpanTuple]],
+    pred_per_sentence: Sequence[Sequence[SpanTuple]],
+) -> ErrorBreakdown:
+    """Classify every prediction and gold mention (see class docstring)."""
+    correct = type_error = boundary_error = spurious = 0
+    missed = 0
+    for gold, pred in zip(gold_per_sentence, pred_per_sentence):
+        gold = list(gold)
+        matched_gold: set[int] = set()
+        for p_start, p_end, p_type in pred:
+            exact = None
+            overlap = None
+            for i, (g_start, g_end, g_type) in enumerate(gold):
+                if (p_start, p_end) == (g_start, g_end):
+                    exact = (i, g_type)
+                    break
+                if p_start < g_end and g_start < p_end and overlap is None:
+                    overlap = i
+            if exact is not None:
+                i, g_type = exact
+                matched_gold.add(i)
+                if g_type == p_type:
+                    correct += 1
+                else:
+                    type_error += 1
+            elif overlap is not None:
+                matched_gold.add(overlap)
+                boundary_error += 1
+            else:
+                spurious += 1
+        for i, (g_start, g_end, _g_type) in enumerate(gold):
+            if i in matched_gold:
+                continue
+            touched = any(
+                p_start < g_end and g_start < p_end
+                for p_start, p_end, _t in pred
+            )
+            if not touched:
+                missed += 1
+    return ErrorBreakdown(
+        correct=correct,
+        type_error=type_error,
+        boundary_error=boundary_error,
+        spurious=spurious,
+        missed=missed,
+    )
+
+
+def render_report(report: dict[str, PRF]) -> str:
+    """Format a per-type report as an aligned text table."""
+    lines = [f"{'type':<24}{'P':>8}{'R':>8}{'F1':>8}{'gold':>7}{'pred':>7}"]
+    for name in sorted(k for k in report if k != "micro"):
+        prf = report[name]
+        lines.append(
+            f"{name:<24}{prf.precision:>8.3f}{prf.recall:>8.3f}"
+            f"{prf.f1:>8.3f}{prf.gold:>7}{prf.predicted:>7}"
+        )
+    micro = report["micro"]
+    lines.append(
+        f"{'micro':<24}{micro.precision:>8.3f}{micro.recall:>8.3f}"
+        f"{micro.f1:>8.3f}{micro.gold:>7}{micro.predicted:>7}"
+    )
+    return "\n".join(lines)

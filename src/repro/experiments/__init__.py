@@ -1,0 +1,36 @@
+"""Experiment harnesses regenerating every table of the paper.
+
+Each ``tableN`` module exposes a ``run(scale)`` function that returns a
+structured result and can render the same rows the paper reports.  The
+:mod:`~repro.experiments.registry` maps experiment ids (``table1`` ..
+``table6``, ``timing``) to those callables; ``benchmarks/`` calls them.
+"""
+
+from repro.experiments.configs import ExperimentScale, SCALES, get_scale
+from repro.experiments.harness import (
+    AdaptationSetting,
+    MethodResult,
+    TableResult,
+    run_adaptation,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.paper_reference import (
+    PAPER_RESULTS,
+    compare_with_paper,
+    render_comparison,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "AdaptationSetting",
+    "MethodResult",
+    "TableResult",
+    "run_adaptation",
+    "EXPERIMENTS",
+    "run_experiment",
+    "PAPER_RESULTS",
+    "compare_with_paper",
+    "render_comparison",
+]

@@ -1,0 +1,76 @@
+"""Figure-1-style extension experiment: adaptation behaviour of FEWNER.
+
+The paper's Figure 1 is an illustration, but its quantitative content is
+measurable: (a) F1 as a function of test-time inner steps — fast context
+adaptation should improve over the unadapted model within a handful of
+steps; (b) the number of parameters each method updates at test time —
+FEWNER touches only φ while MAML/FineTune move the whole network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.splits import split_by_types
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.eval.analysis import adaptation_curve
+from repro.experiments.table2 import TYPE_SPLITS, _fit_counts
+from repro.meta.evaluate import fixed_episodes
+from repro.meta.fewner import FewNER
+
+
+@dataclass(frozen=True)
+class AdaptationCurveResult:
+    """Mean F1 per inner-step count, plus parameter-count comparison."""
+
+    step_counts: tuple[int, ...]
+    mean_f1: tuple[float, ...]
+    adapted_parameters: int  # |φ|
+    total_parameters: int  # |θ| + |φ|
+
+    def render(self) -> str:
+        lines = [
+            "Adaptation curve (FEWNER, NNE unseen types, 5-way 1-shot):",
+            f"{'inner steps':>12}{'mean F1':>10}",
+        ]
+        for steps, f1 in zip(self.step_counts, self.mean_f1):
+            bar = "#" * int(round(40 * f1))
+            lines.append(f"{steps:>12}{100 * f1:>9.2f}% {bar}")
+        fraction = self.adapted_parameters / self.total_parameters
+        lines.append(
+            f"parameters adapted at test time: {self.adapted_parameters} "
+            f"of {self.total_parameters} ({100 * fraction:.1f}% — θ stays fixed)"
+        )
+        return "\n".join(lines)
+
+
+def run(scale, seed: int = 0,
+        step_counts: tuple[int, ...] = (0, 1, 2, 4, 8)) -> AdaptationCurveResult:
+    ds = generate_dataset("NNE", scale=scale.corpus_scale, seed=seed)
+    counts = _fit_counts(TYPE_SPLITS["NNE"], len(ds.types))
+    train, _val, test = split_by_types(ds, counts, seed=seed + 1)
+    word_vocab = Vocabulary.from_datasets([train], min_count=2)
+    char_vocab = CharVocabulary.from_datasets([train])
+    adapter = FewNER(word_vocab, char_vocab, scale.n_way, scale.method_config)
+    sampler = EpisodeSampler(train, scale.n_way, 1,
+                             query_size=scale.query_size, seed=seed + 7)
+    adapter.fit(sampler, scale.iterations_for("FewNER"))
+    episodes = fixed_episodes(
+        test, scale.n_way, 1, max(scale.eval_episodes // 2, 2),
+        seed=7000 + seed, query_size=scale.query_size,
+    )
+    curves = np.array([
+        [f1 for _steps, f1 in adaptation_curve(adapter, ep, step_counts)]
+        for ep in episodes
+    ])
+    return AdaptationCurveResult(
+        step_counts=tuple(step_counts),
+        mean_f1=tuple(float(x) for x in curves.mean(axis=0)),
+        adapted_parameters=adapter.model.context_size,
+        total_parameters=adapter.model.num_parameters()
+        + adapter.model.context_size,
+    )

@@ -1,0 +1,176 @@
+"""Generic adaptation-experiment harness.
+
+An :class:`AdaptationSetting` names a source (training) dataset and a
+target (testing) dataset — the three experiment families of the paper
+differ only in how those are derived (type splits, domain splits, or
+different corpora).  :func:`run_adaptation` trains every requested method
+on source episodes and evaluates all methods on the *same* fixed-seed
+test episodes, exactly as §4.2.1 prescribes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.sentence import Dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.eval.aggregate import ConfidenceInterval
+from repro.meta.evaluate import build_method, evaluate_method, fixed_episodes
+
+#: Row order of the paper's tables.
+TABLE_METHODS = (
+    "GPT2", "Flair", "ELMo", "BERT", "XLNet",
+    "FineTune", "ProtoNet", "MAML", "SNAIL", "FewNER",
+)
+
+#: Rows shown under "Dynamic Token Representation" in the tables.
+DYNAMIC_METHODS = frozenset({"GPT2", "Flair", "ELMo", "BERT", "XLNet"})
+
+
+@dataclass(frozen=True)
+class AdaptationSetting:
+    """One column group of a results table (e.g. ``NNE: 5-way``)."""
+
+    name: str
+    train: Dataset
+    test: Dataset
+    #: Episode seed offsets so each setting gets distinct fixed episodes.
+    eval_seed: int = 1234
+    train_seed: int = 7
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One table cell: a method's score on one setting at one shot count."""
+
+    method: str
+    setting: str
+    k_shot: int
+    ci: ConfidenceInterval
+    train_seconds: float
+    eval_seconds: float
+
+    @property
+    def f1(self) -> float:
+        return self.ci.mean
+
+
+@dataclass
+class TableResult:
+    """All cells of one table."""
+
+    title: str
+    settings: list[str]
+    shots: tuple[int, ...]
+    cells: list[MethodResult] = field(default_factory=list)
+
+    def cell(self, method: str, setting: str, k_shot: int) -> MethodResult:
+        for c in self.cells:
+            if (c.method, c.setting, c.k_shot) == (method, setting, k_shot):
+                return c
+        raise KeyError(f"no cell for {method}/{setting}/{k_shot}-shot")
+
+    def best_static_baseline(self, setting: str, k_shot: int) -> MethodResult:
+        candidates = [
+            c for c in self.cells
+            if c.setting == setting and c.k_shot == k_shot
+            and c.method not in DYNAMIC_METHODS and c.method != "FewNER"
+        ]
+        return max(candidates, key=lambda c: c.f1)
+
+    def to_csv(self) -> str:
+        """Machine-readable export: one row per cell."""
+        lines = ["method,setting,k_shot,f1,ci_half_width,episodes,"
+                 "train_seconds,eval_seconds"]
+        for c in self.cells:
+            lines.append(
+                f"{c.method},{c.setting},{c.k_shot},{c.ci.mean:.6f},"
+                f"{c.ci.half_width:.6f},{c.ci.n},"
+                f"{c.train_seconds:.3f},{c.eval_seconds:.3f}"
+            )
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Format like the paper's tables (methods x settings/shots)."""
+        methods = [m for m in TABLE_METHODS
+                   if any(c.method == m for c in self.cells)]
+        extra = sorted({c.method for c in self.cells} - set(methods))
+        header = ["Method"] + [
+            f"{s}:{k}-shot" for s in self.settings for k in self.shots
+        ]
+        lines = [self.title, "  ".join(f"{h:>22s}" for h in header)]
+        for m in methods + extra:
+            row = [f"{m:>22s}"]
+            for s in self.settings:
+                for k in self.shots:
+                    try:
+                        row.append(f"{str(self.cell(m, s, k).ci):>22s}")
+                    except KeyError:
+                        row.append(f"{'-':>22s}")
+            lines.append("  ".join(row))
+        return "\n".join(lines)
+
+
+def run_adaptation(
+    title: str,
+    settings: list[AdaptationSetting],
+    methods: tuple[str, ...],
+    scale,
+) -> TableResult:
+    """Train and evaluate ``methods`` on every setting; fill a table.
+
+    With ``scale.share_training_across_shots`` (the default presets), each
+    method is trained once per setting on ``min(shots)``-shot episodes and
+    evaluated at every shot count; the ``paper`` preset trains one model
+    per (setting, shot) as the authors did.
+    """
+    result = TableResult(
+        title=title, settings=[s.name for s in settings], shots=scale.shots
+    )
+    for setting in settings:
+        word_vocab = Vocabulary.from_datasets([setting.train])
+        char_vocab = CharVocabulary.from_datasets([setting.train])
+        episodes_by_shot = {
+            k: fixed_episodes(
+                setting.test, scale.n_way, k, scale.eval_episodes,
+                seed=setting.eval_seed + k, query_size=scale.query_size,
+            )
+            for k in scale.shots
+        }
+        train_shots = (
+            (min(scale.shots),) if scale.share_training_across_shots
+            else scale.shots
+        )
+        for method_name in methods:
+            trained = {}
+            for k_train in train_shots:
+                adapter = build_method(
+                    method_name, word_vocab, char_vocab, scale.n_way,
+                    scale.method_config,
+                )
+                sampler = EpisodeSampler(
+                    setting.train, scale.n_way, k_train,
+                    query_size=scale.query_size, seed=setting.train_seed,
+                )
+                t0 = time.perf_counter()
+                adapter.fit(sampler, scale.iterations_for(method_name))
+                trained[k_train] = (adapter, time.perf_counter() - t0)
+            for k_eval in scale.shots:
+                adapter, train_s = trained.get(
+                    k_eval, trained[min(train_shots)]
+                )
+                t0 = time.perf_counter()
+                eval_result = evaluate_method(adapter, episodes_by_shot[k_eval])
+                result.cells.append(
+                    MethodResult(
+                        method=method_name,
+                        setting=setting.name,
+                        k_shot=k_eval,
+                        ci=eval_result.ci,
+                        train_seconds=train_s,
+                        eval_seconds=time.perf_counter() - t0,
+                    )
+                )
+    return result

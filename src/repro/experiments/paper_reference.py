@@ -1,0 +1,244 @@
+"""The paper's reported numbers, as structured data.
+
+Tables 2-4 of the paper, transcribed so harness results can be compared
+against them programmatically: :func:`compare_with_paper` lines up each
+measured cell with the published one and checks the *shape* relations
+(who wins, 1-shot vs 5-shot) rather than absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: (mean, half_width) in percent, keyed [table][setting][method][k_shot].
+PAPER_RESULTS: dict[str, dict[str, dict[str, dict[int, tuple[float, float]]]]] = {
+    "table2": {
+        "NNE": {
+            "GPT2": {1: (14.36, 0.59), 5: (15.51, 0.60)},
+            "Flair": {1: (15.26, 0.48), 5: (16.32, 0.46)},
+            "ELMo": {1: (15.85, 0.54), 5: (16.33, 0.58)},
+            "BERT": {1: (16.61, 0.56), 5: (17.16, 0.59)},
+            "XLNet": {1: (16.34, 0.61), 5: (17.23, 0.58)},
+            "FineTune": {1: (18.24, 0.50), 5: (18.34, 0.52)},
+            "ProtoNet": {1: (19.45, 0.75), 5: (21.44, 0.65)},
+            "MAML": {1: (19.98, 0.83), 5: (22.56, 0.73)},
+            "SNAIL": {1: (20.17, 0.78), 5: (24.48, 0.82)},
+            "FewNER": {1: (23.74, 0.65), 5: (29.50, 0.68)},
+        },
+        "FG-NER": {
+            "GPT2": {1: (13.96, 0.65), 5: (14.21, 0.85)},
+            "Flair": {1: (15.85, 0.63), 5: (16.87, 0.81)},
+            "ELMo": {1: (18.74, 0.73), 5: (18.90, 0.91)},
+            "BERT": {1: (16.56, 0.64), 5: (19.67, 0.83)},
+            "XLNet": {1: (16.83, 0.67), 5: (19.01, 0.85)},
+            "FineTune": {1: (17.85, 0.69), 5: (20.69, 0.87)},
+            "ProtoNet": {1: (22.78, 0.85), 5: (25.67, 0.81)},
+            "MAML": {1: (24.09, 0.79), 5: (26.82, 0.74)},
+            "SNAIL": {1: (25.68, 0.76), 5: (29.89, 0.94)},
+            "FewNER": {1: (30.54, 0.85), 5: (40.16, 1.24)},
+        },
+        "GENIA": {
+            "GPT2": {1: (13.75, 0.78), 5: (14.45, 0.79)},
+            "Flair": {1: (9.77, 0.43), 5: (11.44, 0.46)},
+            "ELMo": {1: (15.21, 0.44), 5: (19.18, 0.64)},
+            "BERT": {1: (12.02, 0.55), 5: (14.93, 0.53)},
+            "XLNet": {1: (11.98, 0.44), 5: (12.03, 0.52)},
+            "FineTune": {1: (6.67, 0.32), 5: (7.21, 0.34)},
+            "ProtoNet": {1: (12.34, 0.47), 5: (15.03, 0.50)},
+            "MAML": {1: (13.73, 0.59), 5: (16.46, 0.49)},
+            "SNAIL": {1: (15.66, 0.52), 5: (20.74, 0.68)},
+            "FewNER": {1: (23.24, 0.73), 5: (29.19, 0.64)},
+        },
+    },
+    "table3": {
+        "BC->UN": {
+            "GPT2": {1: (16.53, 0.73), 5: (17.08, 0.71)},
+            "Flair": {1: (14.12, 0.50), 5: (14.96, 0.56)},
+            "ELMo": {1: (17.05, 0.61), 5: (17.61, 0.66)},
+            "BERT": {1: (17.57, 0.62), 5: (18.20, 0.68)},
+            "XLNet": {1: (16.12, 0.69), 5: (17.94, 0.72)},
+            "FineTune": {1: (16.60, 0.83), 5: (17.49, 0.84)},
+            "ProtoNet": {1: (17.46, 0.71), 5: (17.98, 0.67)},
+            "MAML": {1: (17.93, 0.68), 5: (18.68, 0.59)},
+            "SNAIL": {1: (18.45, 0.83), 5: (20.43, 0.74)},
+            "FewNER": {1: (21.65, 0.61), 5: (25.87, 0.57)},
+        },
+        "BN->CTS": {
+            "GPT2": {1: (31.12, 0.77), 5: (32.69, 0.79)},
+            "Flair": {1: (34.79, 0.81), 5: (37.03, 0.87)},
+            "ELMo": {1: (37.10, 0.91), 5: (38.52, 0.95)},
+            "BERT": {1: (34.37, 0.85), 5: (36.28, 0.90)},
+            "XLNet": {1: (29.32, 0.73), 5: (34.31, 0.86)},
+            "FineTune": {1: (24.19, 0.52), 5: (24.37, 0.54)},
+            "ProtoNet": {1: (28.38, 0.75), 5: (30.55, 0.71)},
+            "MAML": {1: (30.57, 0.68), 5: (31.78, 0.83)},
+            "SNAIL": {1: (36.19, 0.81), 5: (37.61, 0.68)},
+            "FewNER": {1: (39.66, 0.75), 5: (45.65, 0.66)},
+        },
+        "NW->WL": {
+            "GPT2": {1: (14.96, 0.52), 5: (15.51, 0.58)},
+            "Flair": {1: (15.10, 0.61), 5: (15.74, 0.63)},
+            "ELMo": {1: (16.88, 0.54), 5: (17.77, 0.59)},
+            "BERT": {1: (15.28, 0.58), 5: (16.29, 0.57)},
+            "XLNet": {1: (16.81, 0.44), 5: (17.56, 0.51)},
+            "FineTune": {1: (17.28, 0.75), 5: (17.48, 0.75)},
+            "ProtoNet": {1: (19.39, 0.59), 5: (20.46, 0.64)},
+            "MAML": {1: (22.87, 0.68), 5: (27.83, 0.59)},
+            "SNAIL": {1: (25.38, 0.63), 5: (29.92, 0.75)},
+            "FewNER": {1: (31.93, 0.77), 5: (38.66, 0.73)},
+        },
+    },
+    "table4": {
+        "GENIA->BioNLP13CG": {
+            "GPT2": {1: (10.31, 0.41), 5: (12.17, 0.49)},
+            "Flair": {1: (10.53, 0.33), 5: (12.49, 0.45)},
+            "ELMo": {1: (10.39, 0.41), 5: (11.45, 0.42)},
+            "BERT": {1: (13.36, 0.53), 5: (15.15, 0.61)},
+            "XLNet": {1: (9.15, 0.32), 5: (10.59, 0.37)},
+            "FineTune": {1: (13.86, 0.64), 5: (13.96, 0.65)},
+            "ProtoNet": {1: (14.05, 0.57), 5: (15.38, 0.49)},
+            "MAML": {1: (14.98, 0.63), 5: (17.34, 0.53)},
+            "SNAIL": {1: (16.63, 0.59), 5: (19.41, 0.63)},
+            "FewNER": {1: (22.46, 0.61), 5: (27.94, 0.52)},
+        },
+        "OntoNotes->BioNLP13CG": {
+            "GPT2": {1: (9.68, 0.41), 5: (10.23, 0.42)},
+            "Flair": {1: (8.37, 0.31), 5: (9.15, 0.33)},
+            "ELMo": {1: (10.76, 0.55), 5: (11.85, 0.59)},
+            "BERT": {1: (9.15, 0.29), 5: (9.98, 0.31)},
+            "XLNet": {1: (7.30, 0.34), 5: (7.72, 0.34)},
+            "FineTune": {1: (6.16, 0.35), 5: (6.53, 0.38)},
+            "ProtoNet": {1: (8.34, 0.47), 5: (8.93, 0.43)},
+            "MAML": {1: (9.22, 0.38), 5: (10.57, 0.34)},
+            "SNAIL": {1: (9.89, 0.33), 5: (11.38, 0.56)},
+            "FewNER": {1: (13.09, 0.63), 5: (15.46, 0.62)},
+        },
+        "OntoNotes->FG-NER": {
+            "GPT2": {1: (14.67, 0.73), 5: (14.51, 0.94)},
+            "Flair": {1: (13.44, 0.76), 5: (15.18, 0.87)},
+            "ELMo": {1: (15.15, 0.77), 5: (16.08, 0.97)},
+            "BERT": {1: (14.14, 0.71), 5: (15.86, 0.89)},
+            "XLNet": {1: (14.13, 0.72), 5: (15.97, 0.88)},
+            "FineTune": {1: (13.70, 0.85), 5: (14.81, 0.93)},
+            "ProtoNet": {1: (15.45, 0.74), 5: (16.78, 0.83)},
+            "MAML": {1: (16.82, 0.74), 5: (18.34, 0.92)},
+            "SNAIL": {1: (20.34, 0.76), 5: (24.54, 0.89)},
+            "FewNER": {1: (28.06, 1.12), 5: (32.87, 1.41)},
+        },
+    },
+}
+
+
+#: Table 5 of the paper: absolute F1 deltas (percentage points) of each
+#: FEWNER ablation relative to the baseline, keyed [variant][k_shot].
+#: The baseline row is (23.74, 29.50) — the Table 2 NNE column.
+PAPER_TABLE5_DELTAS: dict[str, dict[int, float]] = {
+    "Conditioning method A": {1: -2.34, 5: -3.43},
+    "Remove character CNN": {1: -15.56, 5: -18.73},
+    "Inner gradient steps: 4": {1: +0.35, 5: +0.79},
+    "Inner gradient steps: 6": {1: +0.78, 5: +0.95},
+    "Inner gradient steps: 8": {1: +1.02, 5: +1.47},
+    "Dimensions of phi: half": {1: -2.45, 5: -3.74},     # 128 in the paper
+    "Dimensions of phi: double": {1: -4.32, 5: -3.68},   # 512 in the paper
+    "Training way: 3": {1: +0.46, 5: +0.93},
+    "Training way: 10": {1: -1.24, 5: -1.89},
+    "Training way: 15": {1: -2.31, 5: -3.25},
+}
+
+#: §4.5.2 timing on a V100, in seconds.
+PAPER_TIMING = {
+    "inner_step": 0.04,
+    "outer_batch_1shot": 2.19,
+    "outer_batch_5shot": 3.44,
+    "evaluate_task_1shot": 0.36,
+    "evaluate_task_5shot": 0.51,
+}
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative relation and whether paper / measurement agree."""
+
+    description: str
+    holds_in_paper: bool
+    holds_in_measurement: bool
+
+    @property
+    def agrees(self) -> bool:
+        return self.holds_in_paper == self.holds_in_measurement
+
+
+def paper_cell(table: str, setting: str, method: str, k_shot: int) -> tuple[float, float]:
+    """The paper's ``(mean %, half-width %)`` for one cell."""
+    try:
+        return PAPER_RESULTS[table][setting][method][k_shot]
+    except KeyError as exc:
+        raise KeyError(
+            f"no paper cell for {table}/{setting}/{method}/{k_shot}-shot"
+        ) from exc
+
+
+def compare_with_paper(result, table: str) -> list[ShapeCheck]:
+    """Check the paper's qualitative relations against a TableResult.
+
+    Relations checked per setting: (a) FEWNER is the best method at each
+    shot count; (b) FEWNER's 5-shot beats its 1-shot.  Returns one
+    :class:`ShapeCheck` per relation; ``agrees`` is True when paper and
+    measurement tell the same story.
+    """
+    if table not in PAPER_RESULTS:
+        raise KeyError(f"unknown paper table {table!r}")
+    reference = PAPER_RESULTS[table]
+    checks: list[ShapeCheck] = []
+    for setting in result.settings:
+        if setting not in reference:
+            continue
+        methods = list(reference[setting])
+        for k in result.shots:
+            paper_best = max(
+                methods, key=lambda m: reference[setting][m][k][0]
+            )
+            measured = {
+                m: result.cell(m, setting, k).f1
+                for m in methods
+                if any(c.method == m for c in result.cells)
+            }
+            measured_best = max(measured, key=lambda m: measured[m])
+            checks.append(
+                ShapeCheck(
+                    description=f"{setting} {k}-shot: FewNER is best",
+                    holds_in_paper=paper_best == "FewNER",
+                    holds_in_measurement=measured_best == "FewNER",
+                )
+            )
+        paper_gain = (
+            reference[setting]["FewNER"][5][0]
+            > reference[setting]["FewNER"][1][0]
+        )
+        measured_gain = (
+            result.cell("FewNER", setting, 5).f1
+            > result.cell("FewNER", setting, 1).f1
+        )
+        checks.append(
+            ShapeCheck(
+                description=f"{setting}: FewNER 5-shot > 1-shot",
+                holds_in_paper=paper_gain,
+                holds_in_measurement=measured_gain,
+            )
+        )
+    return checks
+
+
+def render_comparison(checks: list[ShapeCheck]) -> str:
+    """Text summary of shape agreement with the paper."""
+    lines = ["Shape agreement with the paper:"]
+    agree = 0
+    for c in checks:
+        mark = "agree" if c.agrees else "DISAGREE"
+        agree += int(c.agrees)
+        lines.append(
+            f"  [{mark:>8}] {c.description} "
+            f"(paper={c.holds_in_paper}, measured={c.holds_in_measurement})"
+        )
+    lines.append(f"{agree}/{len(checks)} relations agree")
+    return "\n".join(lines)

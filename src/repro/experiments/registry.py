@@ -1,0 +1,51 @@
+"""Registry mapping experiment ids to runnable harnesses."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    figures,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    timing,
+)
+from repro.experiments.configs import get_scale
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "timing": timing.run,
+    "figure_adaptation": figures.run,
+}
+
+RENDERERS: dict[str, Callable] = {
+    "table1": table1.render,
+    "table5": table5.render,
+    "table6": table6.render,
+}
+
+
+def run_experiment(name: str, scale_name: str | None = None, **kwargs):
+    """Run one experiment by id under a named scale preset."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    scale = get_scale(scale_name)
+    return EXPERIMENTS[name](scale, **kwargs)
+
+
+def render_result(name: str, result) -> str:
+    """Render an experiment result to the paper's table format."""
+    if name in RENDERERS:
+        return RENDERERS[name](result)
+    if hasattr(result, "render"):
+        return result.render()
+    return str(result)

@@ -1,0 +1,62 @@
+"""Experiment E7 — Table 6: qualitative analysis.
+
+For each of the paper's nine adaptation settings (three per table), run
+FEWNER on one 5-way 1-shot episode and render positive/negative examples
+with bracketed mentions, plus a correctness flag — the same shape as the
+paper's Table 6.
+"""
+
+from __future__ import annotations
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.eval.qualitative import QualitativeExample, qualitative_row
+from repro.experiments import table2, table3, table4
+from repro.meta.fewner import FewNER
+
+
+def run(scale, seed: int = 0,
+        max_examples_per_setting: int = 2) -> list[QualitativeExample]:
+    settings = (
+        table2.build_settings(scale, seed=seed)
+        + table3.build_settings(scale, seed=seed)
+        + table4.build_settings(scale, seed=seed)
+    )
+    examples: list[QualitativeExample] = []
+    for setting in settings:
+        word_vocab = Vocabulary.from_datasets([setting.train])
+        char_vocab = CharVocabulary.from_datasets([setting.train])
+        adapter = FewNER(word_vocab, char_vocab, scale.n_way, scale.method_config)
+        train_sampler = EpisodeSampler(
+            setting.train, scale.n_way, 1, query_size=scale.query_size,
+            seed=setting.train_seed,
+        )
+        adapter.fit(train_sampler, scale.iterations_for("FewNER"))
+        eval_sampler = EpisodeSampler(
+            setting.test, scale.n_way, 1, query_size=scale.query_size,
+            seed=setting.eval_seed,
+        )
+        episode = eval_sampler.sample()
+        predictions = adapter.predict_episode(episode)
+        label = _setting_label(setting.name)
+        for sent, pred in list(zip(episode.query, predictions))[
+            :max_examples_per_setting
+        ]:
+            examples.append(qualitative_row(label, sent, pred))
+    return examples
+
+
+def _setting_label(name: str) -> str:
+    """Intra-domain settings render as ``X -> X`` like the paper."""
+    return name if "->" in name else f"{name} -> {name}"
+
+
+def render(examples: list[QualitativeExample]) -> str:
+    lines = ["Table 6: qualitative examples (5-way 1-shot, FEWNER)"]
+    for ex in examples:
+        mark = "correct" if ex.correct else "incorrect"
+        lines.append(f"[{ex.adaptation}] ({mark})")
+        lines.append(f"  pred: {ex.rendered}")
+        gold = ", ".join(f"[{s}:{e}]={lab}" for s, e, lab in ex.gold) or "(none)"
+        lines.append(f"  gold: {gold}")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Experiment E6 — §4.5.2: time-consumption analysis.
+
+Measures, for FEWNER on the NNE intra-domain setting:
+
+* the cost of one inner-loop gradient step (line 7 of Algorithm 1);
+* the cost of one full outer meta-batch (all tasks at line 5);
+* adaptation + evaluation time per test task for 1-shot and 5-shot.
+
+The paper reports 0.04 s / inner step and 2.19 s (1-shot) / 3.44 s
+(5-shot) per outer batch on a V100.  On CPU with scaled-down models the
+absolute numbers differ; the *relationships* the paper highlights — inner
+steps are cheap and constant across shot counts, adaptation touches only
+φ, cost grows linearly with data size — are asserted by the benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.autodiff.tensor import Tensor, grad
+from repro.data.episodes import EpisodeSampler
+from repro.data.splits import split_by_types
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.experiments.table2 import TYPE_SPLITS, _fit_counts
+from repro.meta.fewner import FewNER
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Measured step costs, in seconds."""
+
+    inner_step_1shot: float
+    inner_step_5shot: float
+    outer_batch_1shot: float
+    outer_batch_5shot: float
+    adapt_task_1shot: float
+    adapt_task_5shot: float
+    evaluate_task_1shot: float
+    evaluate_task_5shot: float
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Timing analysis (FEWNER on NNE, seconds):",
+                f"  inner step:        1-shot {self.inner_step_1shot:.4f}   "
+                f"5-shot {self.inner_step_5shot:.4f}   (paper: 0.04 / 0.04 on V100)",
+                f"  outer meta-batch:  1-shot {self.outer_batch_1shot:.4f}   "
+                f"5-shot {self.outer_batch_5shot:.4f}   (paper: 2.19 / 3.44)",
+                f"  adapt per task:    1-shot {self.adapt_task_1shot:.4f}   "
+                f"5-shot {self.adapt_task_5shot:.4f}",
+                f"  evaluate per task: 1-shot {self.evaluate_task_1shot:.4f}   "
+                f"5-shot {self.evaluate_task_5shot:.4f}   (paper: 0.36 / 0.51)",
+            ]
+        )
+
+
+def _measure_inner_step(adapter: FewNER, episode, repeats: int = 3) -> float:
+    model = adapter.model
+    batch = model.encode(list(episode.support), episode.scheme)
+    alpha = Tensor(np.array(adapter.config.inner_lr))
+    timings = []
+    for _r in range(repeats):
+        phi = model.new_context()
+        start = time.perf_counter()
+        loss = model.loss(batch, phi)
+        (g_phi,) = grad(loss, [phi], create_graph=True)
+        _phi1 = phi - alpha * g_phi
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _measure_outer_batch(adapter: FewNER, sampler: EpisodeSampler) -> float:
+    start = time.perf_counter()
+    adapter.fit(sampler, 1)
+    return time.perf_counter() - start
+
+
+def _measure_adapt(adapter: FewNER, episode, repeats: int = 3) -> float:
+    timings = []
+    for _r in range(repeats):
+        start = time.perf_counter()
+        adapter.adapt_context(episode)
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _measure_evaluate(adapter: FewNER, episode, repeats: int = 3) -> float:
+    timings = []
+    for _r in range(repeats):
+        start = time.perf_counter()
+        adapter.predict_episode(episode)
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def run(scale, seed: int = 0) -> TimingReport:
+    ds = generate_dataset("NNE", scale=scale.corpus_scale, seed=seed)
+    counts = _fit_counts(TYPE_SPLITS["NNE"], len(ds.types))
+    train, _val, test = split_by_types(ds, counts, seed=seed + 1)
+    word_vocab = Vocabulary.from_datasets([train])
+    char_vocab = CharVocabulary.from_datasets([train])
+    # Timing does not need a converged model; skip the warm-up phase.
+    from dataclasses import replace
+
+    config = replace(scale.method_config, pretrain_iterations=0)
+    adapter = FewNER(word_vocab, char_vocab, scale.n_way, config)
+    measurements = {}
+    for k in (1, 5):
+        sampler = EpisodeSampler(
+            train, scale.n_way, k, query_size=scale.query_size, seed=seed + 21
+        )
+        episode = EpisodeSampler(
+            test, scale.n_way, k, query_size=scale.query_size, seed=seed + 22
+        ).sample()
+        measurements[f"inner_step_{k}shot"] = _measure_inner_step(adapter, episode)
+        measurements[f"outer_batch_{k}shot"] = _measure_outer_batch(adapter, sampler)
+        measurements[f"adapt_task_{k}shot"] = _measure_adapt(adapter, episode)
+        measurements[f"evaluate_task_{k}shot"] = _measure_evaluate(adapter, episode)
+    return TimingReport(**measurements)

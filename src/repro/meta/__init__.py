@@ -1,0 +1,29 @@
+"""Meta-learning methods: FEWNER and the nine baselines of the paper."""
+
+from repro.meta.base import MethodConfig, Adapter, make_backbone, canonical_tag_names
+from repro.meta.fewner import FewNER
+from repro.meta.maml import MAML, FOMAML
+from repro.meta.finetune import FineTune
+from repro.meta.protonet import ProtoNet
+from repro.meta.snail import SNAIL
+from repro.meta.reptile import Reptile
+from repro.meta.lm_baseline import LMBaseline
+from repro.meta.evaluate import evaluate_method, EvaluationResult, build_method
+
+__all__ = [
+    "MethodConfig",
+    "Adapter",
+    "make_backbone",
+    "canonical_tag_names",
+    "FewNER",
+    "MAML",
+    "FOMAML",
+    "FineTune",
+    "ProtoNet",
+    "SNAIL",
+    "Reptile",
+    "LMBaseline",
+    "evaluate_method",
+    "EvaluationResult",
+    "build_method",
+]

@@ -1,0 +1,245 @@
+"""Shared infrastructure for adaptation methods.
+
+Every method implements the :class:`Adapter` interface:
+
+* :meth:`Adapter.fit` — meta-train (or pre-train) on episodes drawn from
+  the source task distribution;
+* :meth:`Adapter.predict_episode` — given an unseen test episode, adapt
+  on its support set and return predicted entity spans for each query
+  sentence.
+
+All methods share one *abstract* N-way tag space: a task's N concrete
+entity types are bound, in episode order, to way slots ``0..N-1`` whose
+BIO tags index the model's output layer.  This is what lets θ be
+meta-learned across tasks with disjoint type inventories (paper §3.2.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.data.episodes import Episode, EpisodeSampler
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.embeddings.static import StaticEmbeddings
+from repro.eval.metrics import SpanTuple
+from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+
+
+@dataclass(frozen=True)
+class MethodConfig:
+    """Hyper-parameters shared by the adaptation methods.
+
+    Paper values (§4.1.3): ``inner_lr=0.1``, ``meta_lr=0.0008`` with plain
+    SGD, ``inner_steps_train=2``, ``inner_steps_test=8``, ``meta_batch=8``,
+    dropout 0.3, L2 ``1e-7``, LR decay 0.9 every 5000 tasks, clip 5.0.
+    Defaults below keep those ratios but use Adam with a larger meta LR
+    so the scaled-down CPU models converge within the reduced iteration
+    budget; ``meta_optimizer="sgd"`` restores the paper's choice.
+    """
+
+    inner_lr: float = 1.0
+    meta_lr: float = 0.003
+    #: Adam LR for the non-meta-gradient methods (FineTune, ProtoNet,
+    #: SNAIL, Reptile, LM baselines).  Kept separate from ``meta_lr``:
+    #: the outer-loop rate for a warm-started θ must be conservative,
+    #: while baselines training from scratch need a conventional rate.
+    baseline_lr: float = 0.01
+    meta_optimizer: str = "adam"  # "adam" | "sgd"
+    inner_steps_train: int = 2
+    inner_steps_test: int = 8
+    meta_batch: int = 4
+    grad_clip: float = 5.0
+    weight_decay: float = 1e-7
+    lr_decay_rate: float = 0.9
+    lr_decay_every: int = 5000
+    #: Test-time fine-tuning steps for the non-meta baselines.
+    finetune_steps: int = 8
+    finetune_lr: float = 0.05
+    #: Differentiate the outer update through the inner gradient steps
+    #: (Eq. 6's gradient-through-a-gradient).  The paper uses the exact
+    #: second-order update; at CPU scale the curvature of the CRF loss
+    #: makes it unstable within small iteration budgets, so the default
+    #: is the first-order variant (φ_k treated as a constant in the
+    #: outer pass).  ``benchmarks/test_ablation_first_order.py`` compares
+    #: the two.
+    second_order: bool = False
+    #: Loss used by FEWNER's inner loop: ``"ce"`` (token-level
+    #: cross-entropy on the emission scores — forces per-token margins so
+    #: adaptation commits to a type binding within a few steps) or
+    #: ``"crf"`` (the paper's sequence NLL).  Outer training and decoding
+    #: always use the CRF.
+    inner_loss: str = "ce"
+    #: Apply dropout inside inner-loop (support) forward passes.  Off by
+    #: default: adaptation gradients from a handful of shots are noisy
+    #: enough without stochastic masks.
+    inner_dropout: bool = False
+    #: Supervised warm-up iterations before meta-training (FEWNER/MAML).
+    #: The CRF starts in an all-O basin on sparse entity data; a short
+    #: conventional training phase on source episodes (with φ = 0) teaches
+    #: generic boundary detection, after which meta-training learns the
+    #: task binding.  Set to 0 for the paper's pure meta-training.
+    pretrain_iterations: int = 100
+    pretrain_lr: float = 0.01
+    #: Weight of the prototype auxiliary loss during warm-up (see
+    #: :func:`prototype_episode_loss`).
+    pretrain_prototype_weight: float = 1.0
+    seed: int = 0
+    backbone: BackboneConfig = field(default_factory=BackboneConfig)
+
+    def with_backbone(self, **kwargs) -> "MethodConfig":
+        """A copy with backbone fields replaced."""
+        return replace(self, backbone=replace(self.backbone, **kwargs))
+
+
+def canonical_tag_names(n_way: int) -> list[str]:
+    """BIO tag names over abstract way slots: O, B-0, I-0, ..."""
+    tags = ["O"]
+    for way in range(n_way):
+        tags.append(f"B-{way}")
+        tags.append(f"I-{way}")
+    return tags
+
+
+def make_backbone(
+    word_vocab: Vocabulary,
+    char_vocab: CharVocabulary,
+    n_way: int,
+    config: MethodConfig,
+    rng: np.random.Generator,
+    context_dim: int | None = None,
+) -> CNNBiGRUCRF:
+    """Build the CNN-BiGRU-CRF backbone for an N-way tag space.
+
+    ``context_dim=None`` keeps the configured φ dimension; pass 0 to build
+    a context-free backbone (MAML / FineTune baselines).
+    """
+    backbone_cfg = config.backbone
+    if context_dim is not None:
+        backbone_cfg = replace(backbone_cfg, context_dim=context_dim)
+    pretrained = StaticEmbeddings(
+        dim=backbone_cfg.word_dim, seed=config.seed
+    ).matrix(word_vocab)
+    num_tags = 2 * n_way + 1
+    return CNNBiGRUCRF(
+        word_vocab,
+        char_vocab,
+        num_tags,
+        backbone_cfg,
+        rng,
+        pretrained_word=pretrained,
+        tag_names=canonical_tag_names(n_way),
+    )
+
+
+def prototype_episode_loss(model, episode):
+    """ProtoNet-style token loss over an episode's features.
+
+    Prototypes are built from support-token features per BIO tag of the
+    episode's abstract way space; query tokens are scored by negative
+    squared distance.  Used as an auxiliary during warm-up so the encoder
+    retains *type-discriminative* information — the raw CRF objective on
+    randomly-bound episodes carries no incentive to keep it, and the
+    inner-loop head adaptation can only bind types that are still
+    separable in feature space.
+    """
+    import numpy as np
+
+    from repro.autodiff.functional import cross_entropy
+    from repro.autodiff.tensor import Tensor, concatenate, stack
+
+    def flat_tokens(sentences):
+        batch = model.encode(list(sentences), episode.scheme)
+        h = model.features(batch)
+        feats = [h[i, : batch.lengths[i], :] for i in range(batch.size)]
+        return concatenate(feats, axis=0), np.concatenate(batch.tag_ids)
+
+    support_feats, support_tags = flat_tokens(episode.support)
+    query_feats, query_tags = flat_tokens(episode.query)
+    num_tags = episode.scheme.num_tags
+    feature_dim = support_feats.shape[-1]
+    prototypes = []
+    present = []
+    for tag in range(num_tags):
+        idx = np.where(support_tags == tag)[0]
+        if idx.size == 0:
+            prototypes.append(Tensor(np.zeros(feature_dim)))
+            present.append(False)
+        else:
+            prototypes.append(support_feats[idx, :].mean(axis=0))
+            present.append(True)
+    proto = stack(prototypes, axis=0)
+    q_sq = (query_feats * query_feats).sum(axis=1, keepdims=True)
+    c_sq = (proto * proto).sum(axis=1, keepdims=True).reshape((1, -1))
+    logits = (query_feats @ proto.T) * 2.0 - q_sq - c_sq
+    logits = logits + Tensor(np.where(np.array(present), 0.0, -1e4))
+    return cross_entropy(logits, query_tags)
+
+
+def supervised_pretrain(model, sampler, iterations: int, lr: float,
+                        meta_batch: int, grad_clip: float,
+                        use_context: bool,
+                        prototype_weight: float = 0.0) -> list[float]:
+    """Warm-up θ with conventional supervised training on source episodes.
+
+    Each episode's support and query sentences are combined into one
+    batch; with ``use_context`` the conditioning layer is active with a
+    constant φ = 0 so the pretrained weights live in the same function
+    space the meta-learner will adapt.  ``prototype_weight`` mixes in
+    :func:`prototype_episode_loss` to keep features type-discriminative.
+    """
+    from repro.autodiff.tensor import zeros as _zeros
+    from repro.nn import Adam, clip_grad_norm
+
+    optimizer = Adam(model.parameters(), lr=lr)
+    losses = []
+    model.train()
+    for _it in range(iterations):
+        model.zero_grad()
+        total = 0.0
+        for episode in sampler.sample_many(meta_batch):
+            sentences = list(episode.support) + list(episode.query)
+            batch = model.encode(sentences, episode.scheme)
+            phi = _zeros((model.context_size,)) if use_context else None
+            loss = model.loss(batch, phi=phi)
+            if prototype_weight:
+                loss = loss + prototype_episode_loss(model, episode) * prototype_weight
+            (loss * (1.0 / meta_batch)).backward()
+            total += loss.item()
+        clip_grad_norm(model.parameters(), grad_clip)
+        optimizer.step()
+        losses.append(total / meta_batch)
+    return losses
+
+
+class Adapter(abc.ABC):
+    """Interface every adaptation method implements."""
+
+    #: Display name used in result tables.
+    name: str = "adapter"
+
+    def __init__(self, word_vocab: Vocabulary, char_vocab: CharVocabulary,
+                 n_way: int, config: MethodConfig):
+        self.word_vocab = word_vocab
+        self.char_vocab = char_vocab
+        self.n_way = n_way
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+
+    @abc.abstractmethod
+    def fit(self, sampler: EpisodeSampler, iterations: int) -> list[float]:
+        """Train on source episodes; returns the per-iteration loss curve."""
+
+    @abc.abstractmethod
+    def predict_episode(self, episode: Episode) -> list[list[SpanTuple]]:
+        """Adapt on the episode's support set and label its query set."""
+
+    # ------------------------------------------------------------------
+    def _check_episode(self, episode: Episode) -> None:
+        if episode.n_way != self.n_way:
+            raise ValueError(
+                f"{self.name} was built for {self.n_way}-way tasks, "
+                f"episode has {episode.n_way} ways"
+            )

@@ -1,0 +1,174 @@
+"""FEWNER: fast context adaptation for few-shot NER (paper §3.2, Alg. 1).
+
+The network is split into task-independent parameters θ (the whole
+CNN-BiGRU-CRF backbone plus the FiLM generator weights) and a
+task-specific context vector φ that conditions the BiGRU output.
+
+* **Inner loop** (Eq. 5): φ starts at 0 for every task and takes
+  ``inner_steps`` gradient steps on the support loss; θ is frozen but the
+  graph is kept, so φ_k is a differentiable function of θ.
+* **Outer loop** (Eq. 6): θ steps on the mean query loss of the adapted
+  models — a gradient through the inner gradients (second order).
+* **Adaptation** (test time): θ is fixed; only φ is updated, with more
+  inner steps (8 in the paper) and no second-order bookkeeping — which is
+  why adaptation is cheap and hard to overfit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, grad, no_grad
+from repro.data.episodes import Episode, EpisodeSampler
+from repro.eval.metrics import SpanTuple
+from repro.meta.base import Adapter, MethodConfig, make_backbone
+from repro.nn import Adam, ExponentialDecay, SGD, clip_grad_norm
+
+
+class FewNER(Adapter):
+    """The paper's proposed method."""
+
+    name = "FewNER"
+
+    def __init__(self, word_vocab, char_vocab, n_way: int, config: MethodConfig):
+        super().__init__(word_vocab, char_vocab, n_way, config)
+        if (config.backbone.conditioning != "head"
+                and config.backbone.context_dim <= 0):
+            raise ValueError("FewNER requires backbone.context_dim > 0")
+        self.model = make_backbone(word_vocab, char_vocab, n_way, config, self.rng)
+        if config.meta_optimizer == "adam":
+            self.optimizer = Adam(
+                self.model.parameters(), lr=config.meta_lr,
+                weight_decay=config.weight_decay,
+            )
+        else:
+            self.optimizer = SGD(
+                self.model.parameters(), lr=config.meta_lr,
+                weight_decay=config.weight_decay,
+            )
+        self.schedule = ExponentialDecay(
+            self.optimizer, config.lr_decay_rate, config.lr_decay_every
+        )
+
+    # ------------------------------------------------------------------
+    def _inner_adapt(self, episode: Episode, steps: int,
+                     create_graph: bool) -> Tensor:
+        """Run the inner loop on the support set; returns adapted φ_k."""
+        batch = self.model.encode(list(episode.support), episode.scheme)
+        phi = self.model.new_context()
+        alpha = Tensor(np.array(self.config.inner_lr))
+        was_training = self.model.training
+        if not self.config.inner_dropout:
+            self.model.eval()
+        inner_loss = (
+            self.model.token_ce_loss if self.config.inner_loss == "ce"
+            else self.model.loss
+        )
+        try:
+            for _k in range(steps):
+                loss = inner_loss(batch, phi)
+                (g_phi,) = grad(loss, [phi], create_graph=create_graph)
+                phi = phi - alpha * g_phi
+        finally:
+            self.model.train(was_training)
+        return phi
+
+    # ------------------------------------------------------------------
+    def fit(self, sampler: EpisodeSampler, iterations: int) -> list[float]:
+        """Algorithm 1, training procedure (with optional supervised warm-up)."""
+        from repro.meta.base import supervised_pretrain
+
+        config = self.config
+        losses = []
+        if config.pretrain_iterations:
+            losses.extend(
+                supervised_pretrain(
+                    self.model, sampler, config.pretrain_iterations,
+                    config.pretrain_lr, config.meta_batch, config.grad_clip,
+                    use_context=True,
+                    prototype_weight=config.pretrain_prototype_weight,
+                )
+            )
+        self.model.train()
+        for _it in range(iterations):
+            tasks = sampler.sample_many(config.meta_batch)
+            self.model.zero_grad()
+            total = 0.0
+            for episode in tasks:
+                phi_k = self._inner_adapt(
+                    episode, config.inner_steps_train,
+                    create_graph=config.second_order,
+                )
+                if not config.second_order:
+                    phi_k = phi_k.detach()
+                q_batch = self.model.encode(list(episode.query), episode.scheme)
+                q_loss = self.model.loss(q_batch, phi_k)
+                scale = Tensor(np.array(1.0 / config.meta_batch))
+                (q_loss * scale).backward()
+                total += q_loss.item()
+                self.schedule.step()
+            clip_grad_norm(self.model.parameters(), config.grad_clip)
+            self.optimizer.step()
+            losses.append(total / config.meta_batch)
+        return losses
+
+    # ------------------------------------------------------------------
+    def predict_episode(self, episode: Episode) -> list[list[SpanTuple]]:
+        """Algorithm 1, adapting procedure: θ fixed, φ learned."""
+        self._check_episode(episode)
+        self.model.eval()
+        phi = self._inner_adapt(
+            episode, self.config.inner_steps_test, create_graph=False
+        )
+        with no_grad():
+            return self.model.predict_spans(
+                list(episode.query), episode.scheme, phi=phi.detach()
+            )
+
+    def adapt_context(self, episode: Episode, steps: int | None = None) -> Tensor:
+        """Public access to the adapted φ (used by analyses/examples)."""
+        self.model.eval()
+        return self._inner_adapt(
+            episode, steps or self.config.inner_steps_test, create_graph=False
+        ).detach()
+
+    # ------------------------------------------------------------------
+    def fit_with_validation(self, sampler: EpisodeSampler,
+                            validation_episodes, iterations: int,
+                            chunk: int = 10) -> dict:
+        """Meta-train with validation-based model selection.
+
+        The paper holds out validation type/domain splits; this utility
+        uses them: training runs in chunks, the model is scored on the
+        fixed ``validation_episodes`` after each chunk, and the best
+        checkpoint (by mean validation F1) is restored at the end.
+
+        Returns a history dict with per-chunk losses and validation F1.
+        """
+        from repro.meta.evaluate import evaluate_method
+
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        history: dict = {"losses": [], "val_f1": []}
+        best_f1 = -1.0
+        best_state = self.model.state_dict()
+        remaining = iterations
+        while remaining > 0:
+            step = min(chunk, remaining)
+            history["losses"].extend(self.fit(sampler, step))
+            # Only the first fit call runs the supervised warm-up.
+            if self.config.pretrain_iterations:
+                import dataclasses
+
+                self.config = dataclasses.replace(
+                    self.config, pretrain_iterations=0
+                )
+            result = evaluate_method(self, validation_episodes)
+            history["val_f1"].append(result.f1)
+            if result.f1 > best_f1:
+                best_f1 = result.f1
+                best_state = self.model.state_dict()
+            remaining -= step
+        self.model.load_state_dict(best_state)
+        history["best_val_f1"] = best_f1
+        return history

@@ -1,0 +1,74 @@
+"""Pretrained-LM + CRF baselines (paper §4.1.2, "dynamic" block).
+
+The simulated frozen LM provides features.  Training fits the projection
+and CRF on support sets of source tasks; at test time, mirroring the
+paper's note that the Flair framework only lets the CRF be fine-tuned,
+test-time adaptation updates the CRF parameters only.
+"""
+
+from __future__ import annotations
+
+from repro.autodiff.tensor import no_grad
+from repro.data.episodes import Episode, EpisodeSampler
+from repro.embeddings.contextual import make_embedder
+from repro.eval.metrics import SpanTuple
+from repro.meta.base import Adapter, MethodConfig
+from repro.models.lm_crf import LMTagger
+from repro.nn import Adam, SGD, clip_grad_norm
+
+
+class LMBaseline(Adapter):
+    """One of GPT2 / Flair / ELMo / BERT / XLNet with a CRF head."""
+
+    def __init__(self, word_vocab, char_vocab, n_way: int, config: MethodConfig,
+                 lm_name: str = "BERT"):
+        super().__init__(word_vocab, char_vocab, n_way, config)
+        self.name = lm_name
+        from repro.meta.base import canonical_tag_names
+
+        self.tagger = LMTagger(
+            make_embedder(lm_name), 2 * n_way + 1, self.rng,
+            tag_names=canonical_tag_names(n_way),
+        )
+        self.optimizer = Adam(
+            self.tagger.parameters(), lr=config.baseline_lr,
+            weight_decay=config.weight_decay,
+        )
+
+    def fit(self, sampler: EpisodeSampler, iterations: int) -> list[float]:
+        losses = []
+        self.tagger.train()
+        for _it in range(iterations):
+            total = 0.0
+            self.tagger.zero_grad()
+            for episode in sampler.sample_many(self.config.meta_batch):
+                loss = self.tagger.loss(list(episode.support), episode.scheme)
+                (loss * (1.0 / self.config.meta_batch)).backward()
+                total += loss.item()
+            clip_grad_norm(self.tagger.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            losses.append(total / self.config.meta_batch)
+        return losses
+
+    def predict_episode(self, episode: Episode) -> list[list[SpanTuple]]:
+        self._check_episode(episode)
+        saved = self.tagger.state_dict()
+        crf_params = [
+            p for name, p in self.tagger.named_parameters()
+            if name.startswith("crf.")
+        ]
+        try:
+            ft = SGD(crf_params, lr=self.config.finetune_lr)
+            for _step in range(self.config.finetune_steps):
+                for p in crf_params:
+                    p.grad = None
+                loss = self.tagger.loss(list(episode.support), episode.scheme)
+                loss.backward()
+                clip_grad_norm(crf_params, self.config.grad_clip)
+                ft.step()
+            with no_grad():
+                return self.tagger.predict_spans(
+                    list(episode.query), episode.scheme
+                )
+        finally:
+            self.tagger.load_state_dict(saved)

@@ -1,0 +1,119 @@
+"""Prototypical-network baseline (paper §4.1.2, after Fritzler et al.).
+
+Sequence labeling is treated as per-token classification: a shared
+encoder (the same char-CNN + word embedding + BiGRU stack, without the
+CRF) embeds every token; each BIO tag of the abstract N-way space gets a
+prototype — the mean embedding of support tokens carrying that tag — and
+query tokens are classified by negative squared Euclidean distance to the
+prototypes.  Tags absent from the support set are masked out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.functional import cross_entropy
+from repro.autodiff.tensor import Tensor, concatenate, no_grad, stack
+from repro.data.episodes import Episode, EpisodeSampler
+from repro.eval.metrics import SpanTuple
+from repro.meta.base import Adapter, MethodConfig, make_backbone
+from repro.nn import Adam, clip_grad_norm
+
+
+class ProtoNet(Adapter):
+    """Token-level prototypical networks for few-shot NER."""
+
+    name = "ProtoNet"
+
+    def __init__(self, word_vocab, char_vocab, n_way: int, config: MethodConfig):
+        super().__init__(word_vocab, char_vocab, n_way, config)
+        # Reuse the backbone construction for its encoder; the CRF and
+        # projection it contains are simply never used.
+        self.model = make_backbone(
+            word_vocab, char_vocab, n_way, config, self.rng, context_dim=0
+        )
+        self.num_tags = 2 * n_way + 1
+        encoder_params = self._encoder_parameters()
+        self.optimizer = Adam(
+            encoder_params, lr=config.baseline_lr, weight_decay=config.weight_decay
+        )
+
+    def _encoder_parameters(self):
+        skip = {name for name, _p in self.model.named_parameters()
+                if name.startswith(("crf.", "projection."))}
+        return [p for name, p in self.model.named_parameters() if name not in skip]
+
+    # ------------------------------------------------------------------
+    def _token_features(self, sentences, scheme):
+        """Flat token features ``(T_total, D)`` and tag ids ``(T_total,)``."""
+        batch = self.model.encode(list(sentences), scheme)
+        h = self.model.features(batch)  # (B, L, D)
+        feats = [h[i, : batch.lengths[i], :] for i in range(batch.size)]
+        flat = concatenate(feats, axis=0)
+        tags = np.concatenate(batch.tag_ids)
+        return flat, tags
+
+    def _logits(self, episode: Episode):
+        """Distance logits for query tokens plus their gold tags."""
+        support_feats, support_tags = self._token_features(
+            episode.support, episode.scheme
+        )
+        query_feats, query_tags = self._token_features(
+            episode.query, episode.scheme
+        )
+        prototypes = []
+        present = []
+        for tag in range(self.num_tags):
+            idx = np.where(support_tags == tag)[0]
+            if idx.size == 0:
+                prototypes.append(None)
+                present.append(False)
+            else:
+                prototypes.append(support_feats[idx, :].mean(axis=0))
+                present.append(True)
+        feature_dim = query_feats.shape[-1]
+        filled = [
+            p if p is not None else Tensor(np.zeros(feature_dim))
+            for p in prototypes
+        ]
+        proto = stack(filled, axis=0)  # (T, D)
+        # -||q - c||^2 = -(|q|^2 - 2 q.c + |c|^2)
+        q_sq = (query_feats * query_feats).sum(axis=1, keepdims=True)
+        c_sq = (proto * proto).sum(axis=1, keepdims=True).reshape((1, -1))
+        cross = query_feats @ proto.T
+        logits = (cross * 2.0) - q_sq - c_sq
+        penalty = np.where(np.array(present), 0.0, -1e4)
+        logits = logits + Tensor(penalty)
+        return logits, query_tags
+
+    # ------------------------------------------------------------------
+    def fit(self, sampler: EpisodeSampler, iterations: int) -> list[float]:
+        losses = []
+        self.model.train()
+        params = self._encoder_parameters()
+        for _it in range(iterations):
+            self.model.zero_grad()
+            total = 0.0
+            for episode in sampler.sample_many(self.config.meta_batch):
+                logits, gold = self._logits(episode)
+                loss = cross_entropy(logits, gold)
+                (loss * (1.0 / self.config.meta_batch)).backward()
+                total += loss.item()
+            clip_grad_norm(params, self.config.grad_clip)
+            self.optimizer.step()
+            losses.append(total / self.config.meta_batch)
+        return losses
+
+    def predict_episode(self, episode: Episode) -> list[list[SpanTuple]]:
+        self._check_episode(episode)
+        self.model.eval()
+        with no_grad():
+            logits, _gold = self._logits(episode)
+        predictions = logits.data.argmax(axis=1)
+        spans = []
+        offset = 0
+        for sent in episode.query:
+            ids = predictions[offset : offset + len(sent)]
+            offset += len(sent)
+            spans.append(episode.scheme.decode(ids))
+        return spans

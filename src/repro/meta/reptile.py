@@ -1,0 +1,98 @@
+"""Reptile baseline (Nichol et al., 2018) — extension beyond the paper.
+
+A first-order meta-learner that needs no query set during training: for
+each task it runs several SGD steps on the combined task data and moves
+the initialisation toward the adapted weights,
+``θ <- θ + ε (θ'_task - θ)``.  Included as an extra point of comparison
+between FineTune (no episodic structure at all) and MAML (explicit
+bi-level optimisation).
+"""
+
+from __future__ import annotations
+
+
+from repro.autodiff.tensor import no_grad
+from repro.data.episodes import Episode, EpisodeSampler
+from repro.eval.metrics import SpanTuple
+from repro.meta.base import Adapter, MethodConfig, make_backbone
+from repro.nn import SGD, clip_grad_norm
+
+
+class Reptile(Adapter):
+    """Reptile over the full CNN-BiGRU-CRF backbone."""
+
+    name = "Reptile"
+
+    def __init__(self, word_vocab, char_vocab, n_way: int, config: MethodConfig,
+                 task_steps: int = 4, interpolation: float = 0.2):
+        super().__init__(word_vocab, char_vocab, n_way, config)
+        self.model = make_backbone(
+            word_vocab, char_vocab, n_way, config, self.rng, context_dim=0
+        )
+        self.task_steps = task_steps
+        self.interpolation = interpolation
+
+    def _task_adapt(self, episode: Episode, steps: int) -> None:
+        """SGD on the episode's data, mutating the live parameters."""
+        sentences = list(episode.support) + list(episode.query)
+        batch = self.model.encode(sentences, episode.scheme)
+        optimizer = SGD(self.model.parameters(), lr=self.config.finetune_lr)
+        for _step in range(steps):
+            self.model.zero_grad()
+            loss = self.model.loss(batch)
+            loss.backward()
+            clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            optimizer.step()
+
+    def fit(self, sampler: EpisodeSampler, iterations: int) -> list[float]:
+        from repro.meta.base import supervised_pretrain
+
+        config = self.config
+        losses: list[float] = []
+        if config.pretrain_iterations:
+            losses.extend(
+                supervised_pretrain(
+                    self.model, sampler, config.pretrain_iterations,
+                    config.pretrain_lr, config.meta_batch, config.grad_clip,
+                    use_context=False,
+                    prototype_weight=config.pretrain_prototype_weight,
+                )
+            )
+        self.model.train()
+        for _it in range(iterations):
+            episode = sampler.sample()
+            before = self.model.state_dict()
+            self._task_adapt(episode, self.task_steps)
+            after = self.model.state_dict()
+            eps = self.interpolation
+            merged = {
+                k: before[k] + eps * (after[k] - before[k]) for k in before
+            }
+            self.model.load_state_dict(merged)
+            batch = self.model.encode(
+                list(episode.support) + list(episode.query), episode.scheme
+            )
+            with no_grad():
+                losses.append(self.model.loss(batch).item())
+        return losses
+
+    def predict_episode(self, episode: Episode) -> list[list[SpanTuple]]:
+        self._check_episode(episode)
+        saved = self.model.state_dict()
+        try:
+            self.model.train()
+            batch = self.model.encode(list(episode.support), episode.scheme)
+            optimizer = SGD(self.model.parameters(), lr=self.config.finetune_lr)
+            for _step in range(self.config.finetune_steps):
+                self.model.zero_grad()
+                loss = self.model.loss(batch)
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                optimizer.step()
+            self.model.eval()
+            with no_grad():
+                return self.model.predict_spans(
+                    list(episode.query), episode.scheme
+                )
+        finally:
+            self.model.load_state_dict(saved)

@@ -1,0 +1,14 @@
+"""Models: the CNN-BiGRU-CRF backbone (θ), context conditioning (φ), and
+the frozen-LM + CRF stacked baselines."""
+
+from repro.models.batch import Batch, encode_batch
+from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+from repro.models.lm_crf import LMTagger
+
+__all__ = [
+    "Batch",
+    "encode_batch",
+    "BackboneConfig",
+    "CNNBiGRUCRF",
+    "LMTagger",
+]

@@ -1,0 +1,63 @@
+"""Batch encoding of sentences into padded id arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.sentence import Sentence
+from repro.data.tags import TagScheme
+from repro.data.vocab import CharVocabulary, Vocabulary
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Padded arrays for a batch of sentences.
+
+    ``word_ids`` and ``mask`` are ``(B, L)``; ``char_ids`` is
+    ``(B, L, C)``; ``tag_ids`` is a list of per-sentence integer arrays
+    (unpadded, aligned with true lengths); ``lengths`` the true lengths.
+    """
+
+    word_ids: np.ndarray
+    char_ids: np.ndarray
+    mask: np.ndarray
+    lengths: tuple[int, ...]
+    tag_ids: tuple[np.ndarray, ...] | None
+
+    @property
+    def size(self) -> int:
+        return self.word_ids.shape[0]
+
+
+def encode_batch(
+    sentences: list[Sentence],
+    word_vocab: Vocabulary,
+    char_vocab: CharVocabulary,
+    scheme: TagScheme | None = None,
+    max_chars: int = 12,
+) -> Batch:
+    """Encode sentences (and, if a scheme is given, their gold tags)."""
+    if not sentences:
+        raise ValueError("cannot encode an empty batch")
+    lengths = tuple(len(s) for s in sentences)
+    max_len = max(lengths)
+    batch = len(sentences)
+    word_ids = np.zeros((batch, max_len), dtype=np.intp)
+    char_ids = np.zeros((batch, max_len, max_chars), dtype=np.intp)
+    mask = np.zeros((batch, max_len))
+    for i, sent in enumerate(sentences):
+        word_ids[i, : len(sent)] = word_vocab.encode(sent.tokens)
+        char_ids[i, : len(sent)] = char_vocab.encode_sentence(sent.tokens, max_chars)
+        mask[i, : len(sent)] = 1.0
+    tags = None
+    if scheme is not None:
+        tags = tuple(
+            np.asarray(
+                scheme.encode([sp.as_tuple() for sp in sent.spans], len(sent)),
+                dtype=np.intp,
+            )
+            for sent in sentences
+        )
+    return Batch(word_ids, char_ids, mask, lengths, tags)

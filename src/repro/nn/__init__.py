@@ -1,0 +1,50 @@
+"""Neural-network building blocks over :mod:`repro.autodiff`.
+
+Provides a ``Module``/``Parameter`` system with functional parameter
+override (the mechanism MAML-style baselines use for "fast weights"),
+layers (linear, embedding, 1-D convolution, GRU/BiGRU, FiLM, dropout),
+initialisers and optimisers.
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList, override_params
+from repro.nn.layers import Linear, Embedding, Dropout, Sequential, LayerNorm
+from repro.nn.conv import Conv1d, CharCNN
+from repro.nn.rnn import GRUCell, GRU, BiGRU, LSTMCell, LSTM, BiLSTM
+from repro.nn.transformer import TransformerEncoder, TransformerBlock, SelfAttention
+from repro.nn.film import FiLM, ConcatConditioner
+from repro.nn import init
+from repro.nn.optim import SGD, Adam, clip_grad_norm, ExponentialDecay
+from repro.nn.serialization import save_module, load_module, load_state
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "override_params",
+    "Linear",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "LayerNorm",
+    "Conv1d",
+    "CharCNN",
+    "GRUCell",
+    "GRU",
+    "BiGRU",
+    "LSTMCell",
+    "LSTM",
+    "BiLSTM",
+    "TransformerEncoder",
+    "TransformerBlock",
+    "SelfAttention",
+    "FiLM",
+    "ConcatConditioner",
+    "init",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "ExponentialDecay",
+    "save_module",
+    "load_module",
+    "load_state",
+]

@@ -1,0 +1,58 @@
+"""Weight initialisers.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that every
+experiment in the reproduction is exactly seedable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform(rng: np.random.Generator, shape, scale: float = 0.1) -> np.ndarray:
+    """Uniform values in ``[-scale, scale]``."""
+    return rng.uniform(-scale, scale, size=shape)
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    """Zero-mean Gaussian values."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape) -> np.ndarray:
+    """Glorot uniform for 2-D weights (fan_in, fan_out inferred)."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, shape) -> np.ndarray:
+    """Glorot normal."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, shape, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (standard for recurrent weights)."""
+    rows, cols = shape
+    a = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero values (biases, FiLM offsets, context parameters)."""
+    return np.zeros(shape)
+
+
+def _fans(shape) -> tuple[int, int]:
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) > 2:
+        receptive = int(np.prod(shape[2:]))
+        return shape[1] * receptive, shape[0] * receptive
+    return shape[0], shape[0]

@@ -1,0 +1,186 @@
+"""Gated recurrent units: cell, unidirectional and bidirectional layers.
+
+The BiGRU is the context encoder of the paper's CNN-BiGRU-CRF backbone
+(depth 1, hidden size 128 in the paper; sizes are configurable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import (
+    Tensor,
+    concatenate,
+    matmul,
+    mul,
+    sigmoid,
+    stack,
+    sub,
+    tanh,
+    zeros,
+)
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class GRUCell(Module):
+    """Single GRU step.
+
+    Gates follow the standard formulation:
+    ``r = sigma(x W_xr + h W_hr + b_r)``, ``z = sigma(x W_xz + h W_hz + b_z)``,
+    ``n = tanh(x W_xn + (r * h) W_hn + b_n)``, ``h' = (1 - z) * n + z * h``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(init.xavier_uniform(rng, (input_size, 3 * hidden_size)))
+        self.w_h = Parameter(
+            np.concatenate(
+                [init.orthogonal(rng, (hidden_size, hidden_size)) for _ in range(3)],
+                axis=1,
+            )
+        )
+        self.bias = Parameter(init.zeros((3 * hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hs = self.hidden_size
+        gates_x = matmul(x, self.w_x) + self.bias
+        gates_h = matmul(h, self.w_h)
+        xr = gates_x[:, :hs]
+        xz = gates_x[:, hs : 2 * hs]
+        xn = gates_x[:, 2 * hs :]
+        hr = gates_h[:, :hs]
+        hz = gates_h[:, hs : 2 * hs]
+        hn = gates_h[:, 2 * hs :]
+        r = sigmoid(xr + hr)
+        z = sigmoid(xz + hz)
+        n = tanh(xn + mul(r, hn))
+        one = Tensor(np.array(1.0))
+        return mul(sub(one, z), n) + mul(z, h)
+
+
+class GRU(Module):
+    """Unidirectional GRU over a padded batch ``(batch, length, input)``.
+
+    ``mask`` is ``(batch, length)`` with 1 for real tokens; the hidden
+    state is frozen on padded steps so padding cannot leak into context.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, reverse: bool = False):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+        self.reverse = reverse
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, length, _input = x.shape
+        if mask is None:
+            mask = np.ones((batch, length))
+        mask = np.asarray(mask, dtype=float)
+        h = zeros((batch, self.hidden_size))
+        steps = range(length - 1, -1, -1) if self.reverse else range(length)
+        outputs: list[Tensor | None] = [None] * length
+        for t in steps:
+            xt = x[:, t, :]
+            h_new = self.cell(xt, h)
+            m = Tensor(mask[:, t : t + 1])
+            one = Tensor(np.array(1.0))
+            h = mul(m, h_new) + mul(sub(one, m), h)
+            outputs[t] = h
+        return stack(outputs, axis=1)  # (batch, length, hidden)
+
+
+class BiGRU(Module):
+    """Bidirectional GRU; concatenates forward and backward states."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.forward_rnn = GRU(input_size, hidden_size, rng, reverse=False)
+        self.backward_rnn = GRU(input_size, hidden_size, rng, reverse=True)
+        self.output_dim = 2 * hidden_size
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        fwd = self.forward_rnn(x, mask)
+        bwd = self.backward_rnn(x, mask)
+        return concatenate([fwd, bwd], axis=-1)
+
+
+class LSTMCell(Module):
+    """Single LSTM step with the standard i/f/g/o gating.
+
+    The forget-gate bias is initialised to 1, the usual trick that keeps
+    long-range gradients alive early in training.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(init.xavier_uniform(rng, (input_size, 4 * hidden_size)))
+        self.w_h = Parameter(
+            np.concatenate(
+                [init.orthogonal(rng, (hidden_size, hidden_size)) for _ in range(4)],
+                axis=1,
+            )
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        hs = self.hidden_size
+        gates = matmul(x, self.w_x) + matmul(h, self.w_h) + self.bias
+        i = sigmoid(gates[:, :hs])
+        f = sigmoid(gates[:, hs : 2 * hs])
+        g = tanh(gates[:, 2 * hs : 3 * hs])
+        o = sigmoid(gates[:, 3 * hs :])
+        c_new = mul(f, c) + mul(i, g)
+        h_new = mul(o, tanh(c_new))
+        return h_new, c_new
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over a padded batch ``(batch, length, input)``."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, reverse: bool = False):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+        self.reverse = reverse
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, length, _input = x.shape
+        if mask is None:
+            mask = np.ones((batch, length))
+        mask = np.asarray(mask, dtype=float)
+        h = zeros((batch, self.hidden_size))
+        c = zeros((batch, self.hidden_size))
+        one = Tensor(np.array(1.0))
+        steps = range(length - 1, -1, -1) if self.reverse else range(length)
+        outputs: list[Tensor | None] = [None] * length
+        for t in steps:
+            h_new, c_new = self.cell(x[:, t, :], h, c)
+            m = Tensor(mask[:, t : t + 1])
+            h = mul(m, h_new) + mul(sub(one, m), h)
+            c = mul(m, c_new) + mul(sub(one, m), c)
+            outputs[t] = h
+        return stack(outputs, axis=1)
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM — the classic BiLSTM-CRF context encoder."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.forward_rnn = LSTM(input_size, hidden_size, rng, reverse=False)
+        self.backward_rnn = LSTM(input_size, hidden_size, rng, reverse=True)
+        self.output_dim = 2 * hidden_size
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        fwd = self.forward_rnn(x, mask)
+        bwd = self.backward_rnn(x, mask)
+        return concatenate([fwd, bwd], axis=-1)

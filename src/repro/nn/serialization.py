@@ -1,0 +1,57 @@
+"""Saving and loading module parameters.
+
+Checkpoints are plain ``.npz`` archives of the module's ``state_dict``
+plus a JSON metadata blob, so they are portable, inspectable and free of
+pickle's code-execution hazards.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_module(module: Module, path: str, metadata: dict | None = None) -> None:
+    """Write ``module``'s parameters (and optional metadata) to ``path``.
+
+    ``metadata`` must be JSON-serialisable; use it for the config needed
+    to rebuild the module (vocab sizes, hyper-parameters, seeds).
+    """
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    payload = dict(state)
+    meta = json.dumps(metadata or {})
+    payload[_META_KEY] = np.frombuffer(meta.encode("utf-8"), dtype=np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as fh:
+        np.savez(fh, **payload)
+
+
+def load_state(path: str) -> tuple[dict, dict]:
+    """Read a checkpoint; returns ``(state_dict, metadata)``."""
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        metadata = {}
+        if _META_KEY in archive.files:
+            raw = archive[_META_KEY].tobytes().decode("utf-8")
+            metadata = json.loads(raw)
+    return state, metadata
+
+
+def load_module(module: Module, path: str) -> dict:
+    """Load a checkpoint into an already-constructed ``module``.
+
+    Returns the checkpoint's metadata.  Raises if parameter names or
+    shapes do not match the module.
+    """
+    state, metadata = load_state(path)
+    module.load_state_dict(state)
+    return metadata

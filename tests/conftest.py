@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data.sentence import Dataset, Sentence, Span
+from repro.data.vocab import CharVocabulary, Vocabulary
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_sentence(tokens, spans=(), domain=""):
+    return Sentence(tuple(tokens), tuple(Span(*s) for s in spans), domain)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A handful of handwritten sentences with two entity types."""
+    sentences = [
+        make_sentence(
+            ["the", "Kavox", "visited", "qumila", "today"],
+            [(1, 2, "PER")],
+        ),
+        make_sentence(
+            ["reports", "from", "Zuqev", "Xilor", "arrived"],
+            [(2, 4, "LOC")],
+        ),
+        make_sentence(
+            ["Kavox", "and", "Wexiq", "met", "in", "Zuqev"],
+            [(0, 1, "PER"), (2, 3, "PER"), (5, 6, "LOC")],
+        ),
+        make_sentence(["nothing", "to", "see", "here"]),
+    ]
+    return Dataset("tiny", sentences, genre="test")
+
+
+@pytest.fixture
+def tiny_vocabs(tiny_dataset):
+    return (
+        Vocabulary.from_datasets([tiny_dataset]),
+        CharVocabulary.from_datasets([tiny_dataset]),
+    )

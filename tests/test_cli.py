@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.conll import read_conll_file
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_conll(self, tmp_path, capsys):
+        out = str(tmp_path / "g.conll")
+        code = main(["generate", "--dataset", "BioNLP13CG",
+                     "--scale", "0.02", out])
+        assert code == 0
+        ds = read_conll_file(out)
+        assert len(ds) > 0
+        assert ds.num_mentions > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_iobes_scheme(self, tmp_path):
+        out = str(tmp_path / "g.conll")
+        main(["generate", "--dataset", "GENIA", "--scale", "0.02",
+              "--scheme", "iobes", out])
+        text = open(out).read()
+        assert "S-" in text or "E-" in text
+
+
+class TestStats:
+    def test_prints_all_datasets(self, capsys):
+        assert main(["stats", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        for name in ("NNE", "GENIA", "ACE2005", "OntoNotes"):
+            assert name in out
+
+
+class TestTrainEvaluate:
+    def test_train_then_evaluate(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "model.npz")
+        code = main([
+            "train", "--dataset", "OntoNotes", "--scale", "0.02",
+            "--method", "FewNER", "--n-way", "3", "--iterations", "1",
+            "--pretrain-iterations", "1", "--holdout-types", "3", ckpt,
+        ])
+        assert code == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        code = main([
+            "evaluate", "--episodes", "2", "--holdout-types", "3", ckpt,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FewNER" in out and "%" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--preset", "smoke"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_timing(self, capsys):
+        assert main(["experiment", "timing", "--preset", "smoke"]) == 0
+        assert "inner step" in capsys.readouterr().out

@@ -1,0 +1,37 @@
+"""Additional CLI coverage: experiment subcommand listing and errors."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestExperimentValidation:
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table42"])
+
+    def test_table5_smoke(self, capsys):
+        assert main(["experiment", "table5", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "FewNER (baseline)" in out
+
+
+class TestStatsDetailed:
+    def test_detailed_profiles(self, capsys):
+        assert main(["stats", "--scale", "0.02", "--detailed"]) == 0
+        out = capsys.readouterr().out
+        assert "Corpus profile" in out
+        assert "head-type mass" in out
+
+
+class TestGenerateValidation:
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--dataset", "CoNLL", "x"])
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--scheme", "bilou", "x"]
+            )

@@ -1,0 +1,106 @@
+"""Tests for the augmentation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    UNK_TOKEN,
+    augment_dataset,
+    context_dropout,
+    mention_inventory,
+    replace_mentions,
+)
+from repro.data.sentence import Dataset, Sentence, Span
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+@pytest.fixture
+def corpus():
+    return Dataset("d", [
+        Sentence(("the", "Kavox", "visited"), (Span(1, 2, "PER"),)),
+        Sentence(("Mara", "Voss", "left", "early"), (Span(0, 2, "PER"),)),
+        Sentence(("in", "Zuqev", "City", "today"), (Span(1, 3, "LOC"),)),
+    ])
+
+
+class TestInventory:
+    def test_collects_by_type(self, corpus):
+        inv = mention_inventory(corpus)
+        assert set(inv) == {"PER", "LOC"}
+        assert ("Kavox",) in inv["PER"]
+        assert ("Mara", "Voss") in inv["PER"]
+        assert ("Zuqev", "City") in inv["LOC"]
+
+
+class TestReplaceMentions:
+    def test_probability_zero_is_identity(self, corpus, rng):
+        inv = mention_inventory(corpus)
+        for sentence in corpus:
+            out = replace_mentions(sentence, inv, rng, probability=0.0)
+            assert out.tokens == sentence.tokens
+            assert out.spans == sentence.spans
+
+    def test_replacement_keeps_labels_and_context(self, corpus, rng):
+        inv = mention_inventory(corpus)
+        sentence = corpus[0]
+        out = replace_mentions(sentence, inv, rng, probability=1.0)
+        assert [s.label for s in out.spans] == ["PER"]
+        # Context tokens are preserved around the (possibly longer) mention.
+        assert out.tokens[0] == "the"
+        assert out.tokens[-1] == "visited"
+        span = out.spans[0]
+        assert tuple(out.tokens[span.start : span.end]) in inv["PER"]
+
+    def test_length_change_shifts_spans(self, corpus):
+        inv = {"PER": [("Mara", "Voss")]}
+        sentence = corpus[0]  # single-token mention
+        rng = np.random.default_rng(0)
+        out = replace_mentions(sentence, inv, rng, probability=1.0)
+        assert len(out) == len(sentence) + 1
+        span = out.spans[0]
+        assert out.tokens[span.start : span.end] == ("Mara", "Voss")
+
+    def test_invalid_probability(self, corpus, rng):
+        with pytest.raises(ValueError):
+            replace_mentions(corpus[0], {}, rng, probability=1.5)
+
+    def test_overlapping_spans_rejected(self, rng):
+        sentence = Sentence(("a", "b", "c"),
+                            (Span(0, 2, "X"), Span(1, 3, "Y")))
+        with pytest.raises(ValueError):
+            replace_mentions(sentence, {}, rng)
+
+
+class TestContextDropout:
+    def test_entities_never_dropped(self, corpus):
+        rng = np.random.default_rng(1)
+        out = context_dropout(corpus[1], rng, probability=1.0)
+        assert out.tokens[:2] == ("Mara", "Voss")
+        assert all(t == UNK_TOKEN for t in out.tokens[2:])
+
+    def test_zero_probability_identity(self, corpus, rng):
+        out = context_dropout(corpus[0], rng, probability=0.0)
+        assert out.tokens == corpus[0].tokens
+
+
+class TestAugmentDataset:
+    def test_size_grows(self, corpus, rng):
+        out = augment_dataset(corpus, rng, copies=2)
+        assert len(out) == 3 * len(corpus)
+        assert out.name.endswith("+aug")
+
+    def test_zero_copies_identity(self, corpus, rng):
+        out = augment_dataset(corpus, rng, copies=0)
+        assert len(out) == len(corpus)
+
+    def test_type_inventory_preserved(self, corpus, rng):
+        out = augment_dataset(corpus, rng, copies=3)
+        assert set(out.types) == set(corpus.types)
+
+    def test_negative_copies_rejected(self, corpus, rng):
+        with pytest.raises(ValueError):
+            augment_dataset(corpus, rng, copies=-1)

@@ -1,0 +1,135 @@
+"""Tests for the IOBES codec and CoNLL interop."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.conll import read_conll, write_conll, write_conll_file, read_conll_file
+from repro.data.sentence import Dataset, Sentence, Span
+from repro.data.synthetic import generate_dataset
+from repro.data.tags import (
+    convert_scheme,
+    iobes_to_spans,
+    spans_to_bio,
+    spans_to_iobes,
+)
+
+
+class TestIOBES:
+    def test_singleton_uses_s(self):
+        assert spans_to_iobes([(1, 2, "PER")], 3) == ["O", "S-PER", "O"]
+
+    def test_multi_token_uses_bie(self):
+        assert spans_to_iobes([(0, 3, "LOC")], 3) == ["B-LOC", "I-LOC", "E-LOC"]
+
+    def test_two_token_has_no_inside(self):
+        assert spans_to_iobes([(0, 2, "X")], 2) == ["B-X", "E-X"]
+
+    def test_roundtrip(self):
+        spans = [(0, 1, "A"), (2, 5, "B"), (6, 8, "A")]
+        assert iobes_to_spans(spans_to_iobes(spans, 9)) == spans
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            spans_to_iobes([(0, 2, "A"), (1, 3, "B")], 4)
+
+    def test_lenient_decoding(self):
+        # An I- run without explicit E still closes at the boundary.
+        assert iobes_to_spans(["I-A", "I-A", "O"]) == [(0, 2, "A")]
+        assert iobes_to_spans(["E-A"]) == [(0, 1, "A")]
+
+    def test_invalid_tag(self):
+        with pytest.raises(ValueError):
+            iobes_to_spans(["Q-A"])
+
+
+class TestConvertScheme:
+    def test_bio_to_iobes(self):
+        bio = ["B-A", "I-A", "O", "B-B"]
+        assert convert_scheme(bio, "bio", "iobes") == ["B-A", "E-A", "O", "S-B"]
+
+    def test_iobes_to_bio(self):
+        iobes = ["S-A", "O", "B-B", "E-B"]
+        assert convert_scheme(iobes, "iobes", "bio") == ["B-A", "O", "B-B", "I-B"]
+
+    def test_identity(self):
+        bio = ["O", "B-X", "I-X"]
+        assert convert_scheme(bio, "bio", "bio") == bio
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            convert_scheme(["O"], "bio", "bilou")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 2), min_size=0, max_size=5), st.integers(8, 12))
+def test_scheme_conversion_preserves_spans(widths, length):
+    spans = []
+    cursor = 0
+    for w in widths:
+        start, end = cursor + 1, cursor + 2 + w
+        if end > length:
+            break
+        spans.append((start, end, f"T{w}"))
+        cursor = end
+    bio = spans_to_bio(spans, length)
+    there_and_back = convert_scheme(
+        convert_scheme(bio, "bio", "iobes"), "iobes", "bio"
+    )
+    assert there_and_back == bio
+
+
+class TestConll:
+    def make(self):
+        return Dataset("d", [
+            Sentence(("the", "Kavox", "ran"), (Span(1, 2, "PER"),)),
+            Sentence(("no", "entities"), ()),
+            Sentence(("Zuqev", "Xilor", "falls"), (Span(0, 2, "LOC"),)),
+        ])
+
+    def test_write_read_roundtrip(self):
+        ds = self.make()
+        text = "\n".join(write_conll(ds)) + "\n"
+        back = read_conll(io.StringIO(text))
+        assert len(back) == len(ds)
+        for a, b in zip(ds, back):
+            assert a.tokens == b.tokens
+            assert {s.as_tuple() for s in a.spans} == {s.as_tuple() for s in b.spans}
+
+    def test_iobes_roundtrip(self):
+        ds = self.make()
+        text = "\n".join(write_conll(ds, scheme="iobes")) + "\n"
+        back = read_conll(io.StringIO(text), scheme="iobes")
+        for a, b in zip(ds, back):
+            assert {s.as_tuple() for s in a.spans} == {s.as_tuple() for s in b.spans}
+
+    def test_docstart_ignored(self):
+        text = "-DOCSTART- O\n\nfoo\tB-X\n\n"
+        ds = read_conll(io.StringIO(text))
+        assert len(ds) == 1
+        assert ds[0].tokens == ("foo",)
+
+    def test_extra_columns_ignored(self):
+        text = "word NN I-NP B-PER\n\n"
+        ds = read_conll(io.StringIO(text))
+        assert ds[0].spans[0].label == "PER"
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            read_conll(io.StringIO("loneword\n\n"))
+
+    def test_bad_scheme(self):
+        with pytest.raises(ValueError):
+            read_conll(io.StringIO(""), scheme="bilou")
+        with pytest.raises(ValueError):
+            list(write_conll(self.make(), scheme="bilou"))
+
+    def test_file_roundtrip(self, tmp_path):
+        ds = generate_dataset("BioNLP13CG", scale=0.02, seed=0)
+        path = str(tmp_path / "corpus.conll")
+        write_conll_file(ds, path)
+        back = read_conll_file(path, name="BioNLP13CG")
+        assert len(back) == len(ds)
+        assert back.num_mentions == ds.num_mentions

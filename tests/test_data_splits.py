@@ -1,0 +1,72 @@
+"""Tests for the three splitting regimes."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import holdout_split, split_by_ratio, split_by_types
+from repro.data.synthetic import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_dataset("GENIA", scale=0.03, seed=0)
+
+
+class TestSplitByTypes:
+    def test_type_disjointness(self, corpus):
+        train, val, test = split_by_types(corpus, (18, 8, 10), seed=1)
+        assert not set(train.types) & set(val.types)
+        assert not set(train.types) & set(test.types)
+        assert not set(val.types) & set(test.types)
+
+    def test_counts_respected(self, corpus):
+        train, val, test = split_by_types(corpus, (18, 8, 10), seed=1)
+        assert len(val.types) <= 8
+        assert len(test.types) <= 10
+
+    def test_all_sentences_kept(self, corpus):
+        train, val, test = split_by_types(corpus, (18, 8, 10), seed=1)
+        assert len(train) + len(val) + len(test) == len(corpus)
+
+    def test_too_many_types_raises(self, corpus):
+        with pytest.raises(ValueError):
+            split_by_types(corpus, (100, 10, 10), seed=1)
+
+    def test_deterministic(self, corpus):
+        a = split_by_types(corpus, (18, 8, 10), seed=7)[2]
+        b = split_by_types(corpus, (18, 8, 10), seed=7)[2]
+        assert [s.tokens for s in a] == [s.tokens for s in b]
+
+    def test_unannotated_sentences_go_to_train(self, corpus):
+        train, val, test = split_by_types(corpus, (18, 8, 10), seed=1)
+        assert all(s.spans for s in val)
+        assert all(s.spans for s in test)
+
+
+class TestSplitByRatio:
+    def test_ratios(self, corpus):
+        train, val, test = split_by_ratio(corpus, (0.8, 0.1, 0.1), seed=2)
+        assert len(train) == pytest.approx(0.8 * len(corpus), abs=2)
+        assert len(train) + len(val) + len(test) == len(corpus)
+
+    def test_disjoint_sentences(self, corpus):
+        train, val, test = split_by_ratio(corpus, (0.8, 0.1, 0.1), seed=2)
+        ids = [id(s) for part in (train, val, test) for s in part]
+        assert len(ids) == len(set(ids))
+
+    def test_invalid_ratios(self, corpus):
+        with pytest.raises(ValueError):
+            split_by_ratio(corpus, (0.5, 0.1, 0.1))
+
+
+class TestHoldout:
+    def test_fraction(self, corpus):
+        val, test = holdout_split(corpus, 0.2, seed=3)
+        assert len(val) == pytest.approx(0.2 * len(corpus), abs=2)
+        assert len(val) + len(test) == len(corpus)
+
+    def test_invalid_fraction(self, corpus):
+        with pytest.raises(ValueError):
+            holdout_split(corpus, 0.0)
+        with pytest.raises(ValueError):
+            holdout_split(corpus, 1.0)

@@ -1,0 +1,61 @@
+"""Tests for corpus profiling."""
+
+import pytest
+
+from repro.data.sentence import Dataset, Sentence, Span
+from repro.data.statistics import length_histogram, profile_corpus
+from repro.data.synthetic import generate_dataset
+
+
+class TestProfile:
+    def test_basic_counts(self, tiny_dataset):
+        profile = profile_corpus(tiny_dataset)
+        assert profile.sentences == 4
+        assert profile.mentions == 5
+        assert profile.types == 2
+        assert profile.mentions_per_sentence == pytest.approx(5 / 4)
+
+    def test_mention_length(self):
+        ds = Dataset("d", [
+            Sentence(("a", "b", "c"), (Span(0, 2, "X"),)),
+            Sentence(("d", "e"), (Span(0, 1, "X"),)),
+        ])
+        profile = profile_corpus(ds)
+        assert profile.mention_length_mean == pytest.approx(1.5)
+
+    def test_head_mass_on_skewed_types(self):
+        sentences = [
+            Sentence((f"w{i}",), (Span(0, 1, "COMMON"),)) for i in range(8)
+        ] + [
+            Sentence((f"r{i}",), (Span(0, 1, f"RARE{i}"),)) for i in range(2)
+        ]
+        profile = profile_corpus(Dataset("skew", sentences))
+        # 3 types; top 20% -> 1 type (COMMON) with 8/10 mentions.
+        assert profile.head_type_mass == pytest.approx(0.8)
+        assert profile.singleton_types == 2
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            profile_corpus(Dataset("empty", []))
+
+    def test_render_mentions_fields(self, tiny_dataset):
+        text = profile_corpus(tiny_dataset).render()
+        assert "sentences" in text and "head-type mass" in text
+
+    def test_fg_ner_is_sparser_than_nne(self):
+        fg = profile_corpus(generate_dataset("FG-NER", scale=0.2, seed=0))
+        nne = profile_corpus(generate_dataset("NNE", scale=0.02, seed=0))
+        assert fg.mentions_per_sentence < nne.mentions_per_sentence
+
+
+class TestHistogram:
+    def test_histogram_renders(self, tiny_dataset):
+        text = length_histogram(tiny_dataset, bin_width=2)
+        assert "Sentence lengths" in text
+        assert "#" in text
+
+    def test_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            length_histogram(tiny_dataset, bin_width=0)
+        with pytest.raises(ValueError):
+            length_histogram(Dataset("e", []))

@@ -1,0 +1,166 @@
+"""Tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.specs import ACE_DOMAINS, DATASET_SPECS, DatasetSpec
+from repro.data.synthetic import (
+    SyntheticCorpusGenerator,
+    _genre_profile,
+    generate_dataset,
+)
+
+
+class TestSpecs:
+    def test_table1_inventory_complete(self):
+        assert set(DATASET_SPECS) == {
+            "NNE", "FG-NER", "GENIA", "ACE2005", "OntoNotes", "BioNLP13CG"
+        }
+
+    def test_table1_numbers(self):
+        assert DATASET_SPECS["NNE"].num_types == 114
+        assert DATASET_SPECS["FG-NER"].num_types == 200
+        assert DATASET_SPECS["GENIA"].num_types == 36
+        assert DATASET_SPECS["ACE2005"].num_types == 54
+        assert DATASET_SPECS["OntoNotes"].num_types == 18
+        assert DATASET_SPECS["BioNLP13CG"].num_types == 16
+
+    def test_ace_domain_distances(self):
+        """BN/CTS must be closer than NW/WL, which beat BC/UN — this is
+        the ordering Table 3 observes."""
+        by_name = {d.name: d.shared_vocab_fraction for d in ACE_DOMAINS}
+        bn_cts = min(by_name["BN"], by_name["CTS"])
+        nw_wl = min(by_name["NW"], by_name["WL"])
+        bc_un = min(by_name["BC"], by_name["UN"])
+        assert bn_cts > nw_wl > bc_un
+
+    def test_mention_density(self):
+        spec = DATASET_SPECS["NNE"]
+        assert spec.mention_density == pytest.approx(185925 / 39932)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_dataset("GENIA", scale=0.02, seed=5)
+        b = generate_dataset("GENIA", scale=0.02, seed=5)
+        assert [s.tokens for s in a] == [s.tokens for s in b]
+        assert [tuple(sp.as_tuple() for sp in s.spans) for s in a] == [
+            tuple(sp.as_tuple() for sp in s.spans) for s in b
+        ]
+
+    def test_seed_changes_content(self):
+        a = generate_dataset("GENIA", scale=0.02, seed=5)
+        b = generate_dataset("GENIA", scale=0.02, seed=6)
+        assert [s.tokens for s in a] != [s.tokens for s in b]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            generate_dataset("CoNLL03")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusGenerator(DATASET_SPECS["NNE"], scale=0)
+
+    def test_scale_controls_size(self):
+        small = generate_dataset("NNE", scale=0.01, seed=0)
+        large = generate_dataset("NNE", scale=0.03, seed=0)
+        assert len(large) > len(small)
+
+    def test_mention_density_tracks_spec(self):
+        ds = generate_dataset("NNE", scale=0.05, seed=0)
+        target = DATASET_SPECS["NNE"].mention_density
+        measured = ds.num_mentions / len(ds)
+        # Density is clipped at 4 mentions/sentence, so we only require
+        # the right order of magnitude.
+        assert 0.4 * target < measured < 1.5 * target
+
+    def test_types_covered_at_scale(self):
+        ds = generate_dataset("OntoNotes", scale=0.05, seed=0)
+        assert ds.num_types == 18
+
+
+class TestGenreMorphology:
+    def test_newswire_entities_capitalised(self):
+        ds = generate_dataset("NNE", scale=0.02, seed=0)
+        entity_tokens = [
+            ds[i].tokens[s.start]
+            for i in range(len(ds))
+            for s in ds[i].spans
+        ]
+        capitalised = sum(t[0].isupper() for t in entity_tokens)
+        assert capitalised / len(entity_tokens) > 0.95
+
+    def test_medical_entities_lowercase_with_digits(self):
+        ds = generate_dataset("GENIA", scale=0.02, seed=0)
+        tokens = [
+            tok
+            for i in range(len(ds))
+            for s in ds[i].spans
+            for tok in ds[i].tokens[s.start : s.end]
+        ]
+        assert sum(t[0].isupper() for t in tokens) / len(tokens) < 0.05
+        assert sum(any(c.isdigit() for c in t) for t in tokens) / len(tokens) > 0.2
+
+    def test_same_genre_shares_profile(self):
+        genia = _genre_profile("medical", seed=0)
+        again = _genre_profile("medical", seed=0)
+        assert genia.introducers == again.introducers
+        assert genia.suffix_pool == again.suffix_pool
+
+    def test_suffix_pool_shared_across_types(self):
+        gen = SyntheticCorpusGenerator(DATASET_SPECS["NNE"], scale=0.02, seed=0)
+        suffixes = {t.suffix for t in gen.types.values()}
+        assert suffixes <= set(gen.profile.suffix_pool)
+
+
+class TestACE:
+    def test_six_domains(self):
+        ds = generate_dataset("ACE2005", scale=0.02, seed=0)
+        assert ds.domains == ["BC", "BN", "CTS", "NW", "UN", "WL"]
+
+    def test_coarse_fine_names(self):
+        spec = DATASET_SPECS["ACE2005"]
+        gen = SyntheticCorpusGenerator(spec, scale=0.02, seed=0)
+        names = list(gen.types)
+        assert len(names) == 54
+        assert all(":" in n for n in names)
+        coarse = {n.split(":")[0] for n in names}
+        assert len(coarse) == 7
+
+    def test_nested_mentions_generated_and_removable(self):
+        ds = generate_dataset("ACE2005", scale=0.03, seed=0)
+
+        def count_nested(d):
+            return sum(
+                1
+                for s in d
+                for a in s.spans
+                for b in s.spans
+                if a is not b and a.contains(b)
+            )
+
+        assert count_nested(ds) > 0
+        assert count_nested(ds.innermost()) == 0
+
+    def test_flat_corpora_have_no_nesting(self):
+        ds = generate_dataset("OntoNotes", scale=0.02, seed=0)
+        nested = sum(
+            1
+            for s in ds
+            for a in s.spans
+            for b in s.spans
+            if a is not b and a.contains(b)
+        )
+        assert nested == 0
+
+
+class TestDomainVocabularies:
+    def test_overlap_ordering_matches_spec(self):
+        gen = SyntheticCorpusGenerator(DATASET_SPECS["ACE2005"], scale=0.02, seed=0)
+
+        def overlap(a, b):
+            va = set(gen._domain_vocab[a])
+            vb = set(gen._domain_vocab[b])
+            return len(va & vb) / len(va | vb)
+
+        assert overlap("BN", "CTS") > overlap("NW", "WL") > overlap("BC", "UN")

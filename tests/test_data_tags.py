@@ -1,0 +1,98 @@
+"""Tests for the BIO codec and tag schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tags import TagScheme, bio_to_spans, spans_to_bio
+
+
+class TestSpansToBio:
+    def test_simple(self):
+        tags = spans_to_bio([(1, 3, "PER")], 5)
+        assert tags == ["O", "B-PER", "I-PER", "O", "O"]
+
+    def test_adjacent_spans(self):
+        tags = spans_to_bio([(0, 2, "A"), (2, 3, "B")], 3)
+        assert tags == ["B-A", "I-A", "B-B"]
+
+    def test_adjacent_same_type_kept_separate(self):
+        tags = spans_to_bio([(0, 1, "A"), (1, 2, "A")], 2)
+        assert tags == ["B-A", "B-A"]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            spans_to_bio([(0, 4, "A")], 3)
+        with pytest.raises(ValueError):
+            spans_to_bio([(-1, 1, "A")], 3)
+
+    def test_overlap_raises(self):
+        with pytest.raises(ValueError):
+            spans_to_bio([(0, 2, "A"), (1, 3, "B")], 4)
+
+
+class TestBioToSpans:
+    def test_roundtrip(self):
+        spans = [(0, 2, "LOC"), (3, 4, "PER")]
+        assert bio_to_spans(spans_to_bio(spans, 5)) == spans
+
+    def test_span_at_end(self):
+        assert bio_to_spans(["O", "B-A", "I-A"]) == [(1, 3, "A")]
+
+    def test_orphan_i_opens_span(self):
+        # conlleval-compatible lenient decoding
+        assert bio_to_spans(["O", "I-A", "I-A"]) == [(1, 3, "A")]
+
+    def test_type_switch_inside_i(self):
+        assert bio_to_spans(["B-A", "I-B"]) == [(0, 1, "A"), (1, 2, "B")]
+
+    def test_invalid_tag_raises(self):
+        with pytest.raises(ValueError):
+            bio_to_spans(["O", "Z-A"])
+
+    def test_empty(self):
+        assert bio_to_spans([]) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 2), min_size=0, max_size=6), st.integers(8, 14))
+def test_roundtrip_property(starts, length):
+    """Random non-overlapping spans survive the encode/decode roundtrip."""
+    spans = []
+    cursor = 0
+    for width in starts:
+        start = cursor + 1
+        end = start + width + 1
+        if end > length:
+            break
+        spans.append((start, end, f"T{width}"))
+        cursor = end
+    assert bio_to_spans(spans_to_bio(spans, length)) == spans
+
+
+class TestTagScheme:
+    def test_tags_layout(self):
+        scheme = TagScheme(("PER", "LOC"))
+        assert scheme.tags == ["O", "B-PER", "I-PER", "B-LOC", "I-LOC"]
+        assert scheme.num_tags == 5
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            TagScheme(("A", "A"))
+
+    def test_encode_drops_unknown_labels(self):
+        scheme = TagScheme(("PER",))
+        ids = scheme.encode([(0, 1, "PER"), (2, 3, "UNKNOWN")], 4)
+        assert ids == [1, 0, 0, 0]
+
+    def test_decode_roundtrip(self):
+        scheme = TagScheme(("PER", "LOC"))
+        spans = [(1, 2, "PER"), (3, 5, "LOC")]
+        assert scheme.decode(scheme.encode(spans, 6)) == spans
+
+    def test_tag_index(self):
+        scheme = TagScheme(("X",))
+        assert scheme.tag_index("B-X") == 1
+        with pytest.raises(KeyError):
+            scheme.tag_index("B-Y")

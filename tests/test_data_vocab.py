@@ -1,0 +1,79 @@
+"""Tests for word and character vocabularies."""
+
+import numpy as np
+import pytest
+
+from repro.data.vocab import CharVocabulary, Vocabulary
+
+
+class TestVocabulary:
+    def test_pad_unk_reserved(self):
+        v = Vocabulary(["apple", "banana"])
+        assert v.pad_index == 0
+        assert v.unk_index == 1
+        assert len(v) == 4
+
+    def test_lowercasing(self):
+        v = Vocabulary(["Apple"])
+        assert v.index("APPLE") == v.index("apple")
+        assert "Apple" in v
+
+    def test_cased_mode(self):
+        v = Vocabulary(["Apple"], lowercase=False)
+        assert v.index("apple") == v.unk_index
+        assert v.index("Apple") != v.unk_index
+
+    def test_min_count_filters_singletons(self):
+        v = Vocabulary(["a", "a", "b"], min_count=2)
+        assert v.index("a") != v.unk_index
+        assert v.index("b") == v.unk_index
+
+    def test_unknown_maps_to_unk(self):
+        v = Vocabulary(["x"])
+        assert v.index("zzz") == v.unk_index
+
+    def test_encode(self):
+        v = Vocabulary(["a", "b"])
+        ids = v.encode(["a", "zzz", "b"])
+        assert ids[1] == v.unk_index
+        assert v.token(ids[0]) == "a"
+
+    def test_encode_batch_padding_and_mask(self):
+        v = Vocabulary(["a", "b", "c"])
+        ids, mask = v.encode_batch([["a", "b", "c"], ["a"]])
+        assert ids.shape == (2, 3)
+        assert ids[1, 1] == v.pad_index
+        assert mask.tolist() == [[1, 1, 1], [1, 0, 0]]
+
+    def test_encode_batch_empty_raises(self):
+        with pytest.raises(ValueError):
+            Vocabulary(["a"]).encode_batch([])
+
+    def test_deterministic_ordering(self):
+        v1 = Vocabulary(["b", "a", "c"])
+        v2 = Vocabulary(["c", "a", "b"])
+        assert [v1.token(i) for i in range(len(v1))] == [
+            v2.token(i) for i in range(len(v2))
+        ]
+
+
+class TestCharVocabulary:
+    def test_cased(self):
+        cv = CharVocabulary(["Ab"])
+        assert cv.index("A") != cv.index("a")
+
+    def test_unknown_char(self):
+        cv = CharVocabulary(["ab"])
+        assert cv.index("z") == 1
+
+    def test_encode_word_truncates_and_pads(self):
+        cv = CharVocabulary(["abcdef"])
+        ids = cv.encode_word("abcdef", max_chars=4)
+        assert ids.shape == (4,)
+        ids = cv.encode_word("ab", max_chars=4)
+        assert ids[2] == cv.pad_index
+
+    def test_encode_sentence_shape(self):
+        cv = CharVocabulary(["ab", "cde"])
+        out = cv.encode_sentence(["ab", "cde"], max_chars=5)
+        assert out.shape == (2, 5)

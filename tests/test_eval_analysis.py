@@ -1,0 +1,64 @@
+"""Tests for the analysis utilities (OOTV, adaptation curve, φ norms)."""
+
+import numpy as np
+import pytest
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.eval.analysis import adaptation_curve, context_norms, ootv_report
+from repro.meta import FewNER, MethodConfig
+from repro.models import BackboneConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = generate_dataset("OntoNotes", scale=0.02, seed=0)
+    train = corpus[: len(corpus) // 2]
+    test = corpus[len(corpus) // 2 :]
+    wv = Vocabulary.from_datasets([train], min_count=2)
+    cv = CharVocabulary.from_datasets([train])
+    config = MethodConfig(
+        seed=0, pretrain_iterations=0,
+        backbone=BackboneConfig(word_dim=10, char_dim=6, char_filters=6,
+                                hidden=8, dropout=0.0),
+    )
+    adapter = FewNER(wv, cv, 3, config)
+    episodes = [
+        EpisodeSampler(test, 3, 1, query_size=3, seed=s).sample()
+        for s in range(3)
+    ]
+    return train, test, wv, adapter, episodes
+
+
+class TestOOTV:
+    def test_entity_tokens_more_oov(self, setup):
+        train, test, wv, _adapter, _eps = setup
+        report = ootv_report(test, wv)
+        assert report.entity_tokens > 0
+        assert report.context_tokens > 0
+        # The generator's fresh entity surfaces make entity tokens far
+        # more OOV than context tokens — the paper's char-CNN story.
+        assert report.entity_oov_rate > report.context_oov_rate
+
+    def test_train_set_low_entity_oov_without_min_count(self, setup):
+        train, _test, _wv, _adapter, _eps = setup
+        full_vocab = Vocabulary.from_datasets([train], min_count=1)
+        report = ootv_report(train, full_vocab)
+        assert report.entity_oov_rate == 0.0
+
+
+class TestAdaptationCurve:
+    def test_curve_shape(self, setup):
+        _train, _test, _wv, adapter, episodes = setup
+        curve = adaptation_curve(adapter, episodes[0], step_counts=(0, 1, 2))
+        assert [s for s, _f in curve] == [0, 1, 2]
+        assert all(0.0 <= f <= 1.0 for _s, f in curve)
+
+
+class TestContextNorms:
+    def test_norms_positive_after_adaptation(self, setup):
+        _train, _test, _wv, adapter, episodes = setup
+        norms = context_norms(adapter, episodes)
+        assert norms.shape == (3,)
+        assert np.all(norms > 0)

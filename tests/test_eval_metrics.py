@@ -1,0 +1,143 @@
+"""Tests for entity-level F1 and episode aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.aggregate import (
+    ConfidenceInterval,
+    aggregate_f1,
+    format_mean_ci,
+    relative_improvement,
+)
+from repro.eval.metrics import PRF, episode_f1, span_prf
+
+
+class TestSpanPRF:
+    def test_perfect(self):
+        gold = [(0, 2, "PER"), (3, 4, "LOC")]
+        prf = span_prf(gold, gold)
+        assert prf.precision == prf.recall == prf.f1 == 1.0
+
+    def test_no_predictions(self):
+        prf = span_prf([(0, 1, "A")], [])
+        assert prf.precision == 0.0
+        assert prf.recall == 0.0
+        assert prf.f1 == 0.0
+
+    def test_no_gold_no_pred_is_zero_denominator(self):
+        prf = span_prf([], [])
+        assert prf.f1 == 0.0
+
+    def test_type_must_match(self):
+        prf = span_prf([(0, 2, "PER")], [(0, 2, "LOC")])
+        assert prf.correct == 0
+
+    def test_boundary_must_match(self):
+        prf = span_prf([(0, 2, "PER")], [(0, 3, "PER")])
+        assert prf.correct == 0
+
+    def test_paper_formula(self):
+        # g=4 gold, r=3 predicted, c=2 correct: F1 = 2c/(g+r)
+        gold = [(0, 1, "A"), (2, 3, "A"), (4, 5, "B"), (6, 7, "B")]
+        pred = [(0, 1, "A"), (2, 3, "A"), (8, 9, "B")]
+        prf = span_prf(gold, pred)
+        assert prf.f1 == pytest.approx(2 * 2 / (4 + 3))
+
+    def test_duplicates_matched_with_multiplicity(self):
+        prf = span_prf([(0, 1, "A")], [(0, 1, "A"), (0, 1, "A")])
+        assert prf.correct == 1
+        assert prf.predicted == 2
+
+    def test_addition(self):
+        total = PRF(2, 1, 1) + PRF(3, 4, 2)
+        assert (total.gold, total.predicted, total.correct) == (5, 5, 3)
+
+
+class TestEpisodeF1:
+    def test_micro_average(self):
+        gold = [[(0, 1, "A")], [(0, 1, "B"), (2, 3, "B")]]
+        pred = [[(0, 1, "A")], []]
+        # c=1, g=3, r=1 -> 2/(3+1)
+        assert episode_f1(gold, pred) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            episode_f1([[]], [[], []])
+
+
+class TestAggregate:
+    def test_mean_and_ci(self):
+        scores = [0.2, 0.4, 0.6, 0.8]
+        ci = aggregate_f1(scores)
+        assert ci.mean == pytest.approx(0.5)
+        expected_hw = 1.96 * np.std(scores) / 2.0
+        assert ci.half_width == pytest.approx(expected_hw)
+        assert ci.n == 4
+
+    def test_single_score_zero_width(self):
+        ci = aggregate_f1([0.5])
+        assert ci.half_width == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_f1([])
+
+    def test_format_like_paper(self):
+        ci = ConfidenceInterval(mean=0.2374, half_width=0.0065, n=1000)
+        assert format_mean_ci(ci) == "23.74 ± 0.65%"
+
+    def test_overlap(self):
+        a = ConfidenceInterval(0.5, 0.1, 10)
+        b = ConfidenceInterval(0.65, 0.1, 10)
+        c = ConfidenceInterval(0.8, 0.05, 10)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_relative_improvement(self):
+        assert relative_improvement(0.2374, 0.2017) == pytest.approx(17.70, abs=0.05)
+        with pytest.raises(ValueError):
+            relative_improvement(0.5, 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(0, 1), min_size=1, max_size=50))
+def test_ci_contains_mean_property(scores):
+    ci = aggregate_f1(scores)
+    assert ci.low <= ci.mean <= ci.high
+    assert 0 <= ci.mean <= 1
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_small_p(self):
+        from repro.eval.aggregate import paired_bootstrap
+
+        a = [0.6 + 0.01 * i for i in range(20)]
+        b = [0.3 + 0.01 * i for i in range(20)]
+        assert paired_bootstrap(a, b) < 0.01
+
+    def test_identical_methods_high_p(self):
+        from repro.eval.aggregate import paired_bootstrap
+
+        a = [0.5, 0.6, 0.4, 0.55]
+        assert paired_bootstrap(a, a) == 1.0
+
+    def test_noisy_tie_is_inconclusive(self):
+        from repro.eval.aggregate import paired_bootstrap
+
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 1, size=30)
+        noise = base + rng.normal(0, 0.2, size=30)
+        p = paired_bootstrap(base, noise, seed=1)
+        assert 0.05 < p < 0.95
+
+    def test_validation(self):
+        from repro.eval.aggregate import paired_bootstrap
+
+        with pytest.raises(ValueError):
+            paired_bootstrap([0.5], [0.5, 0.6])
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+        with pytest.raises(ValueError):
+            paired_bootstrap([0.5], [0.4], n_resamples=0)

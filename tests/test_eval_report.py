@@ -1,0 +1,84 @@
+"""Tests for per-type reports and error decomposition."""
+
+import pytest
+
+from repro.eval.report import (
+    ErrorBreakdown,
+    classification_report,
+    error_breakdown,
+    render_report,
+    summarize_report,
+)
+
+
+GOLD = [
+    [(0, 2, "PER"), (4, 5, "LOC")],
+    [(1, 2, "LOC")],
+    [(0, 1, "ORG")],
+]
+
+
+class TestClassificationReport:
+    def test_perfect_predictions(self):
+        report = classification_report(GOLD, GOLD)
+        for name in ("PER", "LOC", "ORG"):
+            assert report[name].f1 == 1.0
+        assert report["micro"].f1 == 1.0
+
+    def test_per_type_counts(self):
+        pred = [
+            [(0, 2, "PER")],          # LOC missed
+            [(1, 2, "PER")],          # type error: LOC predicted as PER
+            [],                        # ORG missed
+        ]
+        report = classification_report(GOLD, pred)
+        assert report["PER"].gold == 1
+        assert report["PER"].predicted == 2
+        assert report["PER"].correct == 1
+        assert report["LOC"].correct == 0
+        assert report["ORG"].predicted == 0
+
+    def test_summary(self):
+        report = classification_report(GOLD, GOLD)
+        summary = summarize_report(report)
+        assert summary["micro_f1"] == 1.0
+        assert summary["macro_f1"] == 1.0
+        assert summary["num_types"] == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_report(GOLD, GOLD[:2])
+
+    def test_render_contains_all_types(self):
+        text = render_report(classification_report(GOLD, GOLD))
+        for name in ("PER", "LOC", "ORG", "micro"):
+            assert name in text
+
+
+class TestErrorBreakdown:
+    def test_all_correct(self):
+        bd = error_breakdown(GOLD, GOLD)
+        assert bd == ErrorBreakdown(4, 0, 0, 0, 0)
+
+    def test_type_error(self):
+        pred = [[(0, 2, "LOC"), (4, 5, "LOC")], [(1, 2, "LOC")], [(0, 1, "ORG")]]
+        bd = error_breakdown(GOLD, pred)
+        assert bd.type_error == 1
+        assert bd.correct == 3
+        assert bd.missed == 0
+
+    def test_boundary_error(self):
+        pred = [[(0, 3, "PER")], [], []]
+        bd = error_breakdown(GOLD, pred)
+        assert bd.boundary_error == 1
+        assert bd.missed == 3  # LOC in sent 0, LOC in sent 1, ORG in sent 2
+
+    def test_spurious(self):
+        pred = [[(6, 7, "PER")], [], []]
+        bd = error_breakdown(GOLD, pred)
+        assert bd.spurious == 1
+        assert bd.correct == 0
+
+    def test_empty_everything(self):
+        bd = error_breakdown([[]], [[]])
+        assert bd == ErrorBreakdown(0, 0, 0, 0, 0)

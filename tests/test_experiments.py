@@ -1,0 +1,160 @@
+"""Smoke-scale integration tests for every experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    SCALES,
+    get_scale,
+    run_experiment,
+)
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.registry import render_result
+from repro.experiments import table1, table5, timing as timing_mod
+from repro.experiments.harness import TABLE_METHODS
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return SCALES["smoke"]
+
+
+class TestConfigs:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert get_scale().name == "default"
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_iterations_fallback(self):
+        scale = SCALES["default"]
+        # Explicit per-method entries win; unknown methods use "*".
+        assert scale.iterations_for("FewNER") == scale.train_iterations["FewNER"]
+        assert scale.iterations_for("SomeNewMethod") == scale.train_iterations["*"]
+
+    def test_paper_preset_matches_paper_hparams(self):
+        paper = SCALES["paper"]
+        cfg = paper.method_config
+        assert cfg.inner_lr == 0.1
+        assert cfg.meta_lr == 0.0008
+        assert cfg.meta_optimizer == "sgd"
+        assert cfg.meta_batch == 8
+        assert cfg.inner_steps_train == 2
+        assert cfg.inner_steps_test == 8
+        assert cfg.inner_loss == "crf"
+        assert cfg.second_order is True
+        assert cfg.pretrain_iterations == 0
+        assert cfg.backbone.hidden == 128
+        assert cfg.backbone.context_dim == 256
+        assert cfg.backbone.word_dim == 300
+        assert cfg.backbone.conditioning == "film"
+        assert cfg.backbone.dropout == 0.3
+        assert paper.eval_episodes == 1000
+
+
+class TestTable1:
+    def test_rows_cover_all_datasets(self, smoke):
+        rows = table1.run(smoke)
+        assert {r.dataset for r in rows} == {
+            "NNE", "FG-NER", "GENIA", "ACE2005", "OntoNotes", "BioNLP13CG"
+        }
+        for r in rows:
+            assert r.sentences > 0
+            assert r.mentions > 0
+
+    def test_render(self, smoke):
+        text = table1.render(table1.run(smoke))
+        assert "NNE" in text and "#Types" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "timing", "figure_adaptation",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table9")
+
+
+@pytest.mark.slow
+class TestAdaptationTables:
+    """Each table harness runs end-to-end at smoke scale with a reduced
+    method set (the full set runs in benchmarks/)."""
+
+    METHODS = ("FineTune", "ProtoNet", "FewNER")
+
+    def test_table2(self, smoke):
+        result = run_experiment("table2", "smoke", methods=self.METHODS)
+        assert result.settings == ["NNE", "FG-NER", "GENIA"]
+        for m in self.METHODS:
+            for setting in result.settings:
+                for k in smoke.shots:
+                    cell = result.cell(m, setting, k)
+                    assert 0.0 <= cell.f1 <= 1.0
+        text = result.render()
+        assert "FewNER" in text
+
+    def test_table3(self, smoke):
+        result = run_experiment("table3", "smoke", methods=("ProtoNet",))
+        assert result.settings == ["BC->UN", "BN->CTS", "NW->WL"]
+
+    def test_table4(self, smoke):
+        result = run_experiment("table4", "smoke", methods=("ProtoNet",))
+        assert result.settings == [
+            "GENIA->BioNLP13CG", "OntoNotes->BioNLP13CG", "OntoNotes->FG-NER"
+        ]
+
+    def test_table5_variants(self, smoke):
+        variants = table5.default_variants(4)[:3]
+        rows = run_experiment("table5", "smoke", variants=variants)
+        assert {r.variant for r in rows} == {v.name for v in variants}
+        baseline = [r for r in rows if r.variant.startswith("FewNER")]
+        assert all(r.delta == 0.0 for r in baseline)
+        text = table5.render(rows)
+        assert "Table 5" in text
+
+    def test_table6(self, smoke):
+        examples = run_experiment("table6", "smoke")
+        assert examples
+        adaptations = {e.adaptation for e in examples}
+        assert any("->" in a for a in adaptations)
+        rendered = render_result("table6", examples)
+        assert "pred:" in rendered
+
+
+class TestTiming:
+    def test_report_fields_positive(self, smoke):
+        report = run_experiment("timing", "smoke")
+        assert report.inner_step_1shot > 0
+        assert report.outer_batch_5shot > 0
+        assert report.evaluate_task_1shot > 0
+        text = report.render()
+        assert "inner step" in text
+
+    def test_inner_step_cheaper_than_outer_batch(self, smoke):
+        report = run_experiment("timing", "smoke")
+        assert report.inner_step_1shot < report.outer_batch_1shot
+
+
+class TestTable5Padding:
+    def test_pad_episode(self, smoke):
+        from repro.data.episodes import EpisodeSampler
+        from repro.data.synthetic import generate_dataset
+        from repro.experiments.table5 import pad_episode
+
+        ds = generate_dataset("OntoNotes", scale=0.02, seed=0)
+        episode = EpisodeSampler(ds, 3, 1, seed=0).sample()
+        padded = pad_episode(episode, 5)
+        assert padded.n_way == 5
+        assert padded.types[:3] == episode.types
+        with pytest.raises(ValueError):
+            pad_episode(padded, 3)

@@ -1,0 +1,38 @@
+"""Tests for result export and the adaptation-curve figure experiment."""
+
+import pytest
+
+from repro.eval.aggregate import ConfidenceInterval
+from repro.experiments.harness import MethodResult, TableResult
+
+
+class TestCsvExport:
+    def make(self):
+        result = TableResult(title="t", settings=["s"], shots=(1,))
+        result.cells.append(
+            MethodResult("FewNER", "s", 1, ConfidenceInterval(0.5, 0.01, 16),
+                         12.0, 3.0)
+        )
+        return result
+
+    def test_header_and_row(self):
+        csv = self.make().to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("method,setting,k_shot,f1")
+        assert lines[1].startswith("FewNER,s,1,0.500000")
+
+    def test_row_count(self):
+        assert len(self.make().to_csv().splitlines()) == 2
+
+
+class TestFigureExperiment:
+    def test_smoke_run(self):
+        from repro.experiments import figures, get_scale
+
+        result = figures.run(get_scale("smoke"), step_counts=(0, 1))
+        assert result.step_counts == (0, 1)
+        assert len(result.mean_f1) == 2
+        assert result.adapted_parameters < result.total_parameters
+        text = result.render()
+        assert "inner steps" in text
+        assert "parameters adapted" in text

@@ -1,0 +1,51 @@
+"""Focused unit tests for individual experiment modules."""
+
+import pytest
+
+from repro.experiments import table2, table6
+from repro.experiments.timing import TimingReport
+
+
+class TestTimingReport:
+    def test_render_mentions_paper_numbers(self):
+        report = TimingReport(
+            inner_step_1shot=0.01, inner_step_5shot=0.02,
+            outer_batch_1shot=0.5, outer_batch_5shot=0.8,
+            adapt_task_1shot=0.05, adapt_task_5shot=0.09,
+            evaluate_task_1shot=0.07, evaluate_task_5shot=0.12,
+        )
+        text = report.render()
+        assert "0.04" in text  # paper's V100 inner-step time for context
+        assert "2.19" in text and "3.44" in text
+        assert "inner step" in text
+
+
+class TestTable2Helpers:
+    def test_fit_counts_identity_when_room(self):
+        assert table2._fit_counts((5, 2, 3), 10) == (5, 2, 3)
+
+    def test_fit_counts_shrinks_train(self):
+        train, val, test = table2._fit_counts((50, 10, 15), 60)
+        assert train + val + test == 60
+        assert (val, test) == (10, 15)
+
+    def test_fit_counts_never_shrinks_below_heldout(self):
+        """Train may shrink only down to val+test; beyond that the split
+        is infeasible and must fail loudly."""
+        with pytest.raises(ValueError):
+            table2._fit_counts((50, 10, 15), 40)
+
+    def test_type_splits_match_paper(self):
+        assert table2.TYPE_SPLITS == {
+            "NNE": (52, 10, 15),
+            "FG-NER": (163, 15, 20),
+            "GENIA": (18, 8, 10),
+        }
+
+
+class TestTable6Helpers:
+    def test_intra_domain_label(self):
+        assert table6._setting_label("NNE") == "NNE -> NNE"
+
+    def test_cross_domain_label_unchanged(self):
+        assert table6._setting_label("BC->UN") == "BC->UN"

@@ -1,0 +1,66 @@
+"""Tests for the grid-search sweep utility."""
+
+import pytest
+
+from repro.data.synthetic import generate_dataset
+from repro.experiments.sweep import (
+    apply_assignment,
+    grid_search,
+    render_sweep,
+)
+from repro.meta.base import MethodConfig
+from repro.models import BackboneConfig
+
+
+class TestApplyAssignment:
+    def test_plain_field(self):
+        cfg = apply_assignment(MethodConfig(), {"inner_lr": 0.5})
+        assert cfg.inner_lr == 0.5
+
+    def test_nested_backbone_field(self):
+        cfg = apply_assignment(MethodConfig(), {"backbone.hidden": 99})
+        assert cfg.backbone.hidden == 99
+
+    def test_mixed(self):
+        cfg = apply_assignment(
+            MethodConfig(), {"meta_lr": 0.1, "backbone.dropout": 0.0}
+        )
+        assert cfg.meta_lr == 0.1
+        assert cfg.backbone.dropout == 0.0
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(TypeError):
+            apply_assignment(MethodConfig(), {"bogus": 1})
+
+
+class TestGridSearch:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        ds = generate_dataset("OntoNotes", scale=0.02, seed=0)
+        half = len(ds) // 2
+        return ds[:half], ds[half:]
+
+    def test_sweep_covers_grid_and_sorts(self, corpus):
+        train, test = corpus
+        base = MethodConfig(
+            seed=0, meta_batch=2, pretrain_iterations=1,
+            backbone=BackboneConfig(word_dim=10, char_dim=6, char_filters=6,
+                                    hidden=8, dropout=0.0),
+        )
+        points = grid_search(
+            "ProtoNet", train, test,
+            grid={"meta_lr": [0.01, 0.05]},
+            base_config=base, n_way=3, k_shot=1,
+            iterations=1, eval_episodes=2, query_size=3,
+        )
+        assert len(points) == 2
+        assert points[0].f1 >= points[1].f1
+        assignments = {p.assignment for p in points}
+        assert (("meta_lr", 0.01),) in assignments
+        text = render_sweep(points)
+        assert "meta_lr" in text
+
+    def test_empty_grid_rejected(self, corpus):
+        train, test = corpus
+        with pytest.raises(ValueError):
+            grid_search("ProtoNet", train, test, grid={})

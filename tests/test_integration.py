@@ -1,0 +1,104 @@
+"""End-to-end integration tests crossing all subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CharVocabulary,
+    EpisodeSampler,
+    Vocabulary,
+    generate_dataset,
+    generate_slot_filling_dataset,
+    split_by_types,
+)
+from repro.eval import classification_report, episode_f1, summarize_report
+from repro.meta import FewNER, MethodConfig, evaluate_method
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+from repro.nn import load_module, save_module
+
+SMALL_BACKBONE = BackboneConfig(
+    word_dim=10, char_dim=6, char_filters=6, hidden=8, dropout=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def trained_fewner():
+    corpus = generate_dataset("GENIA", scale=0.03, seed=0)
+    train, _val, test = split_by_types(corpus, (18, 8, 10), seed=1)
+    wv = Vocabulary.from_datasets([train], min_count=2)
+    cv = CharVocabulary.from_datasets([train])
+    config = MethodConfig(seed=0, meta_batch=2, pretrain_iterations=6,
+                          backbone=SMALL_BACKBONE)
+    adapter = FewNER(wv, cv, 3, config)
+    sampler = EpisodeSampler(train, 3, 1, query_size=3, seed=7)
+    adapter.fit(sampler, 3)
+    return adapter, test
+
+
+class TestEndToEnd:
+    def test_full_pipeline_produces_scores(self, trained_fewner):
+        adapter, test = trained_fewner
+        episodes = fixed_episodes(test, 3, 1, 4, seed=50, query_size=3)
+        result = evaluate_method(adapter, episodes)
+        assert 0.0 <= result.f1 <= 1.0
+        assert len(result.episode_scores) == 4
+
+    def test_predictions_feed_reports(self, trained_fewner):
+        adapter, test = trained_fewner
+        episode = fixed_episodes(test, 3, 1, 1, seed=51, query_size=4)[0]
+        predictions = adapter.predict_episode(episode)
+        gold = [[s.as_tuple() for s in q.spans] for q in episode.query]
+        report = classification_report(gold, predictions)
+        summary = summarize_report(report)
+        assert summary["micro_f1"] == pytest.approx(
+            episode_f1(gold, predictions)
+        )
+
+    def test_checkpoint_roundtrip_preserves_predictions(self, trained_fewner,
+                                                        tmp_path):
+        adapter, test = trained_fewner
+        episode = fixed_episodes(test, 3, 1, 1, seed=52, query_size=3)[0]
+        before = adapter.predict_episode(episode)
+        path = str(tmp_path / "fewner.npz")
+        save_module(adapter.model, path, metadata={"n_way": 3})
+
+        wv, cv = adapter.word_vocab, adapter.char_vocab
+        clone = FewNER(wv, cv, 3, adapter.config)
+        meta = load_module(clone.model, path)
+        assert meta["n_way"] == 3
+        after = clone.predict_episode(episode)
+        assert before == after
+
+    def test_slot_filling_pipeline(self):
+        """The future-work extension runs through the identical API."""
+        corpus = generate_slot_filling_dataset(num_sentences=150, seed=0)
+        n = corpus.num_types
+        train, _val, test = split_by_types(corpus, (n - 4, 2, 2), seed=1)
+        wv = Vocabulary.from_datasets([train], min_count=2)
+        cv = CharVocabulary.from_datasets([train])
+        config = MethodConfig(seed=0, meta_batch=2, pretrain_iterations=2,
+                              backbone=SMALL_BACKBONE)
+        adapter = FewNER(wv, cv, 2, config)
+        adapter.fit(EpisodeSampler(train, 2, 1, query_size=3, seed=3), 2)
+        episodes = fixed_episodes(test, 2, 1, 2, seed=4, query_size=3)
+        result = evaluate_method(adapter, episodes)
+        assert 0.0 <= result.f1 <= 1.0
+
+    def test_determinism_across_runs(self):
+        """Same seeds, same data, same model => identical scores."""
+
+        def run():
+            corpus = generate_dataset("OntoNotes", scale=0.02, seed=5)
+            train = corpus[: len(corpus) // 2]
+            test = corpus[len(corpus) // 2 :]
+            wv = Vocabulary.from_datasets([train], min_count=2)
+            cv = CharVocabulary.from_datasets([train])
+            config = MethodConfig(seed=3, meta_batch=2, pretrain_iterations=2,
+                                  backbone=SMALL_BACKBONE)
+            adapter = FewNER(wv, cv, 3, config)
+            adapter.fit(EpisodeSampler(train, 3, 1, query_size=3, seed=2), 2)
+            episodes = fixed_episodes(test, 3, 1, 3, seed=9, query_size=3)
+            return evaluate_method(adapter, episodes).episode_scores
+
+        assert run() == run()

@@ -1,0 +1,215 @@
+"""Tests for the adaptation methods (smoke-scale training + invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.meta import (
+    FOMAML,
+    MAML,
+    FewNER,
+    FineTune,
+    LMBaseline,
+    MethodConfig,
+    ProtoNet,
+    SNAIL,
+    build_method,
+    evaluate_method,
+)
+from repro.meta.base import canonical_tag_names
+from repro.meta.evaluate import METHOD_NAMES, fixed_episodes
+from repro.models import BackboneConfig
+
+N_WAY = 3
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = generate_dataset("OntoNotes", scale=0.02, seed=0)
+    wv = Vocabulary.from_datasets([corpus])
+    cv = CharVocabulary.from_datasets([corpus])
+    config = MethodConfig(
+        seed=0,
+        meta_batch=2,
+        inner_steps_train=1,
+        inner_steps_test=2,
+        finetune_steps=2,
+        pretrain_iterations=2,
+        backbone=BackboneConfig(
+            word_dim=10, char_dim=6, char_filters=6, hidden=8,
+            context_dim=4, dropout=0.0,
+        ),
+    )
+    sampler = EpisodeSampler(corpus, N_WAY, 1, query_size=3, seed=1)
+    episodes = fixed_episodes(corpus, N_WAY, 1, 2, seed=2, query_size=3)
+    return wv, cv, config, sampler, episodes
+
+
+class TestRegistry:
+    def test_all_paper_methods_constructible(self, setup):
+        wv, cv, config, _sampler, _eps = setup
+        for name in METHOD_NAMES:
+            adapter = build_method(name, wv, cv, N_WAY, config)
+            assert adapter.name == name
+
+    def test_unknown_method(self, setup):
+        wv, cv, config, _s, _e = setup
+        with pytest.raises(KeyError):
+            build_method("GPT5", wv, cv, N_WAY, config)
+
+
+class TestCanonicalTags:
+    def test_layout(self):
+        assert canonical_tag_names(2) == ["O", "B-0", "I-0", "B-1", "I-1"]
+
+
+@pytest.mark.parametrize(
+    "cls", [FewNER, MAML, FOMAML, FineTune, ProtoNet, SNAIL]
+)
+class TestCommonBehaviour:
+    def test_fit_and_predict(self, setup, cls):
+        wv, cv, config, sampler, episodes = setup
+        adapter = cls(wv, cv, N_WAY, config)
+        losses = adapter.fit(sampler, 2)
+        assert losses and all(np.isfinite(l) for l in losses)
+        predictions = adapter.predict_episode(episodes[0])
+        assert len(predictions) == len(episodes[0].query)
+        for sent_spans, sent in zip(predictions, episodes[0].query):
+            for s, e, label in sent_spans:
+                assert 0 <= s < e <= len(sent)
+                assert label in episodes[0].types
+
+    def test_wrong_way_count_rejected(self, setup, cls):
+        wv, cv, config, _sampler, _eps = setup
+        adapter = cls(wv, cv, N_WAY + 1, config)
+        bad = fixed_episodes(
+            generate_dataset("OntoNotes", scale=0.02, seed=0),
+            N_WAY, 1, 1, seed=3, query_size=2,
+        )[0]
+        with pytest.raises(ValueError):
+            adapter.predict_episode(bad)
+
+
+class TestFewNER:
+    def test_theta_fixed_during_adaptation(self, setup):
+        """Algorithm 1 adapting procedure: predict_episode must leave θ
+        untouched."""
+        wv, cv, config, sampler, episodes = setup
+        adapter = FewNER(wv, cv, N_WAY, config)
+        before = adapter.model.state_dict()
+        adapter.predict_episode(episodes[0])
+        after = adapter.model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+    def test_adapt_context_moves_phi(self, setup):
+        wv, cv, config, _sampler, episodes = setup
+        adapter = FewNER(wv, cv, N_WAY, config)
+        phi = adapter.adapt_context(episodes[0], steps=2)
+        assert phi.shape == (adapter.model.context_size,)
+        assert np.abs(phi.data).sum() > 0  # moved away from zero
+
+    def test_requires_context_dim(self, setup):
+        wv, cv, config, _s, _e = setup
+        with pytest.raises(ValueError):
+            FewNER(wv, cv, N_WAY, config.with_backbone(
+                context_dim=0, conditioning="film"))
+
+    def test_fit_reduces_support_loss_on_average(self, setup):
+        wv, cv, config, sampler, _eps = setup
+        adapter = FewNER(wv, cv, N_WAY, config)
+        losses = adapter.fit(sampler, 6)
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])
+
+
+class TestMAML:
+    def test_adaptation_does_not_mutate_theta(self, setup):
+        wv, cv, config, _sampler, episodes = setup
+        adapter = MAML(wv, cv, N_WAY, config)
+        before = adapter.model.state_dict()
+        adapter.predict_episode(episodes[0])
+        after = adapter.model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+    def test_has_no_context_parameters(self, setup):
+        wv, cv, config, _s, _e = setup
+        adapter = MAML(wv, cv, N_WAY, config)
+        assert adapter.model.config.context_dim == 0
+
+    def test_fast_weights_differ_from_theta(self, setup):
+        wv, cv, config, _sampler, episodes = setup
+        adapter = MAML(wv, cv, N_WAY, config)
+        fast = adapter._inner_adapt(episodes[0], 1, create_graph=False)
+        moved = sum(
+            not np.allclose(fast[n].data, p.data)
+            for n, p in adapter.model.named_parameters()
+        )
+        assert moved > 0
+
+
+class TestFineTune:
+    def test_state_restored_after_episode(self, setup):
+        wv, cv, config, _sampler, episodes = setup
+        adapter = FineTune(wv, cv, N_WAY, config)
+        before = adapter.model.state_dict()
+        adapter.predict_episode(episodes[0])
+        after = adapter.model.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+
+class TestProtoNet:
+    def test_prototype_logits_shape(self, setup):
+        wv, cv, config, _sampler, episodes = setup
+        adapter = ProtoNet(wv, cv, N_WAY, config)
+        logits, gold = adapter._logits(episodes[0])
+        total_query_tokens = sum(len(s) for s in episodes[0].query)
+        assert logits.shape == (total_query_tokens, 2 * N_WAY + 1)
+        assert gold.shape == (total_query_tokens,)
+
+    def test_missing_tag_prototypes_masked(self, setup):
+        wv, cv, config, _sampler, episodes = setup
+        adapter = ProtoNet(wv, cv, N_WAY, config)
+        logits, _gold = adapter._logits(episodes[0])
+        # Tags never seen in the 1-shot support (most I- tags) must carry
+        # the penalty, making them unselectable.
+        support_tags = set()
+        batch = adapter.model.encode(list(episodes[0].support),
+                                     episodes[0].scheme)
+        for t in batch.tag_ids:
+            support_tags.update(t.tolist())
+        for tag in range(2 * N_WAY + 1):
+            if tag not in support_tags:
+                assert logits.data[:, tag].max() <= -1e3
+
+
+class TestLMBaseline:
+    def test_fit_and_predict(self, setup):
+        wv, cv, config, sampler, episodes = setup
+        adapter = LMBaseline(wv, cv, N_WAY, config, lm_name="Flair")
+        losses = adapter.fit(sampler, 2)
+        assert all(np.isfinite(l) for l in losses)
+        preds = adapter.predict_episode(episodes[0])
+        assert len(preds) == len(episodes[0].query)
+
+    def test_state_restored_after_finetune(self, setup):
+        wv, cv, config, _sampler, episodes = setup
+        adapter = LMBaseline(wv, cv, N_WAY, config, lm_name="GPT2")
+        before = adapter.tagger.state_dict()
+        adapter.predict_episode(episodes[0])
+        after = adapter.tagger.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+
+class TestEvaluateMethod:
+    def test_result_structure(self, setup):
+        wv, cv, config, _sampler, episodes = setup
+        adapter = ProtoNet(wv, cv, N_WAY, config)
+        result = evaluate_method(adapter, episodes)
+        assert result.method == "ProtoNet"
+        assert len(result.episode_scores) == len(episodes)
+        assert 0.0 <= result.f1 <= 1.0

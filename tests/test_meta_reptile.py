@@ -1,0 +1,69 @@
+"""Tests for the Reptile extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.meta import MethodConfig, build_method
+from repro.meta.reptile import Reptile
+from repro.models import BackboneConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = generate_dataset("OntoNotes", scale=0.02, seed=0)
+    wv = Vocabulary.from_datasets([corpus])
+    cv = CharVocabulary.from_datasets([corpus])
+    config = MethodConfig(
+        seed=0, meta_batch=2, pretrain_iterations=1, finetune_steps=2,
+        backbone=BackboneConfig(word_dim=10, char_dim=6, char_filters=6,
+                                hidden=8, dropout=0.0),
+    )
+    sampler = EpisodeSampler(corpus, 3, 1, query_size=3, seed=1)
+    return wv, cv, config, sampler
+
+
+class TestReptile:
+    def test_in_registry(self, setup):
+        wv, cv, config, _sampler = setup
+        adapter = build_method("Reptile", wv, cv, 3, config)
+        assert isinstance(adapter, Reptile)
+
+    def test_fit_moves_weights(self, setup):
+        wv, cv, config, sampler = setup
+        adapter = Reptile(wv, cv, 3, config, task_steps=2)
+        before = adapter.model.state_dict()
+        losses = adapter.fit(sampler, 2)
+        assert all(np.isfinite(l) for l in losses)
+        after = adapter.model.state_dict()
+        moved = sum(
+            not np.allclose(before[k], after[k]) for k in before
+        )
+        assert moved > 0
+
+    def test_interpolation_bounds_update(self, setup):
+        """With interpolation 0 the meta-update is a no-op."""
+        wv, cv, config, sampler = setup
+        import dataclasses
+
+        frozen_config = dataclasses.replace(config, pretrain_iterations=0)
+        adapter = Reptile(wv, cv, 3, frozen_config, task_steps=1,
+                          interpolation=0.0)
+        before = adapter.model.state_dict()
+        adapter.fit(sampler, 1)
+        after = adapter.model.state_dict()
+        for k in before:
+            assert np.allclose(before[k], after[k]), k
+
+    def test_predict_restores_state(self, setup):
+        wv, cv, config, sampler = setup
+        adapter = Reptile(wv, cv, 3, config)
+        episode = sampler.sample()
+        before = adapter.model.state_dict()
+        predictions = adapter.predict_episode(episode)
+        after = adapter.model.state_dict()
+        assert len(predictions) == len(episode.query)
+        for k in before:
+            assert np.array_equal(before[k], after[k]), k

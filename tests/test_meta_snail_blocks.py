@@ -1,0 +1,106 @@
+"""Unit tests for SNAIL's building blocks (causal conv, TC, attention)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.meta.snail import AttentionBlock, CausalConv, SNAIL, TCBlock
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestCausalConv:
+    def test_output_shape(self, rng):
+        conv = CausalConv(in_dim=5, filters=4, dilation=2, rng=rng)
+        out = conv(Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 4)
+
+    def test_causality(self, rng):
+        """Changing a future timestep must not affect earlier outputs."""
+        conv = CausalConv(in_dim=3, filters=2, dilation=1, rng=rng)
+        x1 = rng.normal(size=(6, 3))
+        x2 = x1.copy()
+        x2[4] += 5.0
+        out1 = conv(Tensor(x1)).data
+        out2 = conv(Tensor(x2)).data
+        assert np.allclose(out1[:4], out2[:4])
+        assert not np.allclose(out1[4:], out2[4:])
+
+    def test_dilation_reach(self, rng):
+        """With dilation d, output at t depends on t and t-d only."""
+        conv = CausalConv(in_dim=2, filters=2, dilation=3, rng=rng)
+        x1 = rng.normal(size=(8, 2))
+        x2 = x1.copy()
+        x2[1] += 5.0  # influences outputs at t=1 and t=4 only
+        out1 = conv(Tensor(x1)).data
+        out2 = conv(Tensor(x2)).data
+        changed = {
+            t for t in range(8) if not np.allclose(out1[t], out2[t])
+        }
+        assert changed == {1, 4}
+
+
+class TestTCBlock:
+    def test_dense_growth(self, rng):
+        block = TCBlock(in_dim=4, filters=3, dilations=(1, 2), rng=rng)
+        assert block.output_dim == 4 + 3 + 3
+        out = block(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 10)
+
+    def test_input_preserved_in_output(self, rng):
+        """Dense connectivity: the first in_dim channels are the input."""
+        block = TCBlock(in_dim=3, filters=2, dilations=(1,), rng=rng)
+        x = rng.normal(size=(4, 3))
+        out = block(Tensor(x)).data
+        assert np.allclose(out[:, :3], x)
+
+
+class TestAttentionBlock:
+    def test_output_shape(self, rng):
+        block = AttentionBlock(in_dim=6, key_dim=4, value_dim=5, rng=rng)
+        assert block.output_dim == 11
+        out = block(Tensor(rng.normal(size=(7, 6))))
+        assert out.shape == (7, 11)
+
+    def test_causal_masking(self, rng):
+        block = AttentionBlock(in_dim=4, key_dim=3, value_dim=3, rng=rng)
+        x1 = rng.normal(size=(6, 4))
+        x2 = x1.copy()
+        x2[5] += 4.0
+        out1 = block(Tensor(x1)).data
+        out2 = block(Tensor(x2)).data
+        assert np.allclose(out1[:5], out2[:5])
+
+
+class TestSnailLabelLeakage:
+    def test_query_labels_never_in_input(self, tiny_dataset, tiny_vocabs):
+        """Query positions carry a zero label slot — flipping a query
+        token's gold tag must not change the logits."""
+        from repro.data.episodes import Episode
+        from repro.data.sentence import Sentence, Span
+        from repro.meta import MethodConfig
+        from repro.models import BackboneConfig
+
+        wv, cv = tiny_vocabs
+        config = MethodConfig(
+            seed=0, backbone=BackboneConfig(word_dim=10, char_dim=6,
+                                            char_filters=6, hidden=8,
+                                            dropout=0.0),
+        )
+        snail = SNAIL(wv, cv, 2, config)
+        support = (
+            Sentence(("the", "Kavox", "ran"), (Span(1, 2, "PER"),)),
+            Sentence(("in", "Zuqev", "now"), (Span(1, 2, "LOC"),)),
+        )
+        query_a = (Sentence(("Kavox", "met", "Zuqev"),
+                            (Span(0, 1, "PER"), Span(2, 3, "LOC"))),)
+        query_b = (Sentence(("Kavox", "met", "Zuqev"),
+                            (Span(0, 1, "LOC"), Span(2, 3, "PER"))),)
+        ep_a = Episode(types=("PER", "LOC"), support=support, query=query_a)
+        ep_b = Episode(types=("PER", "LOC"), support=support, query=query_b)
+        logits_a, _ = snail._episode_logits(ep_a)
+        logits_b, _ = snail._episode_logits(ep_b)
+        assert np.allclose(logits_a.data, logits_b.data)

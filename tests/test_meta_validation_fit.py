@@ -1,0 +1,62 @@
+"""Tests for validation-based model selection in FEWNER training."""
+
+import numpy as np
+import pytest
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.meta import FewNER, MethodConfig
+from repro.meta.evaluate import fixed_episodes
+from repro.models import BackboneConfig
+
+
+@pytest.fixture(scope="module")
+def env():
+    corpus = generate_dataset("OntoNotes", scale=0.02, seed=0)
+    half = len(corpus) // 2
+    train, val = corpus[:half], corpus[half:]
+    wv = Vocabulary.from_datasets([train])
+    cv = CharVocabulary.from_datasets([train])
+    config = MethodConfig(
+        seed=0, meta_batch=2, inner_steps_train=1, inner_steps_test=2,
+        pretrain_iterations=2,
+        backbone=BackboneConfig(word_dim=10, char_dim=6, char_filters=6,
+                                hidden=8, context_dim=4, dropout=0.0),
+    )
+    sampler = EpisodeSampler(train, 3, 1, query_size=3, seed=1)
+    val_episodes = fixed_episodes(val, 3, 1, 2, seed=2, query_size=3)
+    return wv, cv, config, sampler, val_episodes
+
+
+class TestFitWithValidation:
+    def test_history_structure(self, env):
+        wv, cv, config, sampler, val_eps = env
+        adapter = FewNER(wv, cv, 3, config)
+        history = adapter.fit_with_validation(sampler, val_eps,
+                                              iterations=4, chunk=2)
+        assert len(history["val_f1"]) == 2
+        assert len(history["losses"]) >= 4
+        assert history["best_val_f1"] == max(history["val_f1"])
+
+    def test_restores_best_checkpoint(self, env):
+        wv, cv, config, sampler, val_eps = env
+        adapter = FewNER(wv, cv, 3, config)
+        history = adapter.fit_with_validation(sampler, val_eps,
+                                              iterations=4, chunk=2)
+        from repro.meta.evaluate import evaluate_method
+
+        final = evaluate_method(adapter, val_eps)
+        assert final.f1 == pytest.approx(history["best_val_f1"])
+
+    def test_pretraining_runs_once(self, env):
+        wv, cv, config, sampler, val_eps = env
+        adapter = FewNER(wv, cv, 3, config)
+        adapter.fit_with_validation(sampler, val_eps, iterations=4, chunk=2)
+        assert adapter.config.pretrain_iterations == 0
+
+    def test_chunk_validation(self, env):
+        wv, cv, config, sampler, val_eps = env
+        adapter = FewNER(wv, cv, 3, config)
+        with pytest.raises(ValueError):
+            adapter.fit_with_validation(sampler, val_eps, iterations=2, chunk=0)

@@ -1,0 +1,59 @@
+"""Tests for padded batch encoding."""
+
+import numpy as np
+import pytest
+
+from repro.data.tags import TagScheme
+from repro.models import encode_batch
+
+
+@pytest.fixture
+def scheme():
+    return TagScheme(("PER", "LOC"))
+
+
+class TestEncodeBatch:
+    def test_shapes_and_padding(self, tiny_dataset, tiny_vocabs, scheme):
+        wv, cv = tiny_vocabs
+        sents = tiny_dataset.sentences[:3]
+        batch = encode_batch(sents, wv, cv, scheme, max_chars=6)
+        max_len = max(len(s) for s in sents)
+        assert batch.word_ids.shape == (3, max_len)
+        assert batch.char_ids.shape == (3, max_len, 6)
+        assert batch.mask.shape == (3, max_len)
+        assert batch.size == 3
+        assert batch.lengths == tuple(len(s) for s in sents)
+
+    def test_mask_marks_real_tokens(self, tiny_dataset, tiny_vocabs, scheme):
+        wv, cv = tiny_vocabs
+        sents = [tiny_dataset.sentences[0], tiny_dataset.sentences[3]]
+        batch = encode_batch(sents, wv, cv, scheme)
+        for i, s in enumerate(sents):
+            assert batch.mask[i, : len(s)].sum() == len(s)
+            assert batch.mask[i, len(s) :].sum() == 0
+            assert np.all(batch.word_ids[i, len(s) :] == wv.pad_index)
+
+    def test_tags_align_with_spans(self, tiny_dataset, tiny_vocabs, scheme):
+        wv, cv = tiny_vocabs
+        sent = tiny_dataset.sentences[0]  # Kavox is PER at position 1
+        batch = encode_batch([sent], wv, cv, scheme)
+        tags = batch.tag_ids[0]
+        assert tags[1] == scheme.tag_index("B-PER")
+        assert tags[0] == scheme.tag_index("O")
+
+    def test_no_scheme_no_tags(self, tiny_dataset, tiny_vocabs):
+        wv, cv = tiny_vocabs
+        batch = encode_batch(tiny_dataset.sentences[:2], wv, cv)
+        assert batch.tag_ids is None
+
+    def test_empty_batch_rejected(self, tiny_vocabs, scheme):
+        wv, cv = tiny_vocabs
+        with pytest.raises(ValueError):
+            encode_batch([], wv, cv, scheme)
+
+    def test_word_ids_roundtrip(self, tiny_dataset, tiny_vocabs, scheme):
+        wv, cv = tiny_vocabs
+        sent = tiny_dataset.sentences[2]
+        batch = encode_batch([sent], wv, cv, scheme)
+        decoded = [wv.token(int(i)) for i in batch.word_ids[0, : len(sent)]]
+        assert decoded == [t.lower() for t in sent.tokens]

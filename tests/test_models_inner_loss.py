@@ -1,0 +1,109 @@
+"""Tests for the token-CE inner-loss surrogate and head conditioning."""
+
+import numpy as np
+import pytest
+from scipy.special import log_softmax as scipy_log_softmax
+
+from repro.autodiff import Tensor, grad, no_grad
+from repro.data.tags import TagScheme
+from repro.models import BackboneConfig, CNNBiGRUCRF
+
+
+@pytest.fixture
+def scheme():
+    return TagScheme(("PER", "LOC"))
+
+
+def build(vocabs, scheme, **overrides):
+    wv, cv = vocabs
+    defaults = dict(word_dim=10, char_dim=6, char_filters=6, hidden=8,
+                    dropout=0.0, conditioning="head")
+    defaults.update(overrides)
+    return CNNBiGRUCRF(wv, cv, scheme.num_tags, BackboneConfig(**defaults),
+                       np.random.default_rng(0), tag_names=scheme.tags)
+
+
+class TestTokenCELoss:
+    def test_matches_manual_unbalanced(self, tiny_dataset, tiny_vocabs, scheme):
+        model = build(tiny_vocabs, scheme)
+        model.eval()
+        batch = model.encode(tiny_dataset.sentences[:2], scheme)
+        with no_grad():
+            loss = model.token_ce_loss(batch, balanced=False).item()
+            scores = model.emission_scores(batch).data
+        total, count = 0.0, 0
+        for i, tags in enumerate(batch.tag_ids):
+            lp = scipy_log_softmax(scores[i, : len(tags)], axis=-1)
+            total -= lp[np.arange(len(tags)), tags].sum()
+            count += len(tags)
+        assert loss == pytest.approx(total / count)
+
+    def test_balanced_reweights_rare_tags(self, tiny_dataset, tiny_vocabs,
+                                          scheme):
+        model = build(tiny_vocabs, scheme)
+        model.eval()
+        batch = model.encode(tiny_dataset.sentences[:3], scheme)
+        with no_grad():
+            balanced = model.token_ce_loss(batch, balanced=True).item()
+            plain = model.token_ce_loss(batch, balanced=False).item()
+        # Entity tags are rare; upweighting them must change the loss.
+        assert balanced != pytest.approx(plain)
+
+    def test_requires_tags(self, tiny_dataset, tiny_vocabs, scheme):
+        model = build(tiny_vocabs, scheme)
+        batch = model.encode(tiny_dataset.sentences[:2])
+        with pytest.raises(ValueError):
+            model.token_ce_loss(batch)
+
+    def test_differentiable_wrt_phi(self, tiny_dataset, tiny_vocabs, scheme):
+        model = build(tiny_vocabs, scheme)
+        model.eval()
+        batch = model.encode(tiny_dataset.sentences[:2], scheme)
+        phi = model.new_context()
+        (g,) = grad(model.token_ce_loss(batch, phi), [phi])
+        assert g.shape == phi.shape
+        assert np.abs(g.data).sum() > 0
+
+
+class TestHeadConditioning:
+    def test_one_step_builds_class_templates(self, tiny_dataset, tiny_vocabs,
+                                             scheme):
+        """Δφ after one CE step is -α Σ h δᵀ: columns of tags present in
+        the batch must receive non-zero template mass."""
+        model = build(tiny_vocabs, scheme)
+        model.eval()
+        batch = model.encode(tiny_dataset.sentences[:3], scheme)
+        phi = model.new_context()
+        (g,) = grad(model.token_ce_loss(batch, phi), [phi])
+        head_grad = g.data.reshape(model.encoder.output_dim, model.num_tags)
+        present = {int(t) for tags in batch.tag_ids for t in tags}
+        for tag in present:
+            assert np.abs(head_grad[:, tag]).sum() > 0
+
+    def test_adapted_head_changes_decoding_scores(self, tiny_dataset,
+                                                  tiny_vocabs, scheme):
+        model = build(tiny_vocabs, scheme)
+        model.eval()
+        batch = model.encode(tiny_dataset.sentences[:2], scheme)
+        phi = model.new_context()
+        (g,) = grad(model.token_ce_loss(batch, phi), [phi])
+        adapted = (phi - Tensor(np.array(1.0)) * g).detach()
+        with no_grad():
+            base = model.emission_scores(batch).data
+            shifted = model.emission_scores(batch, adapted).data
+        assert not np.allclose(base, shifted)
+
+    def test_adaptation_reduces_support_loss(self, tiny_dataset, tiny_vocabs,
+                                             scheme):
+        model = build(tiny_vocabs, scheme)
+        model.eval()
+        batch = model.encode(tiny_dataset.sentences[:3], scheme)
+        phi = model.new_context()
+        losses = []
+        for _ in range(4):
+            loss = model.token_ce_loss(batch, phi)
+            losses.append(loss.item())
+            (g,) = grad(loss, [phi])
+            phi = (phi - Tensor(np.array(0.5)) * g).detach()
+            phi.requires_grad = True
+        assert losses[-1] < losses[0]

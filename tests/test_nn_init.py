@@ -1,0 +1,63 @@
+"""Statistical tests for the weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestUniform:
+    def test_range(self, rng):
+        w = init.uniform(rng, (200, 50), scale=0.3)
+        assert w.min() >= -0.3 and w.max() <= 0.3
+
+    def test_roughly_centered(self, rng):
+        w = init.uniform(rng, (500, 50))
+        assert abs(w.mean()) < 0.01
+
+
+class TestXavier:
+    def test_uniform_limit(self, rng):
+        fan_in, fan_out = 30, 50
+        w = init.xavier_uniform(rng, (fan_in, fan_out))
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        assert np.abs(w).max() <= limit
+
+    def test_normal_std(self, rng):
+        fan_in, fan_out = 100, 100
+        w = init.xavier_normal(rng, (fan_in, fan_out))
+        expected = np.sqrt(2.0 / (fan_in + fan_out))
+        assert w.std() == pytest.approx(expected, rel=0.1)
+
+    def test_conv_fans(self, rng):
+        # 4-D shapes infer receptive-field fans without crashing.
+        w = init.xavier_uniform(rng, (8, 4, 3, 3))
+        assert w.shape == (8, 4, 3, 3)
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self, rng):
+        w = init.orthogonal(rng, (32, 32))
+        assert np.allclose(w @ w.T, np.eye(32), atol=1e-10)
+
+    def test_tall_has_orthonormal_columns(self, rng):
+        w = init.orthogonal(rng, (40, 16))
+        assert np.allclose(w.T @ w, np.eye(16), atol=1e-10)
+
+    def test_wide_has_orthonormal_rows(self, rng):
+        w = init.orthogonal(rng, (16, 40))
+        assert np.allclose(w @ w.T, np.eye(16), atol=1e-10)
+
+    def test_gain(self, rng):
+        w = init.orthogonal(rng, (8, 8), gain=2.0)
+        assert np.allclose(w @ w.T, 4 * np.eye(8), atol=1e-9)
+
+
+class TestZeros:
+    def test_zeros(self):
+        assert init.zeros((3, 2)).sum() == 0

@@ -1,0 +1,153 @@
+"""Tests for the Module/Parameter system and functional overrides."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, grad
+from repro.nn import Linear, ModuleList, Sequential
+from repro.nn.module import Module, Parameter, override_params
+
+
+class Toy(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.inner = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.inner(x) * self.scale
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestRegistration:
+    def test_named_parameters_fully_qualified(self, rng):
+        toy = Toy(rng)
+        names = dict(toy.named_parameters())
+        assert set(names) == {"inner.weight", "inner.bias", "scale"}
+
+    def test_num_parameters(self, rng):
+        toy = Toy(rng)
+        assert toy.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_module_list_registers_children(self, rng):
+        ml = ModuleList([Linear(2, 2, rng), Linear(2, 3, rng)])
+        names = [n for n, _ in ml.named_parameters()]
+        assert "0.weight" in names and "1.bias" in names
+        assert len(ml) == 2
+        assert ml[1].out_features == 3
+
+    def test_sequential_forward(self, rng):
+        seq = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        out = seq(Tensor(np.ones((1, 3))))
+        assert out.shape == (1, 2)
+
+    def test_reassignment_replaces_parameter(self, rng):
+        toy = Toy(rng)
+        toy.scale = Parameter(np.zeros(2))
+        assert np.allclose(dict(toy.named_parameters())["scale"].data, 0)
+
+
+class TestTrainEval:
+    def test_mode_propagates(self, rng):
+        toy = Toy(rng)
+        assert toy.training and toy.inner.training
+        toy.eval()
+        assert not toy.training and not toy.inner.training
+        toy.train()
+        assert toy.inner.training
+
+    def test_zero_grad(self, rng):
+        toy = Toy(rng)
+        toy(Tensor(np.ones((1, 3)))).sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a, b = Toy(rng), Toy(rng)
+        assert not np.allclose(
+            a.inner.weight.data, b.inner.weight.data
+        )
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.inner.weight.data, b.inner.weight.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        toy = Toy(rng)
+        state = toy.state_dict()
+        state["scale"][:] = 99
+        assert not np.allclose(toy.scale.data, 99)
+
+    def test_mismatched_keys_raise(self, rng):
+        toy = Toy(rng)
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+        state = toy.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        toy = Toy(rng)
+        state = toy.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+
+class TestOverrideParams:
+    def test_forward_uses_fast_weights(self, rng):
+        toy = Toy(rng)
+        x = Tensor(np.ones((1, 3)))
+        base = toy(x).data.copy()
+        fast = {"scale": Tensor(np.full(2, 2.0))}
+        with override_params(toy, fast):
+            doubled = toy(x).data
+        assert np.allclose(doubled, 2 * base)
+        assert np.allclose(toy(x).data, base)  # restored
+
+    def test_gradients_flow_to_origin(self, rng):
+        toy = Toy(rng)
+        x = Tensor(np.ones((2, 3)))
+        fast_scale = toy.scale * Tensor(np.array(3.0))
+        with override_params(toy, fast_scale and {"scale": fast_scale}):
+            loss = toy(x).sum()
+        (g,) = grad(loss, [toy.scale])
+        assert g is not None and g.shape == (2,)
+
+    def test_unknown_name_raises(self, rng):
+        toy = Toy(rng)
+        with pytest.raises(KeyError):
+            with override_params(toy, {"nonexistent": Tensor(np.zeros(2))}):
+                pass
+
+    def test_shape_mismatch_raises(self, rng):
+        toy = Toy(rng)
+        with pytest.raises(ValueError):
+            with override_params(toy, {"scale": Tensor(np.zeros(5))}):
+                pass
+
+    def test_restores_after_exception(self, rng):
+        toy = Toy(rng)
+        base = toy.scale
+        try:
+            with override_params(toy, {"scale": Tensor(np.zeros(2))}):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert toy.scale is base
+
+    def test_nested_module_override(self, rng):
+        toy = Toy(rng)
+        x = Tensor(np.ones((1, 3)))
+        fast = {"inner.weight": Tensor(np.zeros((3, 2)))}
+        with override_params(toy, fast):
+            out = toy(x)
+        assert np.allclose(out.data, 0.0)

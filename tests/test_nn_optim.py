@@ -1,0 +1,131 @@
+"""Tests for optimisers, clipping, and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Adam, ExponentialDecay, SGD, clip_grad_norm
+from repro.nn.module import Parameter
+
+
+def quadratic_loss(p, target):
+    return ((p - Tensor(target)) ** 2).sum()
+
+
+@pytest.fixture
+def target():
+    return np.array([1.0, -2.0, 3.0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self, target):
+        p = Parameter(np.zeros(3))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        assert np.allclose(p.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self, target):
+        def run(momentum):
+            p = Parameter(np.zeros(3))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p, target).backward()
+                opt.step()
+            return float(quadratic_loss(p, target).item())
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0).sum().backward()
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad — must not crash
+        assert p.data[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, target):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p, target).backward()
+            opt.step()
+        assert np.allclose(p.data, target, atol=1e-2)
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, |first update| ≈ lr regardless of grad scale."""
+        for scale in (1e-3, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.5)
+            opt.zero_grad()
+            (p * scale).sum().backward()
+            opt.step()
+            assert np.isclose(abs(p.data[0]), 0.5, rtol=1e-4)
+
+    def test_handles_rosenbrock_like(self):
+        p = Parameter(np.array([-1.0, 1.0]))
+        opt = Adam([p], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            x, y = p[0], p[1]
+            loss = (Tensor(np.array(1.0)) - x) ** 2 + (y - x * x) ** 2 * 10.0
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, [1.0, 1.0], atol=0.2)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = Tensor(np.full(4, 10.0))
+        pre = clip_grad_norm([p], 1.0)
+        assert np.isclose(pre, 20.0)
+        assert np.isclose(np.linalg.norm(p.grad.data), 1.0)
+
+    def test_no_clip_below_max(self):
+        p = Parameter(np.zeros(2))
+        p.grad = Tensor(np.array([0.3, 0.4]))
+        clip_grad_norm([p], 1.0)
+        assert np.allclose(p.grad.data, [0.3, 0.4])
+
+    def test_empty_grads(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestExponentialDecay:
+    def test_decays_on_schedule(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = ExponentialDecay(opt, rate=0.5, every=3)
+        for _ in range(3):
+            sched.step()
+        assert np.isclose(opt.lr, 0.5)
+        for _ in range(3):
+            sched.step()
+        assert np.isclose(opt.lr, 0.25)
+
+    def test_validation(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(opt, rate=0.0, every=5)
+        with pytest.raises(ValueError):
+            ExponentialDecay(opt, rate=0.9, every=0)

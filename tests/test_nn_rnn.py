@@ -1,0 +1,100 @@
+"""Tests for GRU cells and bidirectional encoders."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck
+from repro.nn import BiGRU, GRU, GRUCell
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(6)
+
+
+class TestGRUCell:
+    def test_shapes(self, rng):
+        cell = GRUCell(4, 3, rng)
+        h = cell(Tensor(rng.normal(size=(2, 4))), Tensor(np.zeros((2, 3))))
+        assert h.shape == (2, 3)
+
+    def test_output_bounded(self, rng):
+        """GRU state is a convex combination of tanh output and prior state,
+        so from h=0 it stays in (-1, 1)."""
+        cell = GRUCell(3, 5, rng)
+        h = Tensor(np.zeros((1, 5)))
+        for _ in range(20):
+            h = cell(Tensor(rng.normal(size=(1, 3)) * 3), h)
+        assert np.all(np.abs(h.data) < 1.0)
+
+    def test_gradcheck(self, rng):
+        cell = GRUCell(3, 2, rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        h = Tensor(rng.normal(size=(2, 2)) * 0.1, requires_grad=True)
+        params = [p for _n, p in cell.named_parameters()]
+        gradcheck(lambda x, h, *ps: (cell(x, h) ** 2).sum(), [x, h] + params)
+
+
+class TestGRU:
+    def test_output_shape(self, rng):
+        gru = GRU(4, 3, rng)
+        out = gru(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_mask_freezes_state(self, rng):
+        """Hidden state must be identical whether a sequence is padded or
+        not: padding steps may not alter the final representation."""
+        gru = GRU(3, 4, rng)
+        x_short = rng.normal(size=(1, 3, 3))
+        x_padded = np.concatenate([x_short, rng.normal(size=(1, 2, 3))], axis=1)
+        mask = np.array([[1, 1, 1, 0, 0]])
+        out_short = gru(Tensor(x_short)).data
+        out_padded = gru(Tensor(x_padded), mask).data
+        assert np.allclose(out_short[:, 2], out_padded[:, 2])
+        # frozen state carried through padding
+        assert np.allclose(out_padded[:, 2], out_padded[:, 4])
+
+    def test_reverse_direction(self, rng):
+        gru_fwd = GRU(2, 3, rng, reverse=False)
+        gru_bwd = GRU(2, 3, rng, reverse=True)
+        gru_bwd.load_state_dict(gru_fwd.state_dict())
+        x = rng.normal(size=(1, 4, 2))
+        out_fwd = gru_fwd(Tensor(x)).data
+        out_bwd = gru_bwd(Tensor(x[:, ::-1, :].copy())).data
+        # Running reversed input through the forward GRU equals running
+        # the original input through the reverse GRU, mirrored.
+        assert np.allclose(out_fwd[:, ::-1, :], out_bwd)
+
+    def test_gradients_flow(self, rng):
+        gru = GRU(3, 2, rng)
+        x = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        (gru(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in gru.parameters())
+
+
+class TestBiGRU:
+    def test_concatenates_directions(self, rng):
+        bi = BiGRU(3, 4, rng)
+        out = bi(Tensor(rng.normal(size=(2, 5, 3))))
+        assert out.shape == (2, 5, 8)
+        assert bi.output_dim == 8
+
+    def test_first_position_sees_future(self, rng):
+        """The backward half at position 0 must depend on later tokens."""
+        bi = BiGRU(2, 3, rng)
+        x1 = rng.normal(size=(1, 4, 2))
+        x2 = x1.copy()
+        x2[0, 3] += 1.0
+        out1 = bi(Tensor(x1)).data
+        out2 = bi(Tensor(x2)).data
+        fwd_slice = out1[0, 0, :3]
+        assert np.allclose(fwd_slice, out2[0, 0, :3])  # forward unaffected
+        assert not np.allclose(out1[0, 0, 3:], out2[0, 0, 3:])  # backward is
+
+    def test_gradcheck_small(self, rng):
+        bi = BiGRU(2, 2, rng)
+        x = Tensor(rng.normal(size=(1, 3, 2)), requires_grad=True)
+        mask = np.array([[1, 1, 0]])
+        gradcheck(lambda x, *ps: (bi(x, mask) ** 2).sum(),
+                  [x] + bi.parameters())

@@ -1,0 +1,60 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, load_module, load_state, save_module
+from repro.nn.module import Module, Parameter
+
+
+class Net(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.layer = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng, tmp_path):
+        a = Net(rng)
+        b = Net(np.random.default_rng(99))
+        path = str(tmp_path / "ckpt.npz")
+        save_module(a, path, metadata={"note": "hello", "step": 7})
+        meta = load_module(b, path)
+        assert meta == {"note": "hello", "step": 7}
+        for (name, pa), (_n, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.allclose(pa.data, pb.data), name
+
+    def test_metadata_optional(self, rng, tmp_path):
+        net = Net(rng)
+        path = str(tmp_path / "c.npz")
+        save_module(net, path)
+        _state, meta = load_state(path)
+        assert meta == {}
+
+    def test_load_state_returns_arrays(self, rng, tmp_path):
+        net = Net(rng)
+        path = str(tmp_path / "c.npz")
+        save_module(net, path)
+        state, _meta = load_state(path)
+        assert set(state) == {"layer.weight", "layer.bias", "scale"}
+        assert isinstance(state["scale"], np.ndarray)
+
+    def test_mismatched_module_raises(self, rng, tmp_path):
+        net = Net(rng)
+        path = str(tmp_path / "c.npz")
+        save_module(net, path)
+        other = Linear(3, 2, rng)
+        with pytest.raises(KeyError):
+            load_module(other, path)
+
+    def test_creates_directories(self, rng, tmp_path):
+        net = Net(rng)
+        path = str(tmp_path / "deep" / "nested" / "c.npz")
+        save_module(net, path)
+        load_module(Net(rng), path)

@@ -1,0 +1,103 @@
+"""Tests for the transcribed paper numbers and shape comparison."""
+
+import pytest
+
+from repro.eval.aggregate import ConfidenceInterval
+from repro.experiments.harness import MethodResult, TableResult
+from repro.experiments.paper_reference import (
+    PAPER_RESULTS,
+    ShapeCheck,
+    compare_with_paper,
+    paper_cell,
+    render_comparison,
+)
+
+
+class TestTranscription:
+    def test_all_tables_have_ten_methods(self):
+        for table, settings in PAPER_RESULTS.items():
+            for setting, methods in settings.items():
+                assert len(methods) == 10, (table, setting)
+                for method, shots in methods.items():
+                    assert set(shots) == {1, 5}, (table, setting, method)
+
+    def test_headline_numbers(self):
+        assert paper_cell("table2", "NNE", "FewNER", 1) == (23.74, 0.65)
+        assert paper_cell("table2", "FG-NER", "FewNER", 5) == (40.16, 1.24)
+        assert paper_cell("table3", "BN->CTS", "FewNER", 5) == (45.65, 0.66)
+        assert paper_cell("table4", "OntoNotes->FG-NER", "FewNER", 1) == (28.06, 1.12)
+
+    def test_fewner_is_paper_best_everywhere(self):
+        for table, settings in PAPER_RESULTS.items():
+            for setting, methods in settings.items():
+                for k in (1, 5):
+                    best = max(methods, key=lambda m: methods[m][k][0])
+                    assert best == "FewNER", (table, setting, k)
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            paper_cell("table2", "NNE", "RoBERTa", 1)
+        with pytest.raises(KeyError):
+            paper_cell("table9", "NNE", "FewNER", 1)
+
+
+class TestTable5AndTiming:
+    def test_table5_variant_names_match_harness(self):
+        from repro.experiments.paper_reference import PAPER_TABLE5_DELTAS
+        from repro.experiments.table5 import default_variants
+
+        harness_names = {v.name for v in default_variants(16)}
+        # Every paper row has a harness counterpart (baseline row aside).
+        for name in PAPER_TABLE5_DELTAS:
+            assert name in harness_names, name
+
+    def test_char_cnn_is_worst_ablation_in_paper(self):
+        from repro.experiments.paper_reference import PAPER_TABLE5_DELTAS
+
+        for k in (1, 5):
+            worst = min(PAPER_TABLE5_DELTAS, key=lambda v: PAPER_TABLE5_DELTAS[v][k])
+            assert worst == "Remove character CNN"
+
+    def test_timing_reference(self):
+        from repro.experiments.paper_reference import PAPER_TIMING
+
+        assert PAPER_TIMING["inner_step"] < PAPER_TIMING["outer_batch_1shot"]
+        assert PAPER_TIMING["outer_batch_1shot"] < PAPER_TIMING["outer_batch_5shot"]
+
+
+class TestComparison:
+    def make_result(self, fewner_wins: bool):
+        result = TableResult(
+            title="t", settings=["NNE"], shots=(1, 5)
+        )
+        scores = {
+            ("FewNER", 1): 0.2 if fewner_wins else 0.05,
+            ("FewNER", 5): 0.25 if fewner_wins else 0.04,
+            ("ProtoNet", 1): 0.1,
+            ("ProtoNet", 5): 0.12,
+        }
+        for (method, k), f1 in scores.items():
+            result.cells.append(
+                MethodResult(method, "NNE", k,
+                             ConfidenceInterval(f1, 0.01, 16), 0.0, 0.0)
+            )
+        return result
+
+    def test_agreement_when_fewner_wins(self):
+        checks = compare_with_paper(self.make_result(True), "table2")
+        assert checks
+        assert all(c.agrees for c in checks)
+
+    def test_disagreement_detected(self):
+        checks = compare_with_paper(self.make_result(False), "table2")
+        assert any(not c.agrees for c in checks)
+
+    def test_render(self):
+        checks = [ShapeCheck("x", True, True), ShapeCheck("y", True, False)]
+        text = render_comparison(checks)
+        assert "1/2 relations agree" in text
+        assert "DISAGREE" in text
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            compare_with_paper(self.make_result(True), "table7")

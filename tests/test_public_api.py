@@ -1,0 +1,33 @@
+"""The public API surface stays importable and consistent."""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro.autodiff", "repro.nn", "repro.crf", "repro.data",
+    "repro.embeddings", "repro.models", "repro.meta", "repro.eval",
+    "repro.experiments",
+)
+
+
+@pytest.mark.parametrize("mod_name", PACKAGES)
+def test_all_names_resolve(mod_name):
+    mod = importlib.import_module(mod_name)
+    exported = getattr(mod, "__all__", [])
+    assert exported, f"{mod_name} exports nothing"
+    missing = [n for n in exported if not hasattr(mod, n)]
+    assert not missing, f"{mod_name} missing {missing}"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_star_import_is_clean():
+    namespace = {}
+    exec("from repro.autodiff import *", namespace)
+    assert "Tensor" in namespace
+    assert not any(k.startswith("_") for k in namespace if k != "__builtins__")

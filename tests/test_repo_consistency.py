@@ -1,0 +1,93 @@
+"""Guards against drift between code, docs, and packaging."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDeliverablesPresent:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
+        "pyproject.toml", "Makefile",
+    ])
+    def test_top_level_files(self, name):
+        assert (ROOT / name).is_file(), f"missing {name}"
+
+    def test_docs_index_links_resolve(self):
+        index = (ROOT / "docs" / "README.md").read_text()
+        for doc in ("architecture.md", "autodiff.md", "data_simulation.md",
+                    "methods.md", "cli.md"):
+            assert doc in index
+            assert (ROOT / "docs" / doc).is_file()
+
+    def test_examples_exist_and_compile(self):
+        examples = sorted((ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 5
+        for path in examples:
+            py_compile.compile(str(path), doraise=True)
+
+    def test_benchmarks_cover_every_table(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+        for required in (
+            "test_table1_datasets.py", "test_table2_intra_domain.py",
+            "test_table3_cross_domain.py", "test_table4_cross_both.py",
+            "test_table5_ablation.py", "test_table6_qualitative.py",
+            "test_timing_analysis.py",
+        ):
+            assert required in benches, f"missing bench {required}"
+
+
+class TestDocsMatchCode:
+    def test_registry_names_documented(self):
+        from repro.experiments import EXPERIMENTS
+
+        cli_source = (ROOT / "src" / "repro" / "cli.py").read_text()
+        for name in EXPERIMENTS:
+            assert name in cli_source, f"CLI missing experiment {name!r}"
+
+    def test_method_registry_in_methods_doc(self):
+        from repro.meta.evaluate import METHOD_NAMES
+
+        doc = (ROOT / "docs" / "methods.md").read_text()
+        for name in METHOD_NAMES:
+            assert name in doc, f"methods.md missing {name}"
+
+    def test_design_lists_every_table_bench(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for i in range(1, 7):
+            assert f"test_table{i}" in design
+
+    def test_version_consistent(self):
+        import repro
+
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+
+class TestPackagingHygiene:
+    def test_all_packages_have_init(self):
+        src = ROOT / "src" / "repro"
+        for directory in src.rglob("*"):
+            if directory.is_dir() and directory.name != "__pycache__":
+                assert (directory / "__init__.py").exists(), directory
+
+    def test_no_todo_markers_left(self):
+        offenders = []
+        for path in (ROOT / "src").rglob("*.py"):
+            text = path.read_text()
+            if "TODO" in text or "FIXME" in text or "XXX" in text:
+                offenders.append(str(path))
+        assert not offenders, offenders
+
+    def test_public_modules_have_docstrings(self):
+        import ast
+
+        missing = []
+        for path in (ROOT / "src").rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            if ast.get_docstring(tree) is None:
+                missing.append(str(path))
+        assert not missing, missing
