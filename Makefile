@@ -1,12 +1,18 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples lint
+.PHONY: install test bench bench-smoke examples lint verify-reliability
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+verify-reliability:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_reliability_guard.py \
+	    tests/test_reliability_checkpoint.py \
+	    tests/test_reliability_harness.py \
+	    tests/test_reliability_cli.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

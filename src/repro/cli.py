@@ -58,6 +58,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_train(args: argparse.Namespace) -> int:
     from repro.meta import MethodConfig, build_method
     from repro.nn import save_module
+    from repro.reliability import CheckpointStore, TrainingDiverged
 
     dataset = generate_dataset(args.dataset, scale=args.scale, seed=args.seed)
     n_types = len(dataset.types)
@@ -74,7 +75,21 @@ def cmd_train(args: argparse.Namespace) -> int:
                              query_size=4, seed=args.seed + 7)
     print(f"training {args.method} on {args.dataset} "
           f"({args.n_way}-way {args.k_shot}-shot) ...")
-    losses = adapter.fit(sampler, args.iterations)
+    try:
+        if args.resume:
+            store = CheckpointStore(args.output + ".state")
+            losses = adapter.fit_resumable(
+                sampler, args.iterations, store,
+                every=args.checkpoint_every,
+            )
+        else:
+            losses = adapter.fit(sampler, args.iterations)
+    except TrainingDiverged as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    report = getattr(adapter, "anomaly_report", None)
+    if report is not None and not report.clean:
+        print(report.render())
     print(f"final loss: {losses[-1]:.4f}")
     model = getattr(adapter, "model", None) or getattr(adapter, "tagger")
     save_module(model, args.output, metadata={
@@ -92,9 +107,17 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.meta import MethodConfig, build_method, evaluate_method
     from repro.meta.evaluate import fixed_episodes
-    from repro.nn import load_module, load_state
+    from repro.nn import CheckpointError, load_module, load_state
 
-    _state, metadata = load_state(args.checkpoint)
+    try:
+        _state, metadata = load_state(args.checkpoint)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError:
+        print(f"error: checkpoint {args.checkpoint!r} does not exist",
+              file=sys.stderr)
+        return 1
     method = metadata.get("method", "FewNER")
     dataset = generate_dataset(
         metadata.get("dataset", args.dataset),
@@ -124,10 +147,40 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import run_experiment
-    from repro.experiments.registry import render_result
+    import inspect
+    import os
 
-    result = run_experiment(args.name, args.preset)
+    from repro.experiments import run_experiment
+    from repro.experiments.registry import EXPERIMENTS, render_result
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.journal:
+        if "journal" not in inspect.signature(EXPERIMENTS[args.name]).parameters:
+            print(f"error: experiment {args.name!r} does not support "
+                  f"--journal (no resumable table run)", file=sys.stderr)
+            return 2
+        if args.resume and not os.path.exists(args.journal):
+            print(f"error: --resume requested but journal "
+                  f"{args.journal!r} does not exist", file=sys.stderr)
+            return 2
+        from repro.reliability import RunJournal
+
+        journal = RunJournal(args.journal)
+        done = len(journal.completed_cells())
+        if done:
+            print(f"resuming from {args.journal}: "
+                  f"{done} completed cells will be skipped")
+        kwargs["journal"] = journal
+    from repro.reliability.journal import JournalMismatch
+
+    try:
+        result = run_experiment(args.name, args.preset, **kwargs)
+    except JournalMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_result(args.name, result))
     return 0
 
@@ -160,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=20)
     p.add_argument("--pretrain-iterations", type=int, default=60)
     p.add_argument("--holdout-types", type=int, default=5)
+    p.add_argument("--resume", action="store_true",
+                   help="train in crash-safe chunks under OUTPUT.state/ "
+                        "and continue from the newest checkpoint")
+    p.add_argument("--checkpoint-every", type=int, default=5,
+                   help="iterations between training checkpoints "
+                        "(with --resume)")
     p.add_argument("output")
     p.set_defaults(func=cmd_train)
 
@@ -179,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
     ))
     p.add_argument("--preset", default=None,
                    help="scale preset (smoke | default | paper)")
+    p.add_argument("--journal", default=None,
+                   help="JSONL run journal; completed cells are recorded "
+                        "as they finish and skipped when the file is "
+                        "reused")
+    p.add_argument("--resume", action="store_true",
+                   help="require an existing --journal and continue it")
     p.set_defaults(func=cmd_experiment)
     return parser
 

@@ -93,6 +93,23 @@ class EpisodeSampler:
         return [self.sample() for _ in range(n_episodes)]
 
     # ------------------------------------------------------------------
+    def reseed(self, seed: int) -> None:
+        """Restart the episode stream from ``seed``.
+
+        Used by the guarded-training escalation ladder to steer away
+        from a pathological task sequence.
+        """
+        self._rng = np.random.default_rng(seed)
+
+    def rng_state(self) -> dict:
+        """JSON-serialisable generator state (for training checkpoints)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
+    # ------------------------------------------------------------------
     def _try_sample(self, rng: np.random.Generator) -> Episode | None:
         order = rng.permutation(len(self._pool))
         support_idx: list[int] = []

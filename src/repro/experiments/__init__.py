@@ -9,6 +9,7 @@ structured result and can render the same rows the paper reports.  The
 from repro.experiments.configs import ExperimentScale, SCALES, get_scale
 from repro.experiments.harness import (
     AdaptationSetting,
+    FailedCell,
     MethodResult,
     TableResult,
     run_adaptation,
@@ -25,6 +26,7 @@ __all__ = [
     "SCALES",
     "get_scale",
     "AdaptationSetting",
+    "FailedCell",
     "MethodResult",
     "TableResult",
     "run_adaptation",

@@ -181,7 +181,8 @@ def prototype_episode_loss(model, episode):
 def supervised_pretrain(model, sampler, iterations: int, lr: float,
                         meta_batch: int, grad_clip: float,
                         use_context: bool,
-                        prototype_weight: float = 0.0) -> list[float]:
+                        prototype_weight: float = 0.0,
+                        guard: "object | None" = None) -> list[float]:
     """Warm-up θ with conventional supervised training on source episodes.
 
     Each episode's support and query sentences are combined into one
@@ -189,11 +190,23 @@ def supervised_pretrain(model, sampler, iterations: int, lr: float,
     constant φ = 0 so the pretrained weights live in the same function
     space the meta-learner will adapt.  ``prototype_weight`` mixes in
     :func:`prototype_episode_loss` to keep features type-discriminative.
+
+    ``guard`` is an adapter-provided factory (optimizer → step guard);
+    every update goes through the resulting
+    :class:`~repro.reliability.guard.GuardedStep` so NaN/Inf gradients
+    during warm-up are skipped rather than written into θ.
     """
     from repro.autodiff.tensor import zeros as _zeros
-    from repro.nn import Adam, clip_grad_norm
+    from repro.nn import Adam
+    from repro.reliability.guard import AnomalyPolicy, GuardedStep
 
     optimizer = Adam(model.parameters(), lr=lr)
+    if guard is not None:
+        step_guard = guard(optimizer)
+    else:
+        step_guard = GuardedStep(
+            optimizer, policy=AnomalyPolicy(grad_clip=grad_clip)
+        )
     losses = []
     model.train()
     for _it in range(iterations):
@@ -208,8 +221,7 @@ def supervised_pretrain(model, sampler, iterations: int, lr: float,
                 loss = loss + prototype_episode_loss(model, episode) * prototype_weight
             (loss * (1.0 / meta_batch)).backward()
             total += loss.item()
-        clip_grad_norm(model.parameters(), grad_clip)
-        optimizer.step()
+        step_guard.step(total / meta_batch)
         losses.append(total / meta_batch)
     return losses
 
@@ -227,6 +239,16 @@ class Adapter(abc.ABC):
         self.n_way = n_way
         self.config = config
         self.rng = np.random.default_rng(config.seed)
+        #: Anomaly thresholds for guarded optimization; replace before
+        #: ``fit`` to tighten or relax the escalation ladder.
+        from repro.reliability.guard import AnomalyPolicy
+
+        self.guard_policy = AnomalyPolicy(grad_clip=config.grad_clip)
+        #: Test-only hook: a :class:`~repro.reliability.faults.FaultInjector`
+        #: consulted by every guarded step of this adapter.
+        self.fault_injector = None
+        #: Report of the most recent ``fit`` (skips, rollbacks, backoffs).
+        self.anomaly_report = None
 
     @abc.abstractmethod
     def fit(self, sampler: EpisodeSampler, iterations: int) -> list[float]:
@@ -235,6 +257,126 @@ class Adapter(abc.ABC):
     @abc.abstractmethod
     def predict_episode(self, episode: Episode) -> list[list[SpanTuple]]:
         """Adapt on the episode's support set and label its query set."""
+
+    # ------------------------------------------------------------------
+    # Guarded optimization
+    # ------------------------------------------------------------------
+    def _make_guard(self, optimizer, sampler: EpisodeSampler | None = None):
+        """A :class:`GuardedStep` for ``optimizer``, wired to this adapter.
+
+        All guards of one ``fit`` call share ``self.anomaly_report`` (call
+        :meth:`_begin_report` first); the reseed escalation re-seeds the
+        episode sampler deterministically off the method seed.
+        """
+        from repro.reliability.guard import GuardedStep
+
+        on_reseed = None
+        if sampler is not None:
+            def on_reseed(salt, _sampler=sampler):
+                _sampler.reseed(self.config.seed + 7919 + salt)
+        return GuardedStep(
+            optimizer, policy=self.guard_policy, report=self.anomaly_report,
+            on_reseed=on_reseed, injector=self.fault_injector,
+        )
+
+    def _begin_report(self):
+        """Fresh anomaly report; one per ``fit`` invocation."""
+        from repro.reliability.guard import AnomalyReport
+
+        self.anomaly_report = AnomalyReport()
+        return self.anomaly_report
+
+    # ------------------------------------------------------------------
+    # Crash-safe training
+    # ------------------------------------------------------------------
+    def _training_objects(self):
+        """The module and optimizer that define this adapter's training state."""
+        model = getattr(self, "model", None) or getattr(self, "tagger", None)
+        if model is None:
+            raise AttributeError(
+                f"{type(self).__name__} exposes neither .model nor .tagger; "
+                f"cannot checkpoint its training state"
+            )
+        return model, getattr(self, "optimizer", None)
+
+    def capture_training_state(self, sampler: EpisodeSampler,
+                               iteration: int, losses: list[float]):
+        """Snapshot everything needed to continue ``fit`` bit-for-bit."""
+        from repro.reliability.checkpoint import TrainingCheckpoint
+
+        model, optimizer = self._training_objects()
+        metadata = {"method": self.name, "n_way": self.n_way}
+        schedule = getattr(self, "schedule", None)
+        if schedule is not None:
+            metadata["schedule"] = schedule.state_dict()
+        return TrainingCheckpoint(
+            iteration=iteration,
+            module_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict() if optimizer else {},
+            rng_state={
+                "adapter": self.rng.bit_generator.state,
+                "sampler": sampler.rng_state(),
+            },
+            loss_history=list(losses),
+            metadata=metadata,
+        )
+
+    def restore_training_state(self, checkpoint,
+                               sampler: EpisodeSampler) -> None:
+        """Load a :class:`TrainingCheckpoint` captured by this method."""
+        import dataclasses
+
+        model, optimizer = self._training_objects()
+        model.load_state_dict(checkpoint.module_state)
+        if optimizer is not None and checkpoint.optimizer_state:
+            optimizer.load_state_dict(checkpoint.optimizer_state)
+        schedule = getattr(self, "schedule", None)
+        if schedule is not None and "schedule" in checkpoint.metadata:
+            schedule.load_state_dict(checkpoint.metadata["schedule"])
+        if "adapter" in checkpoint.rng_state:
+            self.rng.bit_generator.state = checkpoint.rng_state["adapter"]
+        if "sampler" in checkpoint.rng_state:
+            sampler.set_rng_state(checkpoint.rng_state["sampler"])
+        # The checkpoint is always taken after warm-up finished.
+        if self.config.pretrain_iterations:
+            self.config = dataclasses.replace(
+                self.config, pretrain_iterations=0
+            )
+
+    def fit_resumable(self, sampler: EpisodeSampler, iterations: int,
+                      store, every: int = 10) -> list[float]:
+        """Chunked :meth:`fit` with crash-safe checkpoints in ``store``.
+
+        Training runs in chunks of ``every`` iterations; after each
+        chunk the full training state (parameters, optimizer moments,
+        RNG states, loss history) is written atomically to the
+        :class:`~repro.reliability.checkpoint.CheckpointStore`.  If the
+        store already holds a checkpoint, training resumes from it —
+        with the same chunking, the resumed run is bit-identical to an
+        uninterrupted one.
+        """
+        import dataclasses
+
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        checkpoint = store.load_latest()
+        losses: list[float] = []
+        done = 0
+        if checkpoint is not None:
+            self.restore_training_state(checkpoint, sampler)
+            done = checkpoint.iteration
+            losses = list(checkpoint.loss_history)
+        while done < iterations:
+            step = min(every, iterations - done)
+            losses.extend(self.fit(sampler, step))
+            # Warm-up belongs to the first chunk only.
+            if self.config.pretrain_iterations:
+                self.config = dataclasses.replace(
+                    self.config, pretrain_iterations=0
+                )
+            done += step
+            store.save(self.capture_training_state(sampler, done, losses))
+        return losses
 
     # ------------------------------------------------------------------
     def _check_episode(self, episode: Episode) -> None:

@@ -52,6 +52,9 @@ class EvaluationResult:
     method: str
     ci: ConfidenceInterval
     episode_scores: tuple[float, ...]
+    #: True when a wall-clock budget stopped evaluation early; the CI
+    #: then covers only the episodes completed before the deadline.
+    truncated: bool = False
 
     @property
     def f1(self) -> float:
@@ -61,14 +64,32 @@ class EvaluationResult:
         return f"{self.method}: {self.ci}"
 
 
-def evaluate_method(adapter: Adapter, episodes: list[Episode]) -> EvaluationResult:
+def evaluate_method(adapter: Adapter, episodes: list[Episode],
+                    budget_seconds: float | None = None,
+                    min_episodes: int = 1) -> EvaluationResult:
     """Adapt-and-score a method on each episode; aggregate with 95 % CI.
 
     Matching §4.1.1: every episode contributes one micro-F1; the result
     is the mean with a ``1.96 * sem`` half-width.
+
+    With ``budget_seconds`` the loop degrades gracefully: once the
+    wall-clock budget is exhausted (and at least ``min_episodes`` are
+    done) evaluation stops and the CI covers the completed episodes,
+    flagged via :attr:`EvaluationResult.truncated`.
     """
+    import time
+
+    deadline = (
+        None if budget_seconds is None
+        else time.monotonic() + budget_seconds
+    )
     scores = []
+    truncated = False
     for episode in episodes:
+        if (deadline is not None and len(scores) >= min_episodes
+                and time.monotonic() >= deadline):
+            truncated = True
+            break
         predictions = adapter.predict_episode(episode)
         gold = [
             [span.as_tuple() for span in sent.spans] for sent in episode.query
@@ -78,6 +99,7 @@ def evaluate_method(adapter: Adapter, episodes: list[Episode]) -> EvaluationResu
         method=adapter.name,
         ci=aggregate_f1(scores),
         episode_scores=tuple(scores),
+        truncated=truncated,
     )
 
 

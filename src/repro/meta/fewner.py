@@ -22,7 +22,7 @@ from repro.autodiff.tensor import Tensor, grad, no_grad
 from repro.data.episodes import Episode, EpisodeSampler
 from repro.eval.metrics import SpanTuple
 from repro.meta.base import Adapter, MethodConfig, make_backbone
-from repro.nn import Adam, ExponentialDecay, SGD, clip_grad_norm
+from repro.nn import Adam, ExponentialDecay, SGD
 
 
 class FewNER(Adapter):
@@ -80,6 +80,7 @@ class FewNER(Adapter):
 
         config = self.config
         losses = []
+        self._begin_report()
         if config.pretrain_iterations:
             losses.extend(
                 supervised_pretrain(
@@ -87,8 +88,10 @@ class FewNER(Adapter):
                     config.pretrain_lr, config.meta_batch, config.grad_clip,
                     use_context=True,
                     prototype_weight=config.pretrain_prototype_weight,
+                    guard=lambda opt: self._make_guard(opt, sampler),
                 )
             )
+        guard = self._make_guard(self.optimizer, sampler)
         self.model.train()
         for _it in range(iterations):
             tasks = sampler.sample_many(config.meta_batch)
@@ -107,8 +110,7 @@ class FewNER(Adapter):
                 (q_loss * scale).backward()
                 total += q_loss.item()
                 self.schedule.step()
-            clip_grad_norm(self.model.parameters(), config.grad_clip)
-            self.optimizer.step()
+            guard.step(total / config.meta_batch)
             losses.append(total / config.meta_batch)
         return losses
 

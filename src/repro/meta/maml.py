@@ -15,7 +15,7 @@ from repro.autodiff.tensor import Tensor, grad, no_grad
 from repro.data.episodes import Episode, EpisodeSampler
 from repro.eval.metrics import SpanTuple
 from repro.meta.base import Adapter, MethodConfig, make_backbone
-from repro.nn import Adam, ExponentialDecay, SGD, clip_grad_norm
+from repro.nn import Adam, ExponentialDecay, SGD
 from repro.nn.module import override_params
 
 
@@ -79,6 +79,7 @@ class MAML(Adapter):
 
         config = self.config
         losses = []
+        self._begin_report()
         if config.pretrain_iterations:
             losses.extend(
                 supervised_pretrain(
@@ -86,11 +87,13 @@ class MAML(Adapter):
                     config.pretrain_lr, config.meta_batch, config.grad_clip,
                     use_context=False,
                     prototype_weight=config.pretrain_prototype_weight,
+                    guard=lambda opt: self._make_guard(opt, sampler),
                 )
             )
         if self.first_order or not config.second_order:
             losses.extend(self._fit_first_order(sampler, iterations))
             return losses
+        guard = self._make_guard(self.optimizer, sampler)
         self.model.train()
         for _it in range(iterations):
             tasks = sampler.sample_many(config.meta_batch)
@@ -107,8 +110,7 @@ class MAML(Adapter):
                 (q_loss * scale).backward()
                 total += q_loss.item()
                 self.schedule.step()
-            clip_grad_norm(self.model.parameters(), config.grad_clip)
-            self.optimizer.step()
+            guard.step(total / config.meta_batch)
             losses.append(total / config.meta_batch)
         return losses
 
@@ -118,6 +120,7 @@ class MAML(Adapter):
         fast weights directly to θ."""
         config = self.config
         losses = []
+        guard = self._make_guard(self.optimizer, sampler)
         self.model.train()
         params = self.model.parameters()
         for _it in range(iterations):
@@ -145,8 +148,7 @@ class MAML(Adapter):
                     p.grad = contribution if p.grad is None else p.grad + contribution
                 total += q_loss.item()
                 self.schedule.step()
-            clip_grad_norm(params, config.grad_clip)
-            self.optimizer.step()
+            guard.step(total / config.meta_batch)
             losses.append(total / config.meta_batch)
         return losses
 

@@ -14,7 +14,13 @@ from repro.nn.transformer import TransformerEncoder, TransformerBlock, SelfAtten
 from repro.nn.film import FiLM, ConcatConditioner
 from repro.nn import init
 from repro.nn.optim import SGD, Adam, clip_grad_norm, ExponentialDecay
-from repro.nn.serialization import save_module, load_module, load_state
+from repro.nn.serialization import (
+    CheckpointError,
+    atomic_savez,
+    save_module,
+    load_module,
+    load_state,
+)
 
 __all__ = [
     "Module",
@@ -44,6 +50,8 @@ __all__ = [
     "Adam",
     "clip_grad_norm",
     "ExponentialDecay",
+    "CheckpointError",
+    "atomic_savez",
     "save_module",
     "load_module",
     "load_state",

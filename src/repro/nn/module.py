@@ -106,20 +106,32 @@ class Module:
 
     def load_state_dict(self, state: dict) -> None:
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
-        if missing or unexpected:
-            raise KeyError(
-                f"state dict mismatch: missing={sorted(missing)} "
-                f"unexpected={sorted(unexpected)}"
-            )
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        conflicts = []
+        for name in sorted(set(own) & set(state)):
+            found = np.asarray(state[name]).shape
+            expected = own[name].data.shape
+            if expected != found:
+                conflicts.append(
+                    f"{name} (expected {expected}, found {found})"
+                )
+        if missing or unexpected or conflicts:
+            parts = []
+            if missing:
+                parts.append(f"missing keys: {missing}")
+            if unexpected:
+                parts.append(f"unexpected keys: {unexpected}")
+            if conflicts:
+                parts.append(f"shape conflicts: {conflicts}")
+            message = "state dict mismatch: " + "; ".join(parts)
+            # Key-level problems stay KeyError for compatibility; a
+            # shape-only mismatch is a value problem.
+            if missing or unexpected:
+                raise KeyError(message)
+            raise ValueError(message)
         for name, value in state.items():
             value = np.asarray(value)
-            if own[name].data.shape != value.shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: "
-                    f"{own[name].data.shape} vs {value.shape}"
-                )
             own[name].data = value.astype(own[name].data.dtype).copy()
 
     # ------------------------------------------------------------------

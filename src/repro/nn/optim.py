@@ -39,6 +39,46 @@ class Optimizer:
             g = g + self.weight_decay * p.data
         return g
 
+    # ------------------------------------------------------------------
+    # Checkpointable state: scalars under "scalars", per-parameter array
+    # lists under "arrays" (keyed by slot name, ordered like ``params``).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serialisable optimizer state (scalars + moment arrays)."""
+        return {
+            "kind": type(self).__name__,
+            "scalars": {"lr": self.lr, "weight_decay": self.weight_decay},
+            "arrays": {},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        The optimizer must already hold the same parameter list the
+        state was saved from (same count and shapes).
+        """
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {kind!r}, not {type(self).__name__!r}"
+            )
+        for name, value in state["scalars"].items():
+            setattr(self, name, value)
+        for slot, arrays in state["arrays"].items():
+            target = getattr(self, slot)
+            if len(arrays) != len(target):
+                raise ValueError(
+                    f"optimizer state slot {slot!r} has {len(arrays)} "
+                    f"arrays, expected {len(target)}"
+                )
+            for buf, value in zip(target, arrays):
+                if buf.shape != value.shape:
+                    raise ValueError(
+                        f"optimizer state slot {slot!r} shape mismatch: "
+                        f"{buf.shape} vs {value.shape}"
+                    )
+                buf[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -61,6 +101,12 @@ class SGD(Optimizer):
             else:
                 update = g
             p.data = p.data - self.lr * update
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["scalars"]["momentum"] = self.momentum
+        state["arrays"]["_velocity"] = [v.copy() for v in self._velocity]
+        return state
 
 
 class Adam(Optimizer):
@@ -89,6 +135,15 @@ class Adam(Optimizer):
             m_hat = m / (1 - b1**self._t)
             v_hat = v / (1 - b2**self._t)
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["scalars"].update(
+            beta1=self.beta1, beta2=self.beta2, eps=self.eps, _t=self._t
+        )
+        state["arrays"]["_m"] = [m.copy() for m in self._m]
+        state["arrays"]["_v"] = [v.copy() for v in self._v]
+        return state
 
 
 def clip_grad_norm(params, max_norm: float) -> float:
@@ -124,3 +179,9 @@ class ExponentialDecay:
         self._steps += 1
         if self._steps % self.every == 0:
             self.optimizer.lr *= self.rate
+
+    def state_dict(self) -> dict:
+        return {"steps": self._steps}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._steps = int(state["steps"])

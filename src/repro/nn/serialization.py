@@ -3,18 +3,55 @@
 Checkpoints are plain ``.npz`` archives of the module's ``state_dict``
 plus a JSON metadata blob, so they are portable, inspectable and free of
 pickle's code-execution hazards.
+
+Writes are *atomic*: the archive is assembled in a temporary file in the
+target directory and moved into place with :func:`os.replace`, so a
+crash mid-write can never leave a truncated file under the final name.
+Reads classify damaged archives as :class:`CheckpointError` with a clear
+message instead of surfacing a zipfile/numpy traceback.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+import zipfile
 
 import numpy as np
 
 from repro.nn.module import Module
 
 _META_KEY = "__repro_meta__"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable, truncated or corrupt."""
+
+
+def atomic_savez(path: str, payload: dict) -> None:
+    """Write ``payload`` as an ``.npz`` archive atomically.
+
+    The temporary file lives in the destination directory so
+    ``os.replace`` stays within one filesystem and is atomic.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-" + os.path.basename(path) + "-"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def save_module(module: Module, path: str, metadata: dict | None = None) -> None:
@@ -29,28 +66,42 @@ def save_module(module: Module, path: str, metadata: dict | None = None) -> None
     payload = dict(state)
     meta = json.dumps(metadata or {})
     payload[_META_KEY] = np.frombuffer(meta.encode("utf-8"), dtype=np.uint8)
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "wb") as fh:
-        np.savez(fh, **payload)
+    atomic_savez(path, payload)
 
 
 def load_state(path: str) -> tuple[dict, dict]:
-    """Read a checkpoint; returns ``(state_dict, metadata)``."""
-    with np.load(path) as archive:
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
-        metadata = {}
-        if _META_KEY in archive.files:
-            raw = archive[_META_KEY].tobytes().decode("utf-8")
-            metadata = json.loads(raw)
+    """Read a checkpoint; returns ``(state_dict, metadata)``.
+
+    Raises :class:`CheckpointError` if the file is truncated or corrupt
+    (e.g. a partial write from a killed process) and
+    :class:`FileNotFoundError` if it does not exist.
+    """
+    try:
+        with np.load(path) as archive:
+            state = {k: archive[k] for k in archive.files if k != _META_KEY}
+            metadata = {}
+            if _META_KEY in archive.files:
+                raw = archive[_META_KEY].tobytes().decode("utf-8")
+                metadata = json.loads(raw)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError, ValueError,
+            json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is corrupt or truncated "
+            f"({type(exc).__name__}: {exc}); it cannot be loaded — "
+            f"re-train or fall back to an older checkpoint"
+        ) from exc
     return state, metadata
 
 
 def load_module(module: Module, path: str) -> dict:
     """Load a checkpoint into an already-constructed ``module``.
 
-    Returns the checkpoint's metadata.  Raises if parameter names or
-    shapes do not match the module.
+    Returns the checkpoint's metadata.  On a name or shape mismatch one
+    error is raised listing *every* missing key, unexpected key and
+    shape conflict (with expected vs. found shapes), so a wrong-config
+    reload is diagnosable from a single message.
     """
     state, metadata = load_state(path)
     module.load_state_dict(state)

@@ -1,0 +1,100 @@
+"""Deterministic fault injection for testing every recovery path.
+
+Production code never imports this module; tests hand a
+:class:`FaultInjector` to the hooks the runtime already exposes:
+
+* :class:`~repro.reliability.guard.GuardedStep` calls
+  :meth:`FaultInjector.before_step` before validating each update, so a
+  test can corrupt gradients with NaN at exactly iteration *k* or raise
+  mid-``fit``;
+* :func:`~repro.experiments.harness.run_adaptation` calls its
+  ``on_cell`` hook after each completed cell, so
+  :meth:`FaultInjector.cell_hook` can simulate a kill between cells;
+* :meth:`FaultInjector.truncate_file` damages a checkpoint on disk the
+  way a crash mid-write (pre-atomic-rename) or a torn copy would.
+
+Two exception types keep fault semantics honest: :class:`InjectedFault`
+is an ordinary ``RuntimeError`` that recovery code is *supposed* to
+handle (a failing method), while :class:`SimulatedCrash` derives from
+``BaseException`` so no ``except Exception`` isolation layer can
+swallow it — exactly like a real SIGKILL.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+class InjectedFault(RuntimeError):
+    """An ordinary failure injected into a training run."""
+
+
+class SimulatedCrash(BaseException):
+    """A process death; must never be caught by fault-isolation layers."""
+
+
+class FaultInjector:
+    """Test-only deterministic fault source.
+
+    ``nan_grad_at`` and ``raise_at`` are iterables of guarded-step
+    indices *local to each training phase* (the supervised warm-up and
+    the meta loop each start counting at 0); ``raise_after_calls``
+    counts consultations globally across phases and chunks.
+    """
+
+    def __init__(self, nan_grad_at=(), raise_at=(), raise_after_calls=None):
+        self.nan_grad_at = frozenset(int(i) for i in nan_grad_at)
+        self.raise_at = frozenset(int(i) for i in raise_at)
+        #: Raise once the injector has been consulted this many times in
+        #: total, across all guards and phases of a ``fit`` — the knob
+        #: for killing a run mid-chunk.
+        self.raise_after_calls = raise_after_calls
+        self.calls = 0
+        self.corrupted_iterations: list[int] = []
+
+    # ------------------------------------------------------------------
+    # GuardedStep hook
+    # ------------------------------------------------------------------
+    def before_step(self, iteration: int, params) -> None:
+        """Corrupt gradients or raise, per the configured schedules."""
+        self.calls += 1
+        if (self.raise_after_calls is not None
+                and self.calls >= self.raise_after_calls):
+            raise InjectedFault(
+                f"injected failure after {self.calls} guarded steps"
+            )
+        if iteration in self.raise_at:
+            raise InjectedFault(f"injected failure at iteration {iteration}")
+        if iteration in self.nan_grad_at:
+            for p in params:
+                if p.grad is not None:
+                    p.grad.data = np.full_like(p.grad.data, np.nan)
+                    break
+            self.corrupted_iterations.append(iteration)
+
+    # ------------------------------------------------------------------
+    # Harness hook
+    # ------------------------------------------------------------------
+    @staticmethod
+    def kill_after_cells(n: int):
+        """An ``on_cell`` callback that simulates a kill after ``n`` cells."""
+        counter = {"cells": 0}
+
+        def hook(_cell) -> None:
+            counter["cells"] += 1
+            if counter["cells"] >= n:
+                raise SimulatedCrash(f"simulated kill after {n} cells")
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Filesystem faults
+    # ------------------------------------------------------------------
+    @staticmethod
+    def truncate_file(path: str, keep_bytes: int = 64) -> None:
+        """Truncate ``path`` in place, as a torn write would leave it."""
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(min(keep_bytes, max(size - 1, 0)))

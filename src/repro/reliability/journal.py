@@ -1,0 +1,124 @@
+"""Append-only JSONL journal for resumable table runs.
+
+One journal file records the progress of one
+:func:`~repro.experiments.harness.run_adaptation` invocation.  Records
+are single JSON objects, one per line:
+
+* ``{"kind": "run", "title": ..., "settings": [...], "shots": [...]}``
+  — written once; a resume against a journal whose run header does not
+  match the requested run is rejected (the file belongs to a different
+  table);
+* ``{"kind": "cell", "method": ..., "setting": ..., "k_shot": ...,
+  "f1": ..., "half_width": ..., "episodes": ..., "train_seconds": ...,
+  "eval_seconds": ..., "reused_training": ...}`` — one completed cell;
+* ``{"kind": "failure", "method": ..., "setting": ..., "k_shot": ...,
+  "error": ...}`` — a cell abandoned after retries (informational;
+  failed cells are re-attempted on resume).
+
+Each record is flushed and fsynced as it is written, and a torn final
+line (the process died mid-write) is ignored when the file is read
+back, so the journal is crash-safe by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+class JournalMismatch(RuntimeError):
+    """The journal on disk was written by a different run configuration."""
+
+
+class RunJournal:
+    """Crash-safe progress record keyed by ``(method, setting, k_shot)``."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._cells: dict[tuple[str, str, int], dict] = {}
+        self._failures: list[dict] = []
+        self._header: dict | None = None
+        self._load()
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail from a crash mid-append; everything
+                    # before it is intact, so just stop consuming.
+                    break
+                kind = record.pop("kind", None)
+                if kind == "run":
+                    self._header = record
+                elif kind == "cell":
+                    key = (record["method"], record["setting"],
+                           int(record["k_shot"]))
+                    self._cells[key] = record
+                elif kind == "failure":
+                    self._failures.append(record)
+
+    def _append(self, kind: str, record: dict) -> None:
+        if self._fh is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps({"kind": kind, **record}) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    def begin(self, title: str, settings: list[str],
+              shots: tuple[int, ...]) -> None:
+        """Validate (or write) the run header for this journal."""
+        header = {
+            "title": title,
+            "settings": list(settings),
+            "shots": [int(k) for k in shots],
+        }
+        if self._header is None:
+            self._header = header
+            self._append("run", header)
+        elif self._header != header:
+            raise JournalMismatch(
+                f"journal {self.path!r} was written for "
+                f"{self._header!r}, cannot resume {header!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def completed(self, method: str, setting: str, k_shot: int) -> dict | None:
+        """The recorded cell payload, or ``None`` if not yet completed."""
+        return self._cells.get((method, setting, int(k_shot)))
+
+    def completed_cells(self) -> list[dict]:
+        return list(self._cells.values())
+
+    def failures(self) -> list[dict]:
+        return list(self._failures)
+
+    def record_cell(self, method: str, setting: str, k_shot: int,
+                    payload: dict) -> None:
+        record = {"method": method, "setting": setting,
+                  "k_shot": int(k_shot), **payload}
+        self._cells[(method, setting, int(k_shot))] = record
+        self._append("cell", record)
+
+    def record_failure(self, method: str, setting: str, k_shot: int,
+                       error: str) -> None:
+        record = {"method": method, "setting": setting,
+                  "k_shot": int(k_shot), "error": error}
+        self._failures.append(record)
+        self._append("failure", record)

@@ -1,0 +1,49 @@
+"""Per-cell retry and wall-clock budget policy for table runs.
+
+Long sweeps fail in two shapes: a method blows up (an exception or
+:class:`~repro.reliability.guard.TrainingDiverged`) or a cell takes far
+longer than planned.  :class:`CellPolicy` describes what the harness
+may do about each: retry training with a deterministically perturbed
+seed, and bound evaluation wall-clock with graceful degradation (report
+the confidence interval over the episodes completed so far instead of
+nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellPolicy:
+    """How :func:`~repro.experiments.harness.run_adaptation` treats one cell."""
+
+    #: Extra training attempts after the first failure (0 = fail fast).
+    retries: int = 0
+    #: Added to ``MethodConfig.seed`` on attempt ``i`` as
+    #: ``i * seed_perturbation`` — a divergent trajectory usually is not
+    #: divergent from a different initialisation/episode order.
+    seed_perturbation: int = 1000
+    #: Wall-clock budget (seconds) for one cell's *evaluation*; ``None``
+    #: disables the limit.  When exceeded, the cell reports a CI over
+    #: the episodes finished so far (at least ``min_episodes``).
+    budget_seconds: float | None = None
+    #: Episodes always evaluated even past the deadline, so a budgeted
+    #: cell is never empty.
+    min_episodes: int = 1
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.min_episodes < 1:
+            raise ValueError(
+                f"min_episodes must be >= 1, got {self.min_episodes}"
+            )
+        if self.budget_seconds is not None and self.budget_seconds <= 0:
+            raise ValueError(
+                f"budget_seconds must be positive, got {self.budget_seconds}"
+            )
+
+    def seed_for_attempt(self, base_seed: int, attempt: int) -> int:
+        """Deterministic seed for retry number ``attempt`` (0 = first try)."""
+        return base_seed + attempt * self.seed_perturbation

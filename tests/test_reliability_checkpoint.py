@@ -1,0 +1,274 @@
+"""Crash-safe checkpoints: atomicity, retention, damage, exact resume."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.experiments.configs import SCALES
+from repro.meta.evaluate import build_method
+from repro.nn import Adam, Linear, load_module, load_state, save_module
+from repro.nn.module import Module, Parameter
+from repro.nn.serialization import CheckpointError
+from repro.reliability import (
+    CheckpointStore,
+    FaultInjector,
+    InjectedFault,
+    TrainingCheckpoint,
+)
+
+
+class Net(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.layer = Linear(3, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_left_behind(self, rng, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_module(Net(rng), path)
+        assert sorted(os.listdir(tmp_path)) == ["ckpt.npz"]
+
+    def test_failed_write_preserves_previous_checkpoint(self, rng, tmp_path,
+                                                        monkeypatch):
+        path = str(tmp_path / "ckpt.npz")
+        good = Net(rng)
+        save_module(good, path)
+
+        def torn_write(fh, **payload):
+            fh.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", torn_write)
+        with pytest.raises(OSError):
+            save_module(Net(np.random.default_rng(99)), path)
+        monkeypatch.undo()
+        # The crash neither replaced nor damaged the original file,
+        # and the temp file was cleaned up.
+        assert sorted(os.listdir(tmp_path)) == ["ckpt.npz"]
+        reloaded = Net(np.random.default_rng(1))
+        load_module(reloaded, path)
+        for (name, pa), (_n, pb) in zip(good.named_parameters(),
+                                        reloaded.named_parameters()):
+            assert np.allclose(pa.data, pb.data), name
+
+
+class TestDamagedCheckpoints:
+    def test_truncated_file_raises_checkpoint_error(self, rng, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_module(Net(rng), path)
+        FaultInjector.truncate_file(path, keep_bytes=48)
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            load_state(path)
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"not a zip archive at all")
+        with pytest.raises(CheckpointError):
+            load_state(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(str(tmp_path / "nope.npz"))
+
+
+class TestLoadModuleErrorQuality:
+    def test_single_error_lists_every_problem(self, rng, tmp_path):
+        class Other(Module):
+            def __init__(self, rng):
+                super().__init__()
+                self.layer = Linear(3, 2, rng)
+                self.scale = Parameter(np.ones(5))   # shape conflict
+                self.extra = Parameter(np.ones(1))   # missing from file
+
+        path = str(tmp_path / "ckpt.npz")
+        save_module(Net(rng), path)
+        with pytest.raises(KeyError) as excinfo:
+            load_module(Other(rng), path)
+        message = str(excinfo.value)
+        assert "missing keys" in message and "extra" in message
+        assert "shape conflicts" in message
+        assert "expected (5,)" in message and "found (2,)" in message
+
+    def test_shape_only_mismatch_is_value_error(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError) as excinfo:
+            net.load_state_dict(state)
+        assert "scale (expected (2,), found (7,))" in str(excinfo.value)
+
+    def test_unexpected_keys_listed(self, rng):
+        net = Net(rng)
+        state = net.state_dict()
+        state["bogus.weight"] = np.zeros(3)
+        with pytest.raises(KeyError, match="unexpected keys.*bogus.weight"):
+            net.load_state_dict(state)
+
+
+class TestTrainingCheckpoint:
+    def make_checkpoint(self, rng):
+        net = Net(rng)
+        optimizer = Adam(net.parameters(), lr=0.01)
+        # Take a step so the moments are non-trivial.
+        for p in net.parameters():
+            from repro.autodiff.tensor import Tensor
+
+            p.grad = Tensor(np.ones_like(p.data))
+        optimizer.step()
+        gen = np.random.default_rng(3)
+        gen.random(5)
+        return net, optimizer, TrainingCheckpoint(
+            iteration=12,
+            module_state=net.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            rng_state={"adapter": gen.bit_generator.state},
+            loss_history=[3.0, 2.5, 2.0],
+            metadata={"method": "FewNER"},
+        )
+
+    def test_roundtrip(self, rng, tmp_path):
+        net, optimizer, ckpt = self.make_checkpoint(rng)
+        path = str(tmp_path / "state.npz")
+        ckpt.save(path)
+        loaded = TrainingCheckpoint.load(path)
+        assert loaded.iteration == 12
+        assert loaded.loss_history == [3.0, 2.5, 2.0]
+        assert loaded.metadata == {"method": "FewNER"}
+        assert loaded.rng_state["adapter"] == ckpt.rng_state["adapter"]
+        for name, array in net.state_dict().items():
+            assert np.allclose(loaded.module_state[name], array), name
+        fresh = Adam(Net(np.random.default_rng(99)).parameters(), lr=0.5)
+        fresh.load_state_dict(loaded.optimizer_state)
+        assert fresh.lr == optimizer.lr
+        assert fresh._t == optimizer._t
+        for a, b in zip(fresh._m, optimizer._m):
+            assert np.allclose(a, b)
+
+    def test_optimizer_kind_mismatch_rejected(self, rng, tmp_path):
+        from repro.nn import SGD
+
+        _net, _optimizer, ckpt = self.make_checkpoint(rng)
+        path = str(tmp_path / "state.npz")
+        ckpt.save(path)
+        loaded = TrainingCheckpoint.load(path)
+        sgd = SGD(Net(rng).parameters(), lr=0.1)
+        with pytest.raises(ValueError, match="Adam"):
+            sgd.load_state_dict(loaded.optimizer_state)
+
+
+class TestCheckpointStore:
+    def fill(self, store, rng, iterations):
+        net = Net(rng)
+        for it in iterations:
+            store.save(TrainingCheckpoint(
+                iteration=it, module_state=net.state_dict(),
+                loss_history=[float(it)],
+            ))
+
+    def test_retention_keeps_last_k(self, rng, tmp_path):
+        store = CheckpointStore(str(tmp_path / "s"), keep=3)
+        self.fill(store, rng, [1, 2, 3, 4, 5])
+        names = [os.path.basename(p) for p in store.paths()]
+        assert names == ["state-00000003.npz", "state-00000004.npz",
+                         "state-00000005.npz"]
+        assert store.load_latest().iteration == 5
+
+    def test_empty_store_returns_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "empty"))
+        assert store.load_latest() is None
+        assert store.latest_path() is None
+
+    def test_truncated_latest_falls_back_to_previous(self, rng, tmp_path):
+        store = CheckpointStore(str(tmp_path / "s"), keep=3)
+        self.fill(store, rng, [1, 2, 3])
+        FaultInjector.truncate_file(store.latest_path(), keep_bytes=32)
+        recovered = store.load_latest()
+        assert recovered.iteration == 2
+
+    def test_all_damaged_raises(self, rng, tmp_path):
+        store = CheckpointStore(str(tmp_path / "s"), keep=2)
+        self.fill(store, rng, [1, 2])
+        for path in store.paths():
+            FaultInjector.truncate_file(path, keep_bytes=16)
+        with pytest.raises(CheckpointError, match="no readable checkpoint"):
+            store.load_latest()
+
+
+def _adapter_and_sampler(seed=0):
+    ds = generate_dataset("OntoNotes", scale=0.02, seed=0)
+    half = len(ds) // 2
+    train = ds[:half]
+    scale = SCALES["smoke"]
+    wv = Vocabulary.from_datasets([train])
+    cv = CharVocabulary.from_datasets([train])
+    adapter = build_method("FewNER", wv, cv, scale.n_way,
+                           scale.method_config)
+    sampler = EpisodeSampler(train, scale.n_way, 1,
+                             query_size=scale.query_size, seed=7)
+    return adapter, sampler
+
+
+class TestFitResumable:
+    ITERATIONS = 6
+    EVERY = 2
+
+    def run_uninterrupted(self, tmp_path):
+        adapter, sampler = _adapter_and_sampler()
+        store = CheckpointStore(str(tmp_path / "a"))
+        losses = adapter.fit_resumable(sampler, self.ITERATIONS, store,
+                                       every=self.EVERY)
+        return adapter, losses
+
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        reference, ref_losses = self.run_uninterrupted(tmp_path)
+
+        # Same run, but the process "dies" mid-chunk after the first
+        # checkpoint was written.
+        adapter, sampler = _adapter_and_sampler()
+        store = CheckpointStore(str(tmp_path / "b"))
+        adapter.fault_injector = FaultInjector(raise_after_calls=6)
+        with pytest.raises(InjectedFault):
+            adapter.fit_resumable(sampler, self.ITERATIONS, store,
+                                  every=self.EVERY)
+        assert store.load_latest() is not None  # progress survived
+
+        # A fresh process resumes from the store and must converge to
+        # exactly the uninterrupted trajectory.
+        resumed, sampler2 = _adapter_and_sampler()
+        losses = resumed.fit_resumable(sampler2, self.ITERATIONS, store,
+                                       every=self.EVERY)
+        assert losses == ref_losses
+        for (name, pa), (_n, pb) in zip(
+                reference.model.named_parameters(),
+                resumed.model.named_parameters()):
+            assert np.array_equal(pa.data, pb.data), name
+
+    def test_completed_run_resumes_without_training(self, tmp_path):
+        adapter, losses = self.run_uninterrupted(tmp_path)
+        again, sampler = _adapter_and_sampler()
+        store = CheckpointStore(str(tmp_path / "a"))
+        again.fault_injector = FaultInjector(raise_after_calls=1)
+        # Zero further guarded steps are taken: the injector would raise
+        # on the very first one.
+        assert again.fit_resumable(sampler, self.ITERATIONS, store,
+                                   every=self.EVERY) == losses
+
+    def test_resume_skips_warm_up(self, tmp_path):
+        adapter, sampler = _adapter_and_sampler()
+        store = CheckpointStore(str(tmp_path / "c"))
+        adapter.fit_resumable(sampler, 2, store, every=2)
+        resumed, sampler2 = _adapter_and_sampler()
+        resumed.fit_resumable(sampler2, 4, store, every=2)
+        assert resumed.config.pretrain_iterations == 0

@@ -1,0 +1,91 @@
+"""CLI reliability paths: resume flags, damaged checkpoints, exit codes."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.reliability import FaultInjector
+
+TRAIN_ARGS = [
+    "train", "--dataset", "OntoNotes", "--scale", "0.02",
+    "--method", "FewNER", "--n-way", "3", "--iterations", "2",
+    "--pretrain-iterations", "1", "--holdout-types", "3",
+]
+
+
+class TestTrainEvaluateRoundTrip:
+    def test_truncated_checkpoint_fails_with_clear_message(self, tmp_path,
+                                                           capsys):
+        ckpt = str(tmp_path / "model.npz")
+        assert main(TRAIN_ARGS + [ckpt]) == 0
+        FaultInjector.truncate_file(ckpt, keep_bytes=40)
+        code = main(["evaluate", "--episodes", "2", "--holdout-types", "3",
+                     ckpt])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert "corrupt or truncated" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        code = main(["evaluate", "--episodes", "2", "--holdout-types", "3",
+                     str(tmp_path / "nope.npz")])
+        assert code == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_intact_round_trip_still_works(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "model.npz")
+        assert main(TRAIN_ARGS + [ckpt]) == 0
+        assert main(["evaluate", "--episodes", "2", "--holdout-types", "3",
+                     ckpt]) == 0
+        assert "FewNER" in capsys.readouterr().out
+
+
+class TestTrainResume:
+    def test_resume_creates_state_dir_and_continues(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "model.npz")
+        args = TRAIN_ARGS + ["--resume", "--checkpoint-every", "1", ckpt]
+        assert main(args) == 0
+        state_dir = ckpt + ".state"
+        assert os.path.isdir(state_dir)
+        assert any(name.endswith(".npz") for name in os.listdir(state_dir))
+        # Re-running resumes from the finished state instead of retraining.
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "checkpoint written" in capsys.readouterr().out
+
+
+class TestExperimentJournalFlags:
+    def test_resume_without_journal_is_usage_error(self, capsys):
+        code = main(["experiment", "table2", "--preset", "smoke",
+                     "--resume"])
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_resume_with_missing_journal_is_usage_error(self, tmp_path,
+                                                        capsys):
+        code = main(["experiment", "table2", "--preset", "smoke",
+                     "--journal", str(tmp_path / "absent.jsonl"),
+                     "--resume"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_journal_on_unsupported_experiment_is_usage_error(self, tmp_path,
+                                                              capsys):
+        code = main(["experiment", "table1",
+                     "--journal", str(tmp_path / "j.jsonl")])
+        assert code == 2
+        assert "does not support" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_journal_run_then_resume_skips_cells(self, tmp_path, capsys):
+        journal = str(tmp_path / "t2.jsonl")
+        assert main(["experiment", "table2", "--preset", "smoke",
+                     "--journal", journal]) == 0
+        capsys.readouterr()
+        assert main(["experiment", "table2", "--preset", "smoke",
+                     "--journal", journal, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from" in out
+        assert "completed cells will be skipped" in out

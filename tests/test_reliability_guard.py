@@ -1,0 +1,184 @@
+"""Guarded optimization: anomalies are skipped, escalated and reported."""
+
+import numpy as np
+import pytest
+
+from repro.data.episodes import EpisodeSampler
+from repro.data.synthetic import generate_dataset
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.experiments.configs import SCALES
+from repro.meta.evaluate import build_method, evaluate_method, fixed_episodes
+from repro.nn import SGD
+from repro.nn.module import Module, Parameter
+from repro.reliability import (
+    AnomalyPolicy,
+    FaultInjector,
+    GuardedStep,
+    TrainingDiverged,
+)
+
+
+class Quadratic(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.array([1.0, -2.0]))
+
+
+def quadratic_backward(net):
+    net.zero_grad()
+    loss = (net.w * net.w).sum()
+    loss.backward()
+    return loss.item()
+
+
+def poison_grad(net):
+    net.zero_grad()
+    loss = (net.w * net.w).sum()
+    loss.backward()
+    net.w.grad.data = np.full_like(net.w.grad.data, np.nan)
+    return loss.item()
+
+
+@pytest.fixture
+def net():
+    return Quadratic()
+
+
+class TestGuardedStep:
+    def test_healthy_steps_apply(self, net):
+        guard = GuardedStep(SGD([net.w], lr=0.1))
+        before = net.w.data.copy()
+        loss = quadratic_backward(net)
+        assert guard.step(loss) is True
+        assert not np.allclose(net.w.data, before)
+        assert guard.report.clean
+        assert guard.report.steps_taken == 1
+
+    def test_nan_gradient_skipped_params_untouched(self, net):
+        guard = GuardedStep(SGD([net.w], lr=0.1))
+        before = net.w.data.copy()
+        loss = poison_grad(net)
+        assert guard.step(loss) is False
+        assert np.array_equal(net.w.data, before)
+        assert np.all(np.isfinite(net.w.data))
+        assert net.w.grad is None  # poisoned gradients are dropped
+        event = guard.report.events[0]
+        assert event.reason == "non-finite gradient"
+        assert "skip" in event.actions
+
+    def test_non_finite_loss_skipped(self, net):
+        guard = GuardedStep(SGD([net.w], lr=0.1))
+        quadratic_backward(net)
+        assert guard.step(float("nan")) is False
+        assert guard.report.events[0].reason == "non-finite loss"
+
+    def test_explosion_threshold(self, net):
+        policy = AnomalyPolicy(explode_norm=1e-6)
+        guard = GuardedStep(SGD([net.w], lr=0.1), policy=policy)
+        loss = quadratic_backward(net)
+        assert guard.step(loss) is False
+        assert "gradient norm above" in guard.report.events[0].reason
+
+    def test_rollback_restores_last_good_parameters(self, net):
+        policy = AnomalyPolicy(rollback_after=2, abort_after=99)
+        guard = GuardedStep(SGD([net.w], lr=0.1), policy=policy)
+        loss = quadratic_backward(net)
+        guard.step(loss)
+        good = net.w.data.copy()
+        # Corrupt the parameters themselves, then hit two anomalies: the
+        # second one must roll the parameters back to the snapshot.
+        net.w.data = net.w.data + 123.0
+        guard.step(poison_grad(net))
+        guard.step(poison_grad(net))
+        assert np.array_equal(net.w.data, good)
+        assert "rollback" in guard.report.events[-1].actions
+
+    def test_lr_backoff_and_reseed_escalation(self, net):
+        seen = []
+        policy = AnomalyPolicy(
+            backoff_after=2, backoff_factor=0.5, reseed_after=3,
+            abort_after=99,
+        )
+        optimizer = SGD([net.w], lr=0.4)
+        guard = GuardedStep(optimizer, policy=policy,
+                            on_reseed=seen.append)
+        for _ in range(3):
+            guard.step(poison_grad(net))
+        assert optimizer.lr == pytest.approx(0.1)  # two backoffs
+        assert seen == [3]
+        assert "reseed" in guard.report.events[-1].actions
+
+    def test_abort_raises_training_diverged(self, net):
+        policy = AnomalyPolicy(abort_after=3)
+        guard = GuardedStep(SGD([net.w], lr=0.1), policy=policy)
+        with pytest.raises(TrainingDiverged) as excinfo:
+            for _ in range(3):
+                guard.step(poison_grad(net))
+        report = excinfo.value.report
+        assert report.steps_skipped == 3
+        assert "abort" in report.events[-1].actions
+        assert "non-finite gradient" in str(excinfo.value)
+
+    def test_healthy_step_resets_escalation(self, net):
+        policy = AnomalyPolicy(abort_after=2)
+        guard = GuardedStep(SGD([net.w], lr=0.1), policy=policy)
+        for _ in range(3):
+            guard.step(poison_grad(net))          # 1 anomaly
+            guard.step(quadratic_backward(net))   # reset
+        assert guard.report.steps_taken == 3
+        assert guard.report.steps_skipped == 3
+
+    def test_report_summary_is_json_ready(self, net):
+        import json
+
+        guard = GuardedStep(SGD([net.w], lr=0.1))
+        guard.step(poison_grad(net))
+        summary = guard.report.summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["anomalies"] == 1
+
+
+def _smoke_adapter(method="FewNER"):
+    ds = generate_dataset("OntoNotes", scale=0.02, seed=0)
+    half = len(ds) // 2
+    train, test = ds[:half], ds[half:]
+    scale = SCALES["smoke"]
+    wv = Vocabulary.from_datasets([train])
+    cv = CharVocabulary.from_datasets([train])
+    adapter = build_method(method, wv, cv, scale.n_way, scale.method_config)
+    sampler = EpisodeSampler(train, scale.n_way, 1,
+                             query_size=scale.query_size, seed=7)
+    return adapter, sampler, test, scale
+
+
+class TestGuardedTraining:
+    @pytest.mark.parametrize("method", ["FewNER", "MAML"])
+    def test_nan_injection_never_reaches_parameters(self, method):
+        adapter, sampler, test, scale = _smoke_adapter(method)
+        adapter.fault_injector = FaultInjector(nan_grad_at={0})
+        adapter.fit(sampler, 2)
+        model = adapter.model
+        for name, p in model.named_parameters():
+            assert np.all(np.isfinite(p.data)), name
+        report = adapter.anomaly_report
+        assert not report.clean
+        assert report.steps_skipped >= 1
+        # Scores stay real numbers: no silent NaN F1.
+        episodes = fixed_episodes(test, scale.n_way, 1, 2, seed=5,
+                                  query_size=scale.query_size)
+        result = evaluate_method(adapter, episodes)
+        assert np.isfinite(result.f1)
+
+    def test_unrecoverable_run_aborts_with_structured_error(self):
+        adapter, sampler, _test, _scale = _smoke_adapter("FewNER")
+        adapter.guard_policy = AnomalyPolicy(abort_after=2)
+        adapter.fault_injector = FaultInjector(nan_grad_at=range(100))
+        with pytest.raises(TrainingDiverged) as excinfo:
+            adapter.fit(sampler, 4)
+        assert excinfo.value.report.steps_skipped >= 2
+
+    def test_clean_run_reports_clean(self):
+        adapter, sampler, _test, _scale = _smoke_adapter("FewNER")
+        adapter.fit(sampler, 2)
+        assert adapter.anomaly_report is not None
+        assert adapter.anomaly_report.clean
