@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples lint verify-reliability
+.PHONY: install test bench bench-smoke examples lint verify-reliability verify-serving
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,6 +13,14 @@ verify-reliability:
 	    tests/test_reliability_checkpoint.py \
 	    tests/test_reliability_harness.py \
 	    tests/test_reliability_cli.py -q
+
+verify-serving:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_serving_deadline.py \
+	    tests/test_serving_sanitize.py \
+	    tests/test_serving_service.py \
+	    tests/test_data_lint.py \
+	    tests/test_crf_greedy.py \
+	    tests/test_cli_serving.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

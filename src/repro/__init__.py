@@ -10,7 +10,11 @@ The package implements, from scratch over numpy:
 * ``repro.models`` -- the CNN-BiGRU-CRF backbone and context conditioning;
 * ``repro.meta`` -- FEWNER and all baseline adaptation methods;
 * ``repro.eval`` -- entity-level F1 and episode aggregation;
-* ``repro.experiments`` -- harnesses regenerating each table of the paper.
+* ``repro.experiments`` -- harnesses regenerating each table of the paper;
+* ``repro.reliability`` -- fault-tolerant training runtime;
+* ``repro.serving`` -- hardened inference: validated ingestion,
+  deadline-bounded tagging with graceful degradation, circuit-breaker
+  serving.
 """
 
 __version__ = "1.0.0"

@@ -7,7 +7,18 @@ Commands:
 * ``train``      — train an adaptation method and save a checkpoint;
 * ``evaluate``   — evaluate a trained FEWNER checkpoint on episodes;
 * ``experiment`` — run one of the paper's experiments (table1..table6,
-  timing) at a chosen scale and print the rendered result.
+  timing) at a chosen scale and print the rendered result;
+* ``tag``        — serve tag requests from a checkpoint through the
+  hardened :class:`~repro.serving.TaggingService` (validated input,
+  ``--deadline-ms`` budgets, graceful degradation);
+* ``validate``   — lint a CoNLL file, reporting every defect with file
+  and line number (non-zero exit when defects exist).
+
+Examples::
+
+    repro tag model.npz --input corpus.conll --conll --deadline-ms 50
+    echo "Kavox visited Zuqev" | repro tag model.npz
+    repro validate corpus.conll --scheme bio
 """
 
 from __future__ import annotations
@@ -99,6 +110,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         "k_shot": args.k_shot,
         "scale": args.scale,
         "seed": args.seed,
+        "holdout_types": args.holdout_types,
     })
     print(f"checkpoint written to {args.output}")
     return 0
@@ -185,6 +197,114 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tag(args: argparse.Namespace) -> int:
+    from repro.data.sentence import Sentence, Span
+    from repro.nn import CheckpointError
+    from repro.serving import ServiceConfig, TaggingService
+
+    try:
+        service = TaggingService.from_checkpoint(
+            args.checkpoint,
+            config=ServiceConfig(default_deadline_ms=args.deadline_ms),
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError:
+        print(f"error: checkpoint {args.checkpoint!r} does not exist",
+              file=sys.stderr)
+        return 1
+    except ValueError as exc:  # e.g. state-dict mismatch on rebuild
+        print(f"error: cannot rebuild the model from "
+              f"{args.checkpoint!r}: {exc}", file=sys.stderr)
+        return 1
+
+    quarantined = 0
+    if args.conll:
+        if args.strict:
+            from repro.data.conll import read_conll_file
+
+            try:
+                dataset = read_conll_file(args.input, scheme=args.scheme,
+                                          strict=True)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        else:
+            from repro.data.lint import read_conll_lenient
+
+            dataset, report = read_conll_lenient(args.input,
+                                                 scheme=args.scheme)
+            if not report.clean:
+                print(report.render(), file=sys.stderr)
+                quarantined = report.n_quarantined
+        requests = [list(sentence.tokens) for sentence in dataset]
+    else:
+        if args.input in (None, "-"):
+            lines = sys.stdin.read().splitlines()
+        else:
+            with open(args.input, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        requests = [line.split() for line in lines if line.strip()]
+
+    results = service.tag_many(requests)
+    failures = 0
+    for result in results:
+        if result.status == "ok":
+            rendered = Sentence(
+                result.tokens,
+                tuple(Span(s, e, lab) for s, e, lab in result.spans),
+            ).pretty()
+            flags = []
+            if result.degraded:
+                flags.append(f"degraded: {result.note}")
+            if result.modified:
+                flags.append("input sanitized")
+            if result.oov_rate > 0:
+                flags.append(f"oov={result.oov_rate:.2f}")
+            suffix = f"\t# {'; '.join(flags)}" if flags else ""
+            print(rendered + suffix)
+        else:
+            failures += 1
+            print(f"# {result.status}: {result.reason}")
+    stats = service.stats
+    print(
+        f"served {stats['served']} request(s): {stats['degraded']} degraded, "
+        f"{stats['invalid']} invalid, {stats['shed']} shed, "
+        f"{quarantined} quarantined (breaker {service.breaker.state})",
+        file=sys.stderr,
+    )
+    if args.strict and (failures or quarantined):
+        return 1
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.data.lint import CorpusLintError, CorpusValidator
+
+    try:
+        validator = CorpusValidator(scheme=args.scheme)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.input, encoding="utf-8") as fh:
+            if args.strict:
+                try:
+                    validator.validate_strict(fh, name=args.input)
+                except CorpusLintError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 1
+                print(f"{args.input}: clean")
+                return 0
+            _dataset, report = validator.validate_lines(fh, name=args.input)
+    except FileNotFoundError:
+        print(f"error: corpus {args.input!r} does not exist", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,6 +365,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="require an existing --journal and continue it")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "tag",
+        help="serve tag requests from a checkpoint (validated, "
+             "deadline-bounded, degradation-aware)",
+    )
+    p.add_argument("checkpoint")
+    p.add_argument("--input", default=None,
+                   help="input file ('-' or omitted = stdin); one "
+                        "whitespace-tokenized sentence per line unless "
+                        "--conll")
+    p.add_argument("--conll", action="store_true",
+                   help="input is a CoNLL file; bad sentences are "
+                        "quarantined (lenient) or fatal (--strict)")
+    p.add_argument("--scheme", choices=("bio", "iobes"), default="bio",
+                   help="tag scheme of a --conll input")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request decode budget in milliseconds; "
+                        "past it, requests degrade to greedy decode")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on any invalid or quarantined "
+                        "input instead of skipping it")
+    p.set_defaults(func=cmd_tag)
+
+    p = sub.add_parser("validate",
+                       help="lint a CoNLL corpus; non-zero exit on defects")
+    p.add_argument("input")
+    p.add_argument("--scheme", choices=("bio", "iobes"), default="bio")
+    p.add_argument("--strict", action="store_true",
+                   help="aggregate all defects into one error instead of "
+                        "printing a quarantine report")
+    p.set_defaults(func=cmd_validate)
     return parser
 
 

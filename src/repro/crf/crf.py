@@ -194,6 +194,38 @@ class LinearChainCRF(Module):
         best.reverse()
         return best
 
+    def argmax_decode(self, emissions: np.ndarray) -> list[int]:
+        """Greedy left-to-right decode for ``(L, T)`` emission scores.
+
+        A beam-1 approximation of Viterbi: at each position the best tag
+        is chosen given only the previously-committed tag, so structural
+        constraints (transition/start masks) are still respected but no
+        backtracking happens.  Exact whenever the transition matrix is
+        uniform (e.g. all zeros); elsewhere it is the cheap degraded
+        answer the serving layer falls back to when a request's deadline
+        cannot afford full Viterbi (see ``docs/serving.md``).
+        """
+        emissions = np.asarray(
+            emissions.data if isinstance(emissions, Tensor) else emissions
+        )
+        length, num_tags = emissions.shape
+        if num_tags != self.num_tags:
+            raise ValueError(
+                f"emissions have {num_tags} tags, CRF expects {self.num_tags}"
+            )
+        trans = self.transitions.data + self._transition_penalty
+        start = self.start_scores.data + self._start_penalty
+        scores = start + emissions[0]
+        if length == 1:
+            scores = scores + self.end_scores.data
+        tags = [int(scores.argmax())]
+        for t in range(1, length):
+            scores = trans[tags[-1]] + emissions[t]
+            if t == length - 1:
+                scores = scores + self.end_scores.data
+            tags.append(int(scores.argmax()))
+        return tags
+
     def viterbi_top_k(self, emissions: np.ndarray, k: int = 3) -> list[tuple[list[int], float]]:
         """The ``k`` best tag sequences with their scores (best first).
 

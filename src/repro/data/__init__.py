@@ -9,6 +9,13 @@ from repro.data.tags import (
     convert_scheme,
 )
 from repro.data.conll import read_conll, read_conll_file, write_conll, write_conll_file
+from repro.data.lint import (
+    CorpusLintError,
+    CorpusReport,
+    CorpusValidator,
+    LintError,
+    read_conll_lenient,
+)
 from repro.data.slots import generate_slot_filling_dataset, slot_types
 from repro.data.statistics import CorpusProfile, profile_corpus, length_histogram
 from repro.data.sentence import Span, Sentence, Dataset
@@ -44,6 +51,11 @@ __all__ = [
     "read_conll_file",
     "write_conll",
     "write_conll_file",
+    "CorpusLintError",
+    "CorpusReport",
+    "CorpusValidator",
+    "LintError",
+    "read_conll_lenient",
     "generate_slot_filling_dataset",
     "slot_types",
     "CorpusProfile",

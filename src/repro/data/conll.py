@@ -4,6 +4,14 @@ The two-column CoNLL format (token, tag, blank line between sentences)
 is the lingua franca of NER corpora.  Reading accepts BIO or IOBES tags;
 writing emits either scheme.  This is how users bring real annotated
 data into the library or export the simulated corpora for other tools.
+
+Parse errors always carry the source name and 1-based line number
+(``corpus.conll:17: ...``) so a defect in a million-line corpus is
+findable.  ``strict=True`` additionally rejects tag sequences the
+lenient span decoders would silently repair (an ``I-X`` continuing
+nothing, an ``I-X`` after a different label).  For whole-file linting —
+every defect reported at once, bad sentences quarantined — see
+:mod:`repro.data.lint`.
 """
 
 from __future__ import annotations
@@ -13,47 +21,102 @@ from typing import Iterable, Iterator
 from repro.data.sentence import Dataset, Sentence, Span
 from repro.data.tags import bio_to_spans, iobes_to_spans, spans_to_bio, spans_to_iobes
 
+#: Tag prefixes that may continue a span, per scheme.
+_CONTINUERS = {"bio": ("I",), "iobes": ("I", "E")}
+#: All prefixes a scheme's tags may carry (besides the bare ``O``).
+_PREFIXES = {"bio": ("B", "I"), "iobes": ("B", "I", "E", "S")}
 
-def _sentences_from_rows(rows: list[tuple[str, str]], scheme: str) -> Sentence:
-    tokens = tuple(tok for tok, _tag in rows)
-    tags = [tag for _tok, tag in rows]
+
+def check_tag_transition(prev_tag: str | None, tag: str, scheme: str) -> str | None:
+    """The reason ``tag`` is illegal after ``prev_tag``, or ``None`` if legal.
+
+    ``prev_tag=None`` means sentence start.  Checks both tag *shape*
+    (``O`` or ``<prefix>-<label>`` with a scheme-legal prefix) and prefix
+    *legality* (a continuation tag must extend a same-label span).
+    """
+    if tag == "O":
+        return None
+    if "-" not in tag or not tag.partition("-")[2]:
+        return f"tag {tag!r} is neither 'O' nor '<prefix>-<label>'"
+    prefix, _, label = tag.partition("-")
+    if prefix not in _PREFIXES[scheme]:
+        return (
+            f"tag prefix {prefix!r} is not valid in the {scheme} scheme "
+            f"(expected one of {', '.join(_PREFIXES[scheme])})"
+        )
+    if prefix in _CONTINUERS[scheme]:
+        if prev_tag is None or prev_tag == "O":
+            return f"continuation tag {tag!r} does not follow an entity tag"
+        prev_prefix, _, prev_label = prev_tag.partition("-")
+        if prev_label != label or prev_prefix in ("S", "E"):
+            return f"continuation tag {tag!r} cannot follow {prev_tag!r}"
+    return None
+
+
+def _sentences_from_rows(rows: list[tuple[str, str, int]], scheme: str,
+                         name: str) -> Sentence:
+    tokens = tuple(tok for tok, _tag, _line in rows)
+    tags = [tag for _tok, tag, _line in rows]
     decode = iobes_to_spans if scheme == "iobes" else bio_to_spans
-    spans = tuple(Span(s, e, lab) for s, e, lab in decode(tags))
+    try:
+        spans = tuple(Span(s, e, lab) for s, e, lab in decode(tags))
+    except ValueError as exc:
+        first, last = rows[0][2], rows[-1][2]
+        raise ValueError(
+            f"{name}:{first}-{last}: sentence cannot be decoded: {exc}"
+        ) from exc
     return Sentence(tokens, spans)
 
 
 def read_conll(lines: Iterable[str], name: str = "conll",
-               scheme: str = "bio", genre: str = "") -> Dataset:
+               scheme: str = "bio", genre: str = "",
+               strict: bool = False) -> Dataset:
     """Parse CoNLL lines into a :class:`Dataset`.
 
     Each non-blank line is ``token<whitespace>tag``; extra middle columns
     (POS, chunk) are ignored, matching the common 4-column layout.
+    Malformed lines raise a ``ValueError`` carrying ``name`` and the
+    1-based line number.  With ``strict=True``, tag-prefix legality is
+    validated at parse time (e.g. ``I-X`` after ``O`` is rejected rather
+    than silently repaired by the span decoder).
     """
     if scheme not in ("bio", "iobes"):
         raise ValueError(f"scheme must be 'bio' or 'iobes', got {scheme!r}")
     sentences: list[Sentence] = []
-    rows: list[tuple[str, str]] = []
-    for raw in lines:
+    rows: list[tuple[str, str, int]] = []
+    for line_no, raw in enumerate(lines, start=1):
         line = raw.rstrip("\n")
         if not line.strip() or line.startswith("-DOCSTART-"):
             if rows:
-                sentences.append(_sentences_from_rows(rows, scheme))
+                sentences.append(_sentences_from_rows(rows, scheme, name))
                 rows = []
             continue
         parts = line.split()
         if len(parts) < 2:
-            raise ValueError(f"malformed CoNLL line: {line!r}")
-        rows.append((parts[0], parts[-1]))
+            raise ValueError(
+                f"{name}:{line_no}: malformed CoNLL line "
+                f"(expected 'token tag', got {len(parts)} column"
+                f"{'s' if len(parts) != 1 else ''}): {line!r}"
+            )
+        tag = parts[-1]
+        if strict:
+            prev_tag = rows[-1][1] if rows else None
+            reason = check_tag_transition(prev_tag, tag, scheme)
+            if reason is not None:
+                raise ValueError(f"{name}:{line_no}: {reason}")
+        rows.append((parts[0], tag, line_no))
     if rows:
-        sentences.append(_sentences_from_rows(rows, scheme))
+        sentences.append(_sentences_from_rows(rows, scheme, name))
     return Dataset(name, sentences, genre=genre)
 
 
 def read_conll_file(path: str, name: str | None = None,
-                    scheme: str = "bio", genre: str = "") -> Dataset:
+                    scheme: str = "bio", genre: str = "",
+                    strict: bool = False) -> Dataset:
     """Read a CoNLL file from disk."""
     with open(path, encoding="utf-8") as fh:
-        return read_conll(fh, name=name or path, scheme=scheme, genre=genre)
+        return read_conll(fh, name=name or path, scheme=scheme, genre=genre,
+                          strict=strict)
 
 
 def write_conll(dataset: Dataset, scheme: str = "bio") -> Iterator[str]:

@@ -1,0 +1,188 @@
+"""CoNLL corpus linting: report every defect, quarantine bad sentences.
+
+:func:`repro.data.conll.read_conll` dies on the *first* malformed line —
+correct for trusted pipelines, useless for triaging a real corpus.  The
+:class:`CorpusValidator` instead walks the whole file and classifies
+every sentence:
+
+* **lenient** (default) — bad sentences are quarantined; the validator
+  returns the clean :class:`~repro.data.sentence.Dataset` plus a
+  :class:`CorpusReport` listing each :class:`LintError` (source name,
+  1-based line number, reason) and which sentences were dropped.  This
+  is the ingestion mode of the serving layer: one corrupt annotation
+  must not take down a tagging run over a million good ones.
+* **strict** — all defects are aggregated into a single
+  :class:`CorpusLintError` (mirroring the aggregated
+  ``load_state_dict`` errors of the reliability layer), so a wrong
+  export is diagnosable from one message instead of one-error-per-run.
+
+``repro validate`` is the CLI front-end; see ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.data.conll import check_tag_transition
+from repro.data.sentence import Dataset, Sentence, Span
+from repro.data.tags import bio_to_spans, iobes_to_spans
+
+
+@dataclass(frozen=True)
+class LintError:
+    """One defect: where it is (``file:line``) and why it is a defect."""
+
+    file: str
+    line: int  # 1-based
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: {self.reason}"
+
+
+class CorpusLintError(ValueError):
+    """Strict-mode aggregate: every defect of a corpus in one exception."""
+
+    def __init__(self, name: str, errors: list[LintError]):
+        self.errors = list(errors)
+        lines = "\n".join(f"  {e}" for e in self.errors)
+        super().__init__(
+            f"{len(self.errors)} defect(s) in {name}:\n{lines}"
+        )
+
+
+@dataclass
+class CorpusReport:
+    """Outcome of linting one corpus."""
+
+    name: str
+    errors: list[LintError] = field(default_factory=list)
+    #: Sentences that parsed cleanly.
+    n_clean: int = 0
+    #: Sentences dropped because at least one of their lines is defective.
+    n_quarantined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        lines = [str(e) for e in self.errors]
+        lines.append(
+            f"{self.name}: {self.n_clean} clean sentence(s), "
+            f"{self.n_quarantined} quarantined, {len(self.errors)} defect(s)"
+        )
+        return "\n".join(lines)
+
+
+class CorpusValidator:
+    """Whole-file CoNLL linter with lenient (quarantine) and strict modes.
+
+    Checks, per line: column count, tag shape (``O`` or
+    ``<prefix>-<label>``), scheme-legal prefixes, and prefix legality
+    against the previous tag (``I-X`` must continue a same-label span).
+    A sentence with any defective line is quarantined as a unit — a
+    half-parsed sentence would silently shift every span boundary.
+    """
+
+    def __init__(self, scheme: str = "bio"):
+        if scheme not in ("bio", "iobes"):
+            raise ValueError(f"scheme must be 'bio' or 'iobes', got {scheme!r}")
+        self.scheme = scheme
+
+    # ------------------------------------------------------------------
+    def _lint_block(
+        self, rows: list[tuple[str, str, int]], name: str
+    ) -> tuple[Sentence | None, list[LintError]]:
+        """Validate one sentence block; returns ``(sentence, errors)``."""
+        errors: list[LintError] = []
+        prev_tag: str | None = None
+        for _tok, tag, line_no in rows:
+            reason = check_tag_transition(prev_tag, tag, self.scheme)
+            if reason is not None:
+                errors.append(LintError(name, line_no, reason))
+            prev_tag = tag
+        if errors:
+            return None, errors
+        tokens = tuple(tok for tok, _tag, _line in rows)
+        tags = [tag for _tok, tag, _line in rows]
+        decode = iobes_to_spans if self.scheme == "iobes" else bio_to_spans
+        try:
+            spans = tuple(Span(s, e, lab) for s, e, lab in decode(tags))
+            return Sentence(tokens, spans), []
+        except ValueError as exc:
+            return None, [LintError(name, rows[0][2], str(exc))]
+
+    # ------------------------------------------------------------------
+    def validate_lines(
+        self, lines: Iterable[str], name: str = "conll", genre: str = ""
+    ) -> tuple[Dataset, CorpusReport]:
+        """Lint ``lines``; returns the clean dataset and the full report.
+
+        Never raises on corpus content: every defect — malformed column
+        layout, illegal tag, bad prefix transition — becomes a
+        :class:`LintError` and the containing sentence is quarantined.
+        """
+        report = CorpusReport(name)
+        sentences: list[Sentence] = []
+        rows: list[tuple[str, str, int]] = []
+        block_bad = False
+
+        def flush() -> None:
+            nonlocal rows, block_bad
+            if block_bad:
+                # Any malformed line poisons the whole sentence, even one
+                # that left no parseable rows at all.
+                report.n_quarantined += 1
+            elif rows:
+                sentence, errors = self._lint_block(rows, name)
+                if sentence is None:
+                    report.errors.extend(errors)
+                    report.n_quarantined += 1
+                else:
+                    sentences.append(sentence)
+                    report.n_clean += 1
+            rows, block_bad = [], False
+
+        for line_no, raw in enumerate(lines, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip() or line.startswith("-DOCSTART-"):
+                flush()
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                report.errors.append(LintError(
+                    name, line_no,
+                    f"malformed CoNLL line (expected 'token tag'): {line!r}",
+                ))
+                block_bad = True
+                continue
+            rows.append((parts[0], parts[-1], line_no))
+        flush()
+        return Dataset(name, sentences, genre=genre), report
+
+    def validate_file(
+        self, path: str, name: str | None = None, genre: str = ""
+    ) -> tuple[Dataset, CorpusReport]:
+        """Lint a CoNLL file from disk (lenient)."""
+        with open(path, encoding="utf-8") as fh:
+            return self.validate_lines(fh, name=name or path, genre=genre)
+
+    # ------------------------------------------------------------------
+    def validate_strict(
+        self, lines: Iterable[str], name: str = "conll", genre: str = ""
+    ) -> Dataset:
+        """Strict mode: raise one :class:`CorpusLintError` listing *all*
+        defects, or return the fully-clean dataset."""
+        dataset, report = self.validate_lines(lines, name=name, genre=genre)
+        if not report.clean:
+            raise CorpusLintError(name, report.errors)
+        return dataset
+
+
+def read_conll_lenient(
+    path: str, name: str | None = None, scheme: str = "bio", genre: str = ""
+) -> tuple[Dataset, CorpusReport]:
+    """Convenience wrapper: lenient file read with a quarantine report."""
+    return CorpusValidator(scheme).validate_file(path, name=name, genre=genre)

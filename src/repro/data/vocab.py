@@ -69,7 +69,11 @@ class Vocabulary:
         """Pad a batch of token sequences; returns ``(ids, mask)``."""
         seqs = [self.encode(s) for s in sentences]
         if not seqs:
-            raise ValueError("empty batch")
+            raise ValueError(
+                "cannot pad an empty batch: Vocabulary.encode_batch was "
+                "called with no sentences — short-circuit empty inputs to "
+                "an empty result before encoding"
+            )
         max_len = max(len(s) for s in seqs)
         ids = np.full((len(seqs), max_len), self.pad_index, dtype=np.intp)
         mask = np.zeros((len(seqs), max_len))

@@ -3,6 +3,7 @@ the frozen-LM + CRF stacked baselines."""
 
 from repro.models.batch import Batch, encode_batch
 from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+from repro.models.decoding import decode_emissions_within
 from repro.models.lm_crf import LMTagger
 
 __all__ = [
@@ -11,4 +12,5 @@ __all__ = [
     "BackboneConfig",
     "CNNBiGRUCRF",
     "LMTagger",
+    "decode_emissions_within",
 ]

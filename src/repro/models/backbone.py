@@ -270,7 +270,9 @@ class CNNBiGRUCRF(Module):
 
     def decode(self, sentences: list[Sentence],
                phi: Tensor | None = None) -> list[list[int]]:
-        """Viterbi tag sequences for raw sentences."""
+        """Viterbi tag sequences for raw sentences (``[]`` for ``[]``)."""
+        if not sentences:
+            return []
         was_training = self.training
         self.eval()
         try:
@@ -280,9 +282,44 @@ class CNNBiGRUCRF(Module):
         finally:
             self.train(was_training)
 
+    def decode_within(
+        self,
+        sentences: list[Sentence],
+        phi: Tensor | None = None,
+        deadline=None,
+        on_sentence=None,
+        allow_viterbi: bool = True,
+    ) -> tuple[list[list[int]], list[str]]:
+        """Deadline-aware batched decode: ``(tag_sequences, statuses)``.
+
+        Emissions are computed once for the whole batch (the floor cost of
+        any answer); the per-sentence Viterbi pass then consults
+        ``deadline`` — any object with an ``expired`` property, normally a
+        :class:`repro.serving.Deadline` on a monotonic clock — and drops
+        to the greedy :meth:`LinearChainCRF.argmax_decode` once the budget
+        is spent, the caller's breaker is open (``allow_viterbi=False``)
+        or Viterbi raises.  See :mod:`repro.models.decoding` for the
+        status vocabulary and ``on_sentence`` fault-injection hook.
+        """
+        from repro.models.decoding import decode_emissions_within
+
+        if not sentences:
+            return [], []
+        was_training = self.training
+        self.eval()
+        try:
+            batch = self.encode(sentences)
+            emissions = self.emissions(batch, phi)
+        finally:
+            self.train(was_training)
+        return decode_emissions_within(
+            self.crf, emissions, deadline=deadline,
+            on_sentence=on_sentence, allow_viterbi=allow_viterbi,
+        )
+
     def predict_spans(self, sentences: list[Sentence], scheme: TagScheme,
                       phi: Tensor | None = None) -> list[list[tuple[int, int, str]]]:
-        """Predicted entity spans for each sentence."""
+        """Predicted entity spans for each sentence (``[]`` for ``[]``)."""
         return [
             scheme.decode(tag_ids)
             for tag_ids in self.decode(sentences, phi)

@@ -40,7 +40,12 @@ def encode_batch(
 ) -> Batch:
     """Encode sentences (and, if a scheme is given, their gold tags)."""
     if not sentences:
-        raise ValueError("cannot encode an empty batch")
+        raise ValueError(
+            "cannot encode an empty batch: encode_batch was called with no "
+            "sentences — callers that may legitimately receive empty input "
+            "(decode/predict_spans, the serving layer) must short-circuit "
+            "to an empty result before encoding"
+        )
     lengths = tuple(len(s) for s in sentences)
     max_len = max(lengths)
     batch = len(sentences)

@@ -1,0 +1,85 @@
+"""Deadline-aware CRF decoding shared by the backbone and LM baselines.
+
+:func:`decode_emissions_within` walks a batch of per-sentence emission
+scores and picks, per sentence, the richest decode the remaining budget
+allows:
+
+* full Viterbi while the deadline has budget and the caller's circuit
+  breaker permits it (``allow_viterbi``);
+* the greedy :meth:`~repro.crf.LinearChainCRF.argmax_decode` once the
+  budget is spent, the breaker is open, or Viterbi raised.
+
+Every sentence gets *some* tag sequence — degradation, never an
+exception (a :class:`~repro.reliability.faults.SimulatedCrash` is a
+``BaseException`` and still propagates, by design).  The per-sentence
+status strings tell the serving layer what happened so it can set
+response flags and feed its circuit breaker.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.crf import LinearChainCRF
+
+#: Viterbi completed within budget.
+FULL = "full"
+#: Viterbi completed but the deadline expired while it ran.
+OVERRUN = "overrun"
+#: Budget was already spent; greedy decode used.
+DEGRADED_DEADLINE = "degraded-deadline"
+#: Viterbi raised; greedy decode used.
+DEGRADED_ERROR = "degraded-error"
+#: Caller's circuit breaker is open; greedy decode used.
+DEGRADED_BREAKER = "degraded-breaker"
+
+#: Statuses that count as degraded answers.
+DEGRADED_STATUSES = frozenset(
+    {DEGRADED_DEADLINE, DEGRADED_ERROR, DEGRADED_BREAKER}
+)
+#: Statuses a circuit breaker should count as failures of the full path.
+FAILURE_STATUSES = frozenset({OVERRUN, DEGRADED_ERROR})
+
+
+def decode_emissions_within(
+    crf: LinearChainCRF,
+    emissions,
+    deadline=None,
+    on_sentence: Callable[[int], None] | None = None,
+    allow_viterbi: bool = True,
+) -> tuple[list[list[int]], list[str]]:
+    """Decode each ``(L, T)`` emission matrix; returns ``(paths, statuses)``.
+
+    ``deadline`` is any object with an ``expired`` property (normally a
+    :class:`repro.serving.Deadline`); ``on_sentence(i)`` is a test hook
+    run before each Viterbi attempt — fault injectors use it to raise or
+    to advance a manual clock, simulating a failing or slow decoder.
+    """
+    paths: list[list[int]] = []
+    statuses: list[str] = []
+    for i, e in enumerate(emissions):
+        data = np.asarray(e.data if hasattr(e, "data") else e)
+        path: list[int] | None = None
+        if not allow_viterbi:
+            status = DEGRADED_BREAKER
+        elif deadline is not None and deadline.expired:
+            status = DEGRADED_DEADLINE
+        else:
+            try:
+                if on_sentence is not None:
+                    on_sentence(i)
+                path = crf.viterbi_decode(data)
+                status = (
+                    OVERRUN
+                    if deadline is not None and deadline.expired
+                    else FULL
+                )
+            except Exception:
+                path, status = None, DEGRADED_ERROR
+        if path is None:
+            path = crf.argmax_decode(data)
+        paths.append(path)
+        statuses.append(status)
+    return paths, statuses

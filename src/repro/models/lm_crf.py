@@ -60,9 +60,35 @@ class LMTagger(Module):
         return self.crf.batch_nll(self.emissions(sentences), tags)
 
     def decode(self, sentences: list[Sentence]) -> list[list[int]]:
+        """Viterbi tag sequences (``[]`` for an empty batch)."""
+        if not sentences:
+            return []
         return [
             self.crf.viterbi_decode(e.data) for e in self.emissions(sentences)
         ]
+
+    def decode_within(
+        self,
+        sentences: list[Sentence],
+        phi=None,
+        deadline=None,
+        on_sentence=None,
+        allow_viterbi: bool = True,
+    ) -> tuple[list[list[int]], list[str]]:
+        """Deadline-aware decode mirroring ``CNNBiGRUCRF.decode_within``.
+
+        ``phi`` is accepted for interface parity and ignored — the LM
+        baseline has no task context vector.
+        """
+        from repro.models.decoding import decode_emissions_within
+
+        if not sentences:
+            return [], []
+        emissions = self.emissions(sentences)
+        return decode_emissions_within(
+            self.crf, emissions, deadline=deadline,
+            on_sentence=on_sentence, allow_viterbi=allow_viterbi,
+        )
 
     def predict_spans(self, sentences: list[Sentence],
                       scheme: TagScheme) -> list[list[tuple[int, int, str]]]:

@@ -44,7 +44,9 @@ class FaultInjector:
     counts consultations globally across phases and chunks.
     """
 
-    def __init__(self, nan_grad_at=(), raise_at=(), raise_after_calls=None):
+    def __init__(self, nan_grad_at=(), raise_at=(), raise_after_calls=None,
+                 decode_raise_at=(), slow_decode_s=None, slow_decode_for=None,
+                 clock=None):
         self.nan_grad_at = frozenset(int(i) for i in nan_grad_at)
         self.raise_at = frozenset(int(i) for i in raise_at)
         #: Raise once the injector has been consulted this many times in
@@ -53,6 +55,18 @@ class FaultInjector:
         self.raise_after_calls = raise_after_calls
         self.calls = 0
         self.corrupted_iterations: list[int] = []
+        # -- decode-path faults (see before_decode) --------------------
+        self.decode_raise_at = frozenset(int(i) for i in decode_raise_at)
+        #: Synthetic seconds each Viterbi attempt "takes": advanced on a
+        #: :class:`~repro.serving.deadline.ManualClock` (``clock``) so a
+        #: slow decoder is simulated without sleeping.
+        self.slow_decode_s = slow_decode_s
+        #: Only the first this-many decode consultations are slow
+        #: (``None`` = all of them) — the knob for a decoder that
+        #: recovers, exercising breaker half-open → closed.
+        self.slow_decode_for = slow_decode_for
+        self.clock = clock
+        self.decode_calls = 0
 
     # ------------------------------------------------------------------
     # GuardedStep hook
@@ -73,6 +87,62 @@ class FaultInjector:
                     p.grad.data = np.full_like(p.grad.data, np.nan)
                     break
             self.corrupted_iterations.append(iteration)
+
+    # ------------------------------------------------------------------
+    # Serving hooks
+    # ------------------------------------------------------------------
+    def before_decode(self) -> None:
+        """Simulate Viterbi cost/failure; consulted once per attempt.
+
+        Wired into :meth:`TaggingService._on_decode` →
+        ``decode_within(on_sentence=...)``: first the configured
+        synthetic latency is applied (advancing the injected manual
+        clock, so deadline overruns are exact and deterministic), then
+        the raise schedule fires — index ``i`` in ``decode_raise_at``
+        fails the ``i``-th Viterbi attempt with an :class:`InjectedFault`
+        that the degradation ladder must absorb.
+        """
+        i = self.decode_calls
+        self.decode_calls += 1
+        slow = self.slow_decode_s is not None and (
+            self.slow_decode_for is None or i < self.slow_decode_for
+        )
+        if slow:
+            if self.clock is not None and hasattr(self.clock, "advance"):
+                self.clock.advance(self.slow_decode_s)
+            else:  # pragma: no cover - real-time fallback
+                import time
+
+                time.sleep(self.slow_decode_s)
+        if i in self.decode_raise_at:
+            raise InjectedFault(f"injected decode failure at attempt {i}")
+
+    @staticmethod
+    def malformed_token_sequences() -> list[list]:
+        """Hostile request payloads for sanitizer/service fuzzing.
+
+        Control characters, zero-width and bidi format characters, lone
+        surrogates, astral-plane text, a 10k-character token, wrong
+        shapes — the service must answer each with a structured result,
+        never a traceback.
+        """
+        return [
+            [],                                   # empty request
+            [""],                                 # empty token
+            ["\x00"],                             # NUL-only token
+            ["a\x00b", "ok"],                     # embedded control char
+            ["\u200b\u200d"],                   # zero-width-only token
+            ["\u202eevil", "text"],              # bidi override
+            ["caf\u00e9", "cafe\u0301"],        # NFC vs NFD forms
+            ["\U0001f600\U0001f3d4", "ok"],       # astral-plane emoji
+            ["\ud800broken"],                     # lone surrogate
+            ["x" * 10_000],                       # 10k-char token
+            ["tok\ten", "new\nline"],             # embedded whitespace
+            "a bare string, not a token list",    # wrong shape
+            [b"bytes", "str"],                    # wrong element type
+            [None, "str"],                        # wrong element type
+            [["nested"], "str"],                  # wrong element type
+        ]
 
     # ------------------------------------------------------------------
     # Harness hook

@@ -1,0 +1,57 @@
+"""Hardened inference: the serving layer of the reproduction.
+
+Production counterpart to the training-side :mod:`repro.reliability`
+package.  Five cooperating pieces (see ``docs/serving.md``):
+
+* :mod:`~repro.serving.sanitize` — :class:`RequestSanitizer` turns
+  hostile input (control characters, zero-width junk, kilobyte tokens)
+  into clean bounded token sequences or structured
+  :class:`InvalidRequest` errors;
+* :mod:`~repro.serving.deadline` — :class:`Deadline` carries a
+  monotonic-clock budget through the whole pipeline; :class:`ManualClock`
+  makes every timing path deterministic in tests;
+* :mod:`~repro.serving.breaker` — :class:`CircuitBreaker` trips on
+  repeated Viterbi overruns/exceptions and half-opens after a cool-down;
+* :mod:`~repro.serving.service` — :class:`TaggingService` wires it all
+  together: bounded admission queue, micro-batching by length band,
+  deadline-bounded decode with greedy degradation, quality-flagged
+  :class:`TagResult` / :class:`Rejected` / :class:`Overloaded` results.
+
+The CLI front-ends are ``repro tag`` and ``repro validate``; the
+corpus-side counterpart is :mod:`repro.data.lint`.
+"""
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.deadline import Deadline, DeadlineExceeded, ManualClock
+from repro.serving.sanitize import (
+    InvalidRequest,
+    RequestSanitizer,
+    SanitizedRequest,
+    SanitizerConfig,
+)
+from repro.serving.service import (
+    Overloaded,
+    Rejected,
+    ServiceConfig,
+    TaggingService,
+    TagResult,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "Deadline",
+    "DeadlineExceeded",
+    "ManualClock",
+    "InvalidRequest",
+    "RequestSanitizer",
+    "SanitizedRequest",
+    "SanitizerConfig",
+    "Overloaded",
+    "Rejected",
+    "ServiceConfig",
+    "TaggingService",
+    "TagResult",
+]

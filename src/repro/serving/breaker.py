@@ -1,0 +1,89 @@
+"""Circuit breaker guarding the expensive decode path.
+
+Classic three-state breaker (closed → open → half-open) over the same
+injectable monotonic clock as :mod:`repro.serving.deadline`:
+
+* **closed** — Viterbi is attempted normally; consecutive failures
+  (decode exceptions, deadline overruns) are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: callers skip Viterbi entirely and go straight to the
+  greedy fallback until ``cooldown_s`` has elapsed.  A struggling
+  decoder gets no further traffic to drown in.
+* **half-open** — after the cool-down one trial request is let through;
+  success re-closes the breaker, failure re-opens it (and restarts the
+  cool-down).
+
+The breaker is deliberately synchronous and unlocked: the serving layer
+processes one micro-batch at a time, and tests drive it with a
+:class:`~repro.serving.deadline.ManualClock` for exact state assertions.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serving.deadline import Clock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; recover through a half-open trial."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_s: float = 1.0,
+                 clock: Clock = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: Lifetime count of closed→open transitions (for service stats).
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, promoting open → half-open once cooled down."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the protected operation be attempted right now?"""
+        return self.state != OPEN
+
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """The protected operation completed within budget."""
+        self._consecutive_failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """The protected operation raised or blew its deadline."""
+        state = self.state  # promote open → half-open first
+        self._consecutive_failures += 1
+        if state == HALF_OPEN or (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            if state != OPEN:
+                self.trips += 1
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._consecutive_failures = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

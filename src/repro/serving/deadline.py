@@ -1,0 +1,84 @@
+"""Monotonic-clock request deadlines.
+
+A :class:`Deadline` is an absolute expiry on a monotonic clock, created
+from a relative budget (``Deadline.after_ms(50, clock)``).  It is passed
+down the whole inference pipeline — queueing, encoding, per-sentence
+decode — so every layer asks the same question ("is there budget left?")
+against the same clock, instead of each layer re-measuring its own
+elapsed time.
+
+The clock is injectable: production uses :func:`time.monotonic`; tests
+use a :class:`ManualClock` advanced explicitly (or by a
+:class:`~repro.reliability.faults.FaultInjector` simulating slow
+decodes), which makes every deadline path deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A hard budget check failed (see :meth:`Deadline.check`)."""
+
+
+class ManualClock:
+    """A test clock: returns ``now`` until :meth:`advance` moves it."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot move a clock backwards ({seconds})")
+        self.now += seconds
+
+
+class Deadline:
+    """An absolute expiry instant on a monotonic clock.
+
+    ``None`` budgets are modelled by simply not creating a deadline;
+    callers treat ``deadline is None`` as unbounded.
+    """
+
+    __slots__ = ("_clock", "_expires_at")
+
+    def __init__(self, budget_s: float, clock: Clock = time.monotonic):
+        if budget_s < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {budget_s}")
+        self._clock = clock
+        self._expires_at = clock() + budget_s
+
+    @classmethod
+    def after_ms(cls, budget_ms: float, clock: Clock = time.monotonic) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from now."""
+        return cls(budget_ms / 1000.0, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (negative once expired)."""
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent.
+
+        For pipeline stages that cannot degrade (there is no cheaper
+        answer to fall back to); stages with a degraded path test
+        :attr:`expired` instead.
+        """
+        if self.expired:
+            raise DeadlineExceeded(
+                f"{what} exceeded its deadline by {-self.remaining():.4f}s"
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.4f}s)"

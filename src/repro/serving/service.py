@@ -1,0 +1,392 @@
+"""The hardened tagging service: validate → budget → decode → degrade.
+
+:class:`TaggingService` wraps any model exposing ``decode_within`` (the
+CNN-BiGRU-CRF backbone, the LM baselines) in the pipeline a loaded
+production tagger needs:
+
+1. **Admission** — a bounded queue: past ``max_pending`` requests, new
+   work is shed immediately with an :class:`Overloaded` result (bounded
+   latency beats unbounded queueing).
+2. **Validation/sanitization** — NFC normalization, control-character
+   stripping, length caps; garbage becomes a structured
+   :class:`Rejected` result, never a traceback.
+3. **Micro-batching** — admitted requests are grouped by length band
+   (compatible padding) into batches of ``max_batch_size`` and encoded
+   once per batch.
+4. **Deadline-bounded decode** — each request's monotonic-clock
+   :class:`~repro.serving.deadline.Deadline` (started at admission, so
+   queue wait counts) is threaded into the batched decode; once budget
+   is spent remaining sentences get the greedy decode, flagged
+   ``degraded=True``.
+5. **Circuit breaker** — repeated Viterbi overruns or exceptions trip
+   the breaker; while open, every request goes straight to greedy and
+   the breaker half-opens after its cool-down to probe recovery.
+
+Every response carries quality flags (``degraded``, ``oov_rate``,
+``modified``) so callers can decide whether a cheap answer is good
+enough.  The service itself never raises to the caller from corpus
+content or decode failures — only a
+:class:`~repro.reliability.faults.SimulatedCrash` (``BaseException``)
+passes through, by design.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterable, Sequence
+
+from repro.data.sentence import Sentence
+from repro.data.tags import TagScheme
+from repro.models.decoding import (
+    DEGRADED_BREAKER,
+    DEGRADED_DEADLINE,
+    DEGRADED_ERROR,
+    DEGRADED_STATUSES,
+    FAILURE_STATUSES,
+    FULL,
+    OVERRUN,
+)
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.deadline import Clock, Deadline
+from repro.serving.sanitize import InvalidRequest, RequestSanitizer, SanitizerConfig
+
+_UNSET = object()
+
+_STATUS_NOTES = {
+    OVERRUN: "viterbi decode overran the deadline",
+    DEGRADED_DEADLINE: "deadline expired; greedy decode served",
+    DEGRADED_ERROR: "viterbi decode raised; greedy decode served",
+    DEGRADED_BREAKER: "circuit breaker open; greedy decode served",
+}
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TagResult:
+    """A served answer, with quality flags."""
+
+    tokens: tuple[str, ...]
+    spans: tuple[tuple[int, int, str], ...]
+    #: True when the greedy fallback (not full Viterbi) produced the tags.
+    degraded: bool = False
+    #: Fraction of tokens unknown to the model's word vocabulary.
+    oov_rate: float = 0.0
+    #: True when sanitization had to rewrite or truncate the input.
+    modified: bool = False
+    #: Why the answer is not a full-quality one (``None`` when it is).
+    note: str | None = None
+
+    status: ClassVar[str] = "ok"
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """A structurally invalid request (the 400 of this service)."""
+
+    reason: str
+    field: str = "tokens"
+    index: int | None = None
+
+    status: ClassVar[str] = "invalid"
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @classmethod
+    def from_error(cls, exc: InvalidRequest) -> "Rejected":
+        return cls(exc.reason, field=exc.field, index=exc.index)
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """Load was shed before any work happened (the 503 of this service)."""
+
+    reason: str
+
+    status: ClassVar[str] = "overloaded"
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operating limits of a :class:`TaggingService`."""
+
+    sanitizer: SanitizerConfig = field(default_factory=SanitizerConfig)
+    #: Budget per request in milliseconds; ``None`` = unbounded.
+    default_deadline_ms: float | None = None
+    #: Sentences decoded per micro-batch.
+    max_batch_size: int = 16
+    #: Requests admitted per processing cycle; the rest are shed.
+    max_pending: int = 64
+    #: Length-band width (tokens) for micro-batch compatibility grouping.
+    length_band: int = 16
+    #: Consecutive Viterbi failures (overrun or exception) that trip the
+    #: breaker.
+    breaker_threshold: int = 3
+    #: Cool-down before a tripped breaker half-opens.
+    breaker_cooldown_ms: float = 1000.0
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.length_band < 1:
+            raise ValueError("length_band must be >= 1")
+
+
+@dataclass
+class _Pending:
+    """An admitted, sanitized request waiting for its micro-batch."""
+
+    key: int
+    sentence: Sentence
+    deadline: Deadline | None
+    modified: bool
+
+
+# ----------------------------------------------------------------------
+# Service
+# ----------------------------------------------------------------------
+class TaggingService:
+    """Serve tag requests through the validated, bounded pipeline.
+
+    ``model`` is anything with ``decode_within`` (and optionally a
+    ``word_vocab`` for OOV rates); ``clock`` and ``fault_injector`` are
+    injectable for deterministic tests — see
+    :class:`~repro.serving.deadline.ManualClock` and the decode hooks of
+    :class:`~repro.reliability.faults.FaultInjector`.
+    """
+
+    def __init__(self, model, scheme: TagScheme,
+                 config: ServiceConfig | None = None,
+                 clock: Clock = time.monotonic,
+                 fault_injector=None, phi=None):
+        self.model = model
+        self.scheme = scheme
+        self.config = config or ServiceConfig()
+        self.clock = clock
+        self.phi = phi
+        self._injector = fault_injector
+        self.sanitizer = RequestSanitizer(self.config.sanitizer)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_ms / 1000.0,
+            clock=clock,
+        )
+        self._pending: list[_Pending] = []
+        self._done: dict[int, TagResult | Rejected | Overloaded] = {}
+        self._next_ticket = 0
+        self.stats = {
+            "served": 0, "degraded": 0, "invalid": 0, "shed": 0,
+            "decode_errors": 0, "batches": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpoint loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, path: str,
+                        config: ServiceConfig | None = None,
+                        clock: Clock = time.monotonic,
+                        fault_injector=None) -> "TaggingService":
+        """Build a service around a ``repro train`` checkpoint.
+
+        The model is rebuilt exactly as ``repro evaluate`` does — from
+        the checkpoint's metadata (method, dataset, scale, seed) — and
+        served with φ = None, i.e. the task-independent parameters θ.
+        The tag scheme is the abstract N-way space the checkpoint was
+        trained with (way slots ``0..N-1``).
+        """
+        from repro.data.splits import split_by_types
+        from repro.data.synthetic import generate_dataset
+        from repro.data.vocab import CharVocabulary, Vocabulary
+        from repro.meta import MethodConfig, build_method
+        from repro.nn import load_module, load_state
+
+        _state, metadata = load_state(path)
+        method = metadata.get("method", "FewNER")
+        seed = metadata.get("seed", 0)
+        n_way = metadata.get("n_way", 5)
+        dataset = generate_dataset(
+            metadata.get("dataset", "GENIA"),
+            scale=metadata.get("scale", 0.05),
+            seed=seed,
+        )
+        n_types = len(dataset.types)
+        holdout = metadata.get("holdout_types", 5)
+        counts = (n_types - 2 * holdout, holdout, holdout)
+        train, _val, _test = split_by_types(dataset, counts, seed=seed + 1)
+        word_vocab = Vocabulary.from_datasets([train], min_count=2)
+        char_vocab = CharVocabulary.from_datasets([train])
+        adapter = build_method(method, word_vocab, char_vocab, n_way,
+                               MethodConfig(seed=seed))
+        model = getattr(adapter, "model", None) or getattr(adapter, "tagger")
+        load_module(model, path)
+        scheme = TagScheme(tuple(str(way) for way in range(n_way)))
+        return cls(model, scheme, config=config, clock=clock,
+                   fault_injector=fault_injector)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def tag(self, tokens: Sequence[str],
+            deadline_ms=_UNSET) -> TagResult | Rejected | Overloaded:
+        """Tag one sentence through the full pipeline."""
+        return self.tag_many([tokens], deadline_ms=deadline_ms)[0]
+
+    def tag_many(self, requests: Iterable[Sequence[str]],
+                 deadline_ms=_UNSET) -> list[TagResult | Rejected | Overloaded]:
+        """Tag a batch of sentences; one result per request, same order."""
+        tickets = [
+            self.submit(tokens, deadline_ms=deadline_ms)
+            for tokens in requests
+        ]
+        done = self.drain()
+        return [done[ticket] for ticket in tickets]
+
+    def submit(self, tokens: Sequence[str], deadline_ms=_UNSET) -> int:
+        """Admit (or immediately shed/reject) one request; returns a ticket.
+
+        The request's deadline starts *now*: time spent waiting in the
+        queue for :meth:`drain` is part of its budget.
+        """
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        if len(self._pending) >= self.config.max_pending:
+            self.stats["shed"] += 1
+            self._done[ticket] = Overloaded(
+                f"queue full ({self.config.max_pending} pending requests)"
+            )
+            return ticket
+        try:
+            clean = self.sanitizer.sanitize(tokens)
+        except InvalidRequest as exc:
+            self.stats["invalid"] += 1
+            self._done[ticket] = Rejected.from_error(exc)
+            return ticket
+        budget = (
+            self.config.default_deadline_ms
+            if deadline_ms is _UNSET else deadline_ms
+        )
+        deadline = (
+            Deadline.after_ms(budget, clock=self.clock)
+            if budget is not None else None
+        )
+        self._pending.append(_Pending(
+            ticket, Sentence(clean.tokens), deadline, clean.modified,
+        ))
+        return ticket
+
+    def drain(self) -> dict[int, TagResult | Rejected | Overloaded]:
+        """Process all queued work and hand back every finished result."""
+        pending, self._pending = self._pending, []
+        for batch in self._micro_batches(pending):
+            self._process_batch(batch)
+        done, self._done = self._done, {}
+        return done
+
+    # ------------------------------------------------------------------
+    # Pipeline internals
+    # ------------------------------------------------------------------
+    def _micro_batches(self, pending: list[_Pending]) -> Iterable[list[_Pending]]:
+        """Group compatible requests: same length band, FIFO, bounded size.
+
+        Length banding keeps padding waste bounded — a 4-token tweet is
+        never padded to a 400-token clause — without reordering requests
+        inside a band.
+        """
+        bands: dict[int, list[_Pending]] = {}
+        order: list[int] = []
+        for item in pending:
+            band = (len(item.sentence) - 1) // self.config.length_band
+            if band not in bands:
+                bands[band] = []
+                order.append(band)
+            bands[band].append(item)
+        for band in order:
+            group = bands[band]
+            for i in range(0, len(group), self.config.max_batch_size):
+                yield group[i : i + self.config.max_batch_size]
+
+    def _batch_deadline(self, batch: list[_Pending]) -> Deadline | None:
+        """The tightest member deadline governs the whole micro-batch.
+
+        Conservative when budgets are mixed: an unbounded request batched
+        with bounded ones may degrade early, but no bounded request is
+        ever decoded past its own deadline.
+        """
+        deadlines = [p.deadline for p in batch if p.deadline is not None]
+        if not deadlines:
+            return None
+        return min(deadlines, key=lambda d: d.remaining())
+
+    def _oov_rate(self, tokens: tuple[str, ...]) -> float:
+        vocab = getattr(self.model, "word_vocab", None)
+        if vocab is None or not tokens:
+            return 0.0
+        unk = sum(1 for t in tokens if t not in vocab)
+        return unk / len(tokens)
+
+    def _on_decode(self, index: int) -> None:
+        if self._injector is not None:
+            self._injector.before_decode()
+
+    def _process_batch(self, batch: list[_Pending]) -> None:
+        sentences = [p.sentence for p in batch]
+        deadline = self._batch_deadline(batch)
+        try:
+            paths, statuses = self.model.decode_within(
+                sentences, phi=self.phi, deadline=deadline,
+                on_sentence=self._on_decode,
+                allow_viterbi=self.breaker.allow(),
+            )
+        except Exception as exc:  # encoding/emissions failed outright
+            self.stats["decode_errors"] += 1
+            self.breaker.record_failure()
+            for p in batch:
+                self.stats["served"] += 1
+                self.stats["degraded"] += 1
+                self._done[p.key] = TagResult(
+                    p.sentence.tokens, (), degraded=True,
+                    oov_rate=self._oov_rate(p.sentence.tokens),
+                    modified=p.modified,
+                    note=f"decode failed ({type(exc).__name__}: {exc}); "
+                         f"no spans served",
+                )
+            return
+        self.stats["batches"] += 1
+        for p, path, status in zip(batch, paths, statuses):
+            if status == FULL:
+                self.breaker.record_success()
+            elif status in FAILURE_STATUSES:
+                self.breaker.record_failure()
+                if status == DEGRADED_ERROR:
+                    self.stats["decode_errors"] += 1
+            degraded = status in DEGRADED_STATUSES
+            self.stats["served"] += 1
+            if degraded:
+                self.stats["degraded"] += 1
+            spans = tuple(
+                (start, end, label)
+                for start, end, label in self.scheme.decode(path)
+            )
+            self._done[p.key] = TagResult(
+                p.sentence.tokens, spans, degraded=degraded,
+                oov_rate=self._oov_rate(p.sentence.tokens),
+                modified=p.modified, note=_STATUS_NOTES.get(status),
+            )

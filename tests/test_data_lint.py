@@ -1,0 +1,234 @@
+"""Corpus linting: defect reporting, quarantine, and round-trip properties."""
+
+import numpy as np
+import pytest
+
+from repro.data.conll import (
+    check_tag_transition,
+    read_conll,
+    read_conll_file,
+    write_conll,
+    write_conll_file,
+)
+from repro.data.lint import (
+    CorpusLintError,
+    CorpusReport,
+    CorpusValidator,
+    LintError,
+    read_conll_lenient,
+)
+from repro.data.sentence import Dataset, Sentence, Span
+
+# Three seeded defects (the acceptance corpus of the serving issue):
+# a one-column line, an illegal prefix for BIO, and a dangling I- tag.
+BAD_CORPUS = """\
+the\tO
+Kavox\tB-PER
+
+justonetoken
+
+Zuqev\tS-LOC
+
+visited\tO
+Xilor\tI-ORG
+
+today\tO
+reports\tO
+"""
+
+
+def lint(text, scheme="bio", name="bad.conll"):
+    validator = CorpusValidator(scheme)
+    return validator.validate_lines(text.splitlines(True), name=name)
+
+
+class TestLenient:
+    def test_reports_all_three_defects_with_file_and_line(self):
+        _dataset, report = lint(BAD_CORPUS)
+        assert len(report.errors) == 3
+        assert [e.line for e in report.errors] == [4, 6, 9]
+        assert all(e.file == "bad.conll" for e in report.errors)
+        rendered = report.render()
+        assert "bad.conll:4" in rendered
+        assert "bad.conll:6" in rendered
+        assert "bad.conll:9" in rendered
+
+    def test_quarantines_exactly_the_bad_sentences(self):
+        dataset, report = lint(BAD_CORPUS)
+        assert report.n_quarantined == 3
+        assert report.n_clean == 2
+        assert len(dataset) == 2
+        assert dataset[0].tokens == ("the", "Kavox")
+        assert dataset[1].tokens == ("today", "reports")
+
+    def test_defect_reasons_are_specific(self):
+        _dataset, report = lint(BAD_CORPUS)
+        reasons = [e.reason for e in report.errors]
+        assert "malformed CoNLL line" in reasons[0]
+        assert "'S'" in reasons[1] and "bio" in reasons[1]
+        assert "continuation tag" in reasons[2]
+
+    def test_clean_corpus_reports_clean(self):
+        text = "a\tB-X\nb\tI-X\n\nc\tO\n"
+        dataset, report = lint(text)
+        assert report.clean
+        assert report.n_clean == 2 and report.n_quarantined == 0
+        assert dataset[0].spans == (Span(0, 2, "X"),)
+
+    def test_iobes_scheme(self):
+        text = "a\tS-X\n\nb\tB-Y\nc\tE-Y\n\nd\tE-Z\n"
+        dataset, report = lint(text, scheme="iobes")
+        assert report.n_clean == 2
+        assert report.n_quarantined == 1  # dangling E-Z
+        assert report.errors[0].line == 6
+
+    def test_lenient_file_read(self, tmp_path):
+        path = tmp_path / "corpus.conll"
+        path.write_text(BAD_CORPUS)
+        dataset, report = read_conll_lenient(str(path))
+        assert len(dataset) == 2
+        assert len(report.errors) == 3
+        assert report.errors[0].file == str(path)
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            CorpusValidator("bilou")
+
+
+class TestStrict:
+    def test_aggregates_every_defect_into_one_exception(self):
+        validator = CorpusValidator("bio")
+        with pytest.raises(CorpusLintError) as info:
+            validator.validate_strict(
+                BAD_CORPUS.splitlines(True), name="bad.conll"
+            )
+        exc = info.value
+        assert len(exc.errors) == 3
+        message = str(exc)
+        assert "3 defect(s)" in message
+        for line in (4, 6, 9):
+            assert f"bad.conll:{line}:" in message
+
+    def test_clean_corpus_returns_dataset(self):
+        validator = CorpusValidator("bio")
+        dataset = validator.validate_strict(["a\tB-X\n", "b\tI-X\n"])
+        assert len(dataset) == 1
+
+    def test_lint_error_renders_file_line_reason(self):
+        err = LintError("f.conll", 12, "because")
+        assert str(err) == "f.conll:12: because"
+
+
+class TestReadConllErrors:
+    def test_malformed_line_names_file_and_line(self):
+        with pytest.raises(ValueError, match=r"corpus\.conll:2: malformed"):
+            read_conll(["a\tO\n", "broken\n"], name="corpus.conll")
+
+    def test_strict_rejects_illegal_prefix_transition(self):
+        lines = ["a\tO\n", "b\tI-X\n"]
+        read_conll(lines, name="c")  # lenient: decoder repairs it
+        with pytest.raises(ValueError, match=r"c:2: continuation tag"):
+            read_conll(lines, name="c", strict=True)
+
+    def test_strict_rejects_wrong_scheme_prefix(self):
+        with pytest.raises(ValueError, match=r"c:1: tag prefix 'S'"):
+            read_conll(["a\tS-X\n"], name="c", strict=True)
+
+    def test_strict_accepts_legal_corpus(self):
+        lines = ["a\tB-X\n", "b\tI-X\n", "\n", "c\tO\n"]
+        dataset = read_conll(lines, strict=True)
+        assert len(dataset) == 2
+
+    def test_file_read_propagates_path_in_error(self, tmp_path):
+        path = tmp_path / "broken.conll"
+        path.write_text("just_a_token\n")
+        with pytest.raises(ValueError, match=r"broken\.conll:1"):
+            read_conll_file(str(path))
+
+
+class TestCheckTagTransition:
+    @pytest.mark.parametrize("prev,tag", [
+        (None, "O"), (None, "B-X"), ("B-X", "I-X"), ("I-X", "I-X"),
+        ("I-X", "B-Y"), ("B-X", "O"),
+    ])
+    def test_legal_bio(self, prev, tag):
+        assert check_tag_transition(prev, tag, "bio") is None
+
+    @pytest.mark.parametrize("prev,tag", [
+        (None, "I-X"), ("O", "I-X"), ("B-X", "I-Y"), (None, "S-X"),
+        (None, "BX"), (None, "B-"), ("S-X", "I-X"),
+    ])
+    def test_illegal_bio(self, prev, tag):
+        assert check_tag_transition(prev, tag, "bio") is not None
+
+    @pytest.mark.parametrize("prev,tag", [
+        (None, "S-X"), ("B-X", "E-X"), ("B-X", "I-X"), ("I-X", "E-X"),
+        ("E-X", "B-Y"), ("S-X", "O"),
+    ])
+    def test_legal_iobes(self, prev, tag):
+        assert check_tag_transition(prev, tag, "iobes") is None
+
+    @pytest.mark.parametrize("prev,tag", [
+        (None, "E-X"), ("E-X", "E-X"), ("S-X", "I-X"), ("B-X", "E-Y"),
+    ])
+    def test_illegal_iobes(self, prev, tag):
+        assert check_tag_transition(prev, tag, "iobes") is not None
+
+
+def random_dataset(rng, scheme):
+    """A randomized but structurally valid span-annotated dataset."""
+    sentences = []
+    for _ in range(int(rng.integers(1, 12))):
+        length = int(rng.integers(1, 15))
+        tokens = tuple(
+            "tok%d" % rng.integers(0, 50) for _ in range(length)
+        )
+        spans, cursor = [], 0
+        while cursor < length:
+            if rng.random() < 0.4:
+                width = int(rng.integers(1, min(4, length - cursor) + 1))
+                label = str(rng.choice(["PER", "LOC", "ORG"]))
+                spans.append(Span(cursor, cursor + width, label))
+                cursor += width
+            else:
+                cursor += 1
+        sentences.append(Sentence(tokens, tuple(spans)))
+    return Dataset("random", sentences)
+
+
+class TestRoundTripProperty:
+    """parse(write(D)) == D for any valid dataset, in both schemes."""
+
+    @pytest.mark.parametrize("scheme", ["bio", "iobes"])
+    def test_write_then_read_is_identity(self, scheme):
+        rng = np.random.default_rng(99)
+        for trial in range(25):
+            dataset = random_dataset(rng, scheme)
+            lines = [line + "\n" for line in write_conll(dataset, scheme)]
+            parsed = read_conll(
+                lines, name="random", scheme=scheme, strict=True
+            )
+            assert len(parsed) == len(dataset), f"trial {trial}"
+            for original, round_tripped in zip(dataset, parsed):
+                assert round_tripped.tokens == original.tokens
+                assert round_tripped.spans == original.spans
+
+    @pytest.mark.parametrize("scheme", ["bio", "iobes"])
+    def test_written_corpora_lint_clean(self, scheme):
+        rng = np.random.default_rng(7)
+        validator = CorpusValidator(scheme)
+        for _ in range(10):
+            dataset = random_dataset(rng, scheme)
+            lines = [line + "\n" for line in write_conll(dataset, scheme)]
+            _clean, report = validator.validate_lines(lines)
+            assert report.clean
+            assert report.n_clean == len(dataset)
+
+    def test_file_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        dataset = random_dataset(rng, "bio")
+        path = tmp_path / "rt.conll"
+        write_conll_file(dataset, str(path))
+        parsed = read_conll_file(str(path), name="rt")
+        assert [s.tokens for s in parsed] == [s.tokens for s in dataset]
+        assert [s.spans for s in parsed] == [s.spans for s in dataset]

@@ -7,7 +7,7 @@ import pytest
 PACKAGES = (
     "repro.autodiff", "repro.nn", "repro.crf", "repro.data",
     "repro.embeddings", "repro.models", "repro.meta", "repro.eval",
-    "repro.experiments", "repro.reliability",
+    "repro.experiments", "repro.reliability", "repro.serving",
 )
 
 

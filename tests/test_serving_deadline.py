@@ -1,0 +1,120 @@
+"""Deadlines, the manual clock, and the circuit breaker."""
+
+import pytest
+
+from repro.serving import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    ManualClock,
+)
+
+
+class TestManualClock:
+    def test_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock() == 1.5
+
+    def test_never_backwards(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = ManualClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(0.5)
+        assert deadline.remaining() == pytest.approx(1.5)
+        assert not deadline.expired
+
+    def test_expires_exactly_at_budget(self):
+        clock = ManualClock()
+        deadline = Deadline.after_ms(100, clock=clock)
+        clock.advance(0.1)
+        assert deadline.expired
+
+    def test_check_raises_once_expired(self):
+        clock = ManualClock()
+        deadline = Deadline.after_ms(10, clock=clock)
+        deadline.check()  # fine with budget left
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded, match="exceeded its deadline"):
+            deadline.check()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0, clock=ManualClock())
+
+    def test_zero_budget_is_immediately_expired(self):
+        assert Deadline(0.0, clock=ManualClock()).expired
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=1.0):
+        clock = ManualClock()
+        return clock, CircuitBreaker(
+            failure_threshold=threshold, cooldown_s=cooldown, clock=clock
+        )
+
+    def test_starts_closed(self):
+        _clock, breaker = self.make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_threshold_consecutive_failures(self):
+        _clock, breaker = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_count(self):
+        _clock, breaker = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_opens_after_cooldown(self):
+        clock, breaker = self.make(threshold=1, cooldown=2.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(1.9)
+        assert breaker.state == OPEN
+        clock.advance(0.1)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_success_recloses(self):
+        clock, breaker = self.make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock, breaker = self.make(threshold=3, cooldown=1.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # one strike in half-open
+        assert breaker.state == OPEN
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)

@@ -1,0 +1,123 @@
+"""Request sanitization: hostile unicode in, clean tokens or typed errors out."""
+
+import unicodedata
+
+import numpy as np
+import pytest
+
+from repro.reliability import FaultInjector
+from repro.serving import (
+    InvalidRequest,
+    RequestSanitizer,
+    SanitizedRequest,
+    SanitizerConfig,
+)
+
+
+@pytest.fixture
+def sanitizer():
+    return RequestSanitizer()
+
+
+class TestHappyPath:
+    def test_clean_input_passes_through(self, sanitizer):
+        out = sanitizer.sanitize(["Kavox", "visited", "Zuqev"])
+        assert out.tokens == ("Kavox", "visited", "Zuqev")
+        assert not out.modified
+
+    def test_astral_plane_and_emoji_survive(self, sanitizer):
+        tokens = ["\U0001f600", "\U00010348", "ok"]
+        out = sanitizer.sanitize(tokens)
+        assert out.tokens == tuple(tokens)
+        assert not out.modified
+
+    def test_nfc_normalization_merges_forms(self, sanitizer):
+        out = sanitizer.sanitize(["café"])
+        assert out.tokens == ("café",)
+        assert out.modified
+
+
+class TestCleaning:
+    def test_control_chars_stripped(self, sanitizer):
+        out = sanitizer.sanitize(["a\x00b", "c\x1bd"])
+        assert out.tokens == ("ab", "cd")
+        assert out.n_rewritten == 2
+
+    def test_zero_width_and_bidi_stripped(self, sanitizer):
+        out = sanitizer.sanitize(["a\u200bb", "\u202eevil"])
+        assert out.tokens == ("ab", "evil")
+
+    def test_embedded_whitespace_removed(self, sanitizer):
+        out = sanitizer.sanitize(["to\tken", "li\nne"])
+        assert out.tokens == ("token", "line")
+
+    def test_long_token_truncated_and_flagged(self):
+        sanitizer = RequestSanitizer(SanitizerConfig(max_token_chars=8))
+        out = sanitizer.sanitize(["x" * 10_000, "ok"])
+        assert out.tokens[0] == "x" * 8
+        assert out.n_truncated == 1
+
+
+class TestRejections:
+    def test_empty_request(self, sanitizer):
+        with pytest.raises(InvalidRequest, match="empty token sequence"):
+            sanitizer.sanitize([])
+
+    def test_bare_string(self, sanitizer):
+        with pytest.raises(InvalidRequest, match="bare string"):
+            sanitizer.sanitize("tokenize me")
+
+    def test_non_sequence(self, sanitizer):
+        with pytest.raises(InvalidRequest):
+            sanitizer.sanitize(42)
+
+    def test_non_string_token_carries_index(self, sanitizer):
+        with pytest.raises(InvalidRequest) as info:
+            sanitizer.sanitize(["ok", None])
+        assert info.value.index == 1
+        assert info.value.field == "tokens"
+
+    def test_token_vanishing_to_nothing(self, sanitizer):
+        with pytest.raises(InvalidRequest, match="empty after removing"):
+            sanitizer.sanitize(["\u200b\u200d"])
+
+    def test_sentence_cap(self):
+        sanitizer = RequestSanitizer(SanitizerConfig(max_tokens=4))
+        with pytest.raises(InvalidRequest, match="exceeds the cap"):
+            sanitizer.sanitize(["a"] * 5)
+
+
+class TestFuzz:
+    """The sanitizer never crashes: clean output or InvalidRequest, only."""
+
+    def test_curated_hostile_payloads(self, sanitizer):
+        for payload in FaultInjector.malformed_token_sequences():
+            try:
+                out = sanitizer.sanitize(payload)
+            except InvalidRequest:
+                continue
+            assert isinstance(out, SanitizedRequest)
+            assert all(isinstance(t, str) and t for t in out.tokens)
+
+    def test_random_unicode_storm(self, sanitizer):
+        """10k-char tokens of arbitrary code points, astral planes included."""
+        rng = np.random.default_rng(2024)
+        for _ in range(50):
+            n_tokens = int(rng.integers(1, 6))
+            tokens = []
+            for _ in range(n_tokens):
+                length = int(rng.choice([1, 3, 17, 10_000]))
+                codepoints = rng.integers(0, 0x110000, size=length)
+                tokens.append(
+                    "".join(chr(int(c)) for c in codepoints)
+                )
+            try:
+                out = sanitizer.sanitize(tokens)
+            except InvalidRequest:
+                continue
+            for token in out.tokens:
+                assert token
+                assert len(token) <= sanitizer.config.max_token_chars
+                for ch in token:
+                    assert unicodedata.category(ch) not in ("Cc", "Cf", "Cs")
+                    assert not ch.isspace()
