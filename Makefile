@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples lint verify-reliability verify-serving
+.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,12 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro perf bench --preset smoke \
+	    --workloads crf_nll crf_decode rnn_forward \
+	    --check benchmarks/BENCH_baseline.json --threshold 1.0 \
+	    --output /tmp/bench_smoke.json
+
+bench-tables-smoke:
 	REPRO_SCALE=smoke $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 examples:

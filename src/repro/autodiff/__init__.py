@@ -31,6 +31,7 @@ from repro.autodiff.tensor import (
     maximum,
     minimum,
     matmul,
+    broadcast_to,
     exp,
     log,
     tanh,
@@ -69,6 +70,7 @@ __all__ = [
     "maximum",
     "minimum",
     "matmul",
+    "broadcast_to",
     "exp",
     "log",
     "tanh",

@@ -129,13 +129,18 @@ class Tensor:
         """Backpropagate from this tensor, accumulating into ``.grad``.
 
         ``grad_output`` defaults to ones (scalar outputs only need that).
+        The topological order is computed once and shared between leaf
+        collection and the reverse sweep, so the graph is traversed a
+        single time per call.
         """
         if grad_output is None:
             if self.size != 1:
                 raise ValueError("backward() without grad_output requires a scalar tensor")
             grad_output = Tensor(np.ones_like(self.data))
-        leaves = _collect_leaves(self)
-        grads = _backprop([self], [grad_output], leaves, create_graph)
+        order = _topo_order([self])
+        leaves = [t for t in order if t._node is None and t.requires_grad]
+        grads = _backprop([self], [grad_output], leaves, create_graph,
+                          order=order)
         for leaf, g in zip(leaves, grads):
             if g is None:
                 continue
@@ -286,9 +291,14 @@ def _make(
 ) -> Tensor:
     """Create an output tensor, recording the op if any parent needs grad."""
     out = Tensor(data)
-    if is_grad_enabled() and any(p.requires_grad for p in parents):
-        out.requires_grad = True
-        out._node = _Node(parents, vjps)
+    # Hot path: explicit loop beats any()+generator for the tiny parent
+    # tuples every op produces.
+    if getattr(_state, "grad_enabled", True):
+        for p in parents:
+            if p.requires_grad:
+                out.requires_grad = True
+                out._node = _Node(parents, vjps)
+                break
     return out
 
 
@@ -488,6 +498,24 @@ def reshape(a: Tensor, shape) -> Tensor:
     return _make(a.data.reshape(shape), (a,), (lambda g: reshape(g, old_shape),))
 
 
+def broadcast_to(a: Tensor, shape) -> Tensor:
+    """Broadcast ``a`` to ``shape`` without materialising a copy.
+
+    The forward value is a numpy broadcast view; the VJP sums the
+    incoming gradient back down to the original shape.  Reduction VJPs
+    use this instead of multiplying by a ones tensor, which kept the old
+    tape allocating (and multiplying through) a full-size constant on
+    every backward pass.
+    """
+    shape = tuple(shape)
+    in_shape = a.shape
+    return _make(
+        np.broadcast_to(a.data, shape),
+        (a,),
+        (lambda g: _unbroadcast(g, in_shape),),
+    )
+
+
 def transpose(a: Tensor, axes: Sequence[int] | None = None) -> Tensor:
     if axes is None:
         axes = tuple(reversed(range(a.ndim)))
@@ -545,6 +573,20 @@ def getitem(a: Tensor, index) -> Tensor:
     return _make(np.array(out_data, copy=True), (a,), (vjp,))
 
 
+def _is_basic_index(index) -> bool:
+    """True for indices made only of ints/slices/None/Ellipsis.
+
+    Basic indexing addresses every element at most once, so the scatter
+    adjoint can use direct assignment instead of ``np.add.at`` (whose
+    fixed per-call overhead dominates on the small arrays the RNN step
+    loop scatters into)."""
+    items = index if isinstance(index, tuple) else (index,)
+    return all(
+        isinstance(i, (int, np.integer, slice)) or i is None or i is Ellipsis
+        for i in items
+    )
+
+
 def scatter_to(shape: tuple[int, ...], index, values: Tensor) -> Tensor:
     """Place ``values`` into a zero tensor of ``shape`` at ``index``.
 
@@ -552,10 +594,14 @@ def scatter_to(shape: tuple[int, ...], index, values: Tensor) -> Tensor:
     accumulate, matching ``np.add.at`` semantics.
     """
     values = _ensure_tensor(values)
+    basic = _is_basic_index(index)
 
     def forward(vals: np.ndarray) -> np.ndarray:
         base = np.zeros(shape, dtype=vals.dtype)
-        np.add.at(base, index, vals)
+        if basic:
+            base[index] = vals
+        else:
+            np.add.at(base, index, vals)
         return base
 
     def vjp(g: Tensor) -> Tensor:
@@ -604,7 +650,7 @@ def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
             for ax in sorted(axes):
                 expanded.insert(ax, 1)
             g = reshape(g, tuple(expanded))
-        return mul(g, Tensor(np.ones(in_shape, dtype=DEFAULT_DTYPE)))
+        return broadcast_to(g, in_shape)
 
     return _make(a.data.sum(axis=axes or None, keepdims=keepdims), (a,), (vjp,))
 
@@ -671,6 +717,7 @@ def _backprop(
     grad_outputs: Sequence[Tensor],
     inputs: Sequence[Tensor],
     create_graph: bool,
+    order: list[Tensor] | None = None,
 ) -> list[Tensor | None]:
     grads: dict[int, Tensor] = {}
     for out, g in zip(outputs, grad_outputs):
@@ -679,7 +726,11 @@ def _backprop(
         else:
             grads[id(out)] = g
 
-    order = _topo_order(list(outputs))
+    # ``order`` lets callers that already walked the graph (backward()'s
+    # leaf collection) hand the topological order in instead of paying a
+    # second traversal.
+    if order is None:
+        order = _topo_order(list(outputs))
     needed = {id(t) for t in inputs}
     # Mark every ancestor of an input so we do not waste VJPs elsewhere.
     reachable: set[int] = set()

@@ -12,13 +12,17 @@ Commands:
   hardened :class:`~repro.serving.TaggingService` (validated input,
   ``--deadline-ms`` budgets, graceful degradation);
 * ``validate``   — lint a CoNLL file, reporting every defect with file
-  and line number (non-zero exit when defects exist).
+  and line number (non-zero exit when defects exist);
+* ``perf bench`` — time the fast-path benchmark workloads, write a
+  ``BENCH_<rev>.json`` report and optionally fail on regressions
+  against a committed baseline (``--check``).
 
 Examples::
 
     repro tag model.npz --input corpus.conll --conll --deadline-ms 50
     echo "Kavox visited Zuqev" | repro tag model.npz
     repro validate corpus.conll --scheme bio
+    repro perf bench --preset smoke --check benchmarks/BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -153,7 +157,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         test, metadata.get("n_way", args.n_way), args.k_shot,
         args.episodes, seed=args.seed + 99, query_size=4,
     )
-    result = evaluate_method(adapter, episodes)
+    result = evaluate_method(adapter, episodes, workers=args.workers)
     print(f"{method}: {result.ci} over {args.episodes} episodes")
     return 0
 
@@ -186,6 +190,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             print(f"resuming from {args.journal}: "
                   f"{done} completed cells will be skipped")
         kwargs["journal"] = journal
+    if args.workers:
+        if "workers" not in inspect.signature(EXPERIMENTS[args.name]).parameters:
+            print(f"error: experiment {args.name!r} does not support "
+                  f"--workers (no episode-parallel evaluation)",
+                  file=sys.stderr)
+            return 2
+        kwargs["workers"] = args.workers
     from repro.reliability.journal import JournalMismatch
 
     try:
@@ -279,6 +290,44 @@ def cmd_tag(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.perf import bench
+
+    workloads = tuple(args.workloads) if args.workloads else None
+    try:
+        document = bench.run_bench(
+            preset=args.preset, workloads=workloads,
+            workers=args.workers, seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(bench.render(document))
+    output = args.output
+    if output is None:
+        output = f"BENCH_{document['revision']}.json"
+    bench.write_result(document, output)
+    print(f"wrote {output}")
+    if args.check:
+        if not os.path.exists(args.check):
+            print(f"error: baseline {args.check!r} does not exist",
+                  file=sys.stderr)
+            return 2
+        regressions = bench.compare(
+            document, bench.load_result(args.check),
+            threshold=args.threshold,
+        )
+        if regressions:
+            for message in regressions:
+                print(f"regression: {message}", file=sys.stderr)
+            return 1
+        print(f"no regressions against {args.check} "
+              f"(threshold {args.threshold:.0%})")
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.data.lint import CorpusLintError, CorpusValidator
 
@@ -348,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k-shot", type=int, default=1)
     p.add_argument("--episodes", type=int, default=50)
     p.add_argument("--holdout-types", type=int, default=5)
+    p.add_argument("--workers", type=int, default=0,
+                   help="episode-parallel evaluation: 0 = historical "
+                        "serial loop, >= 1 = deterministic per-episode "
+                        "seeding (same scores for any worker count), "
+                        "> 1 forks that many processes")
     p.add_argument("checkpoint")
     p.set_defaults(func=cmd_evaluate)
 
@@ -364,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "reused")
     p.add_argument("--resume", action="store_true",
                    help="require an existing --journal and continue it")
+    p.add_argument("--workers", type=int, default=0,
+                   help="episode-parallel evaluation worker count "
+                        "(composes with --journal resume)")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -388,6 +445,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero on any invalid or quarantined "
                         "input instead of skipping it")
     p.set_defaults(func=cmd_tag)
+
+    p = sub.add_parser("perf", help="performance tools")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+    p = perf_sub.add_parser(
+        "bench",
+        help="time the fast-path workloads; write BENCH_<rev>.json",
+    )
+    p.add_argument("--preset", choices=("smoke", "default"),
+                   default="default",
+                   help="repetition counts (smoke is CI-sized)")
+    p.add_argument("--workloads", nargs="+", default=None,
+                   metavar="NAME",
+                   help="subset of workloads to run (default: all)")
+    p.add_argument("--output", default=None,
+                   help="result path (default: BENCH_<rev>.json)")
+    p.add_argument("--check", default=None, metavar="BASELINE",
+                   help="compare against a baseline BENCH json; exit 1 "
+                        "on regression")
+    p.add_argument("--threshold", type=float, default=0.3,
+                   help="allowed fast-path slowdown vs the baseline "
+                        "(fraction; default 0.3)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker count for the episode_eval workload")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_perf_bench)
 
     p = sub.add_parser("validate",
                        help="lint a CoNLL corpus; non-zero exit on defects")

@@ -10,6 +10,8 @@ function exactly.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.autodiff.functional import logsumexp
@@ -123,8 +125,17 @@ class LinearChainCRF(Module):
         (values at padded positions are ignored); ``mask`` is ``(B, L)``
         with 1 for real tokens.  Vectorising across the batch keeps the
         autodiff graph size proportional to L rather than B * L.
+
+        When the fused fast path is enabled (see
+        :func:`repro.perf.fastpath.fastpath`) this delegates to
+        :meth:`batch_nll_fast`, which computes the same mean NLL and
+        first-order gradients as a single tape node.
         """
         from repro.autodiff.tensor import where
+        from repro.perf.fastpath import fused_nll_enabled
+
+        if fused_nll_enabled():
+            return self.batch_nll_fast(emissions, tags, mask)
 
         tags = np.asarray(tags, dtype=np.intp)
         mask = np.asarray(mask, dtype=float)
@@ -166,9 +177,66 @@ class LinearChainCRF(Module):
         nll = log_z - gold
         return nll.sum() / Tensor(np.array(float(batch)))
 
+    def batch_nll_fast(self, emissions: Tensor, tags: np.ndarray,
+                       mask: np.ndarray) -> Tensor:
+        """Mean NLL over a padded batch as one fused tape node.
+
+        Numerically equivalent to :meth:`batch_nll_padded` (same value,
+        same first-order gradients, from one numpy forward-backward pass)
+        but the autodiff graph collapses to a single node.  First-order
+        only: backward with ``create_graph=True`` raises ``RuntimeError``.
+        """
+        from repro.perf.kernels import crf_nll_fused
+
+        return crf_nll_fused(self, emissions, tags, mask)
+
     # ------------------------------------------------------------------
     # Decoding (pure numpy; no gradients needed)
     # ------------------------------------------------------------------
+    def viterbi_decode_batch(self, emissions, mask) -> list[list[int]]:
+        """Vectorised Viterbi over padded ``(B, L, T)`` emissions.
+
+        ``mask`` is ``(B, L)`` with 1 for real tokens.  Returns one path
+        per sentence, truncated to its true length — bit-identical to
+        calling :meth:`viterbi_decode` on each unpadded row.
+        """
+        from repro.perf.kernels import viterbi_decode_batch
+
+        self._check_num_tags(emissions)
+        return viterbi_decode_batch(
+            self.transitions.data + self._transition_penalty,
+            self.start_scores.data + self._start_penalty,
+            self.end_scores.data,
+            emissions,
+            mask,
+        )
+
+    def argmax_decode_batch(self, emissions, mask) -> list[list[int]]:
+        """Vectorised greedy decode over padded ``(B, L, T)`` emissions.
+
+        Bit-identical to calling :meth:`argmax_decode` on each unpadded
+        row, including the end-score bonus at each sentence's own last
+        real token.
+        """
+        from repro.perf.kernels import argmax_decode_batch
+
+        self._check_num_tags(emissions)
+        return argmax_decode_batch(
+            self.transitions.data + self._transition_penalty,
+            self.start_scores.data + self._start_penalty,
+            self.end_scores.data,
+            emissions,
+            mask,
+        )
+
+    def _check_num_tags(self, emissions) -> None:
+        data = emissions.data if isinstance(emissions, Tensor) else emissions
+        num_tags = np.asarray(data).shape[-1]
+        if num_tags != self.num_tags:
+            raise ValueError(
+                f"emissions have {num_tags} tags, CRF expects {self.num_tags}"
+            )
+
     def viterbi_decode(self, emissions: np.ndarray) -> list[int]:
         """Most-likely tag sequence for ``(L, T)`` emission scores."""
         emissions = np.asarray(
@@ -229,9 +297,14 @@ class LinearChainCRF(Module):
     def viterbi_top_k(self, emissions: np.ndarray, k: int = 3) -> list[tuple[list[int], float]]:
         """The ``k`` best tag sequences with their scores (best first).
 
-        Standard list-Viterbi: each DP cell keeps its k best incoming
-        partial paths.  Used for n-best analysis and for inspecting how
-        close the decoder's alternatives are.
+        List-Viterbi where each DP cell keeps its k best incoming partial
+        paths, found with a heap-based k-way merge of the per-predecessor
+        candidate streams: each predecessor beam is already sorted
+        best-first and its extensions shift every score by the same
+        constant, so the merge pops exactly k winners instead of sorting
+        all ``T * k`` candidates.  Tie-breaking matches the full-sort
+        scan (:meth:`_viterbi_top_k_reference`): equal scores prefer the
+        smaller previous tag, then the better rank within its beam.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -239,13 +312,73 @@ class LinearChainCRF(Module):
             emissions.data if isinstance(emissions, Tensor) else emissions
         )
         length, num_tags = emissions.shape
-        if num_tags != self.num_tags:
-            raise ValueError(
-                f"emissions have {num_tags} tags, CRF expects {self.num_tags}"
-            )
+        self._check_num_tags(emissions)
         trans = self.transitions.data + self._transition_penalty
         start = self.start_scores.data + self._start_penalty
         # beams[tag] = list of (score, path) kept sorted best-first.
+        beams: list[list[tuple[float, list[int]]]] = [
+            [(float(start[t] + emissions[0, t]), [t])] for t in range(num_tags)
+        ]
+        for step in range(1, length):
+            new_beams: list[list[tuple[float, list[int]]]] = []
+            for tag in range(num_tags):
+                # Stream heads: best extension from each predecessor beam.
+                heap = [
+                    (
+                        -(beams[prev][0][0] + trans[prev, tag]
+                          + emissions[step, tag]),
+                        prev,
+                        0,
+                    )
+                    for prev in range(num_tags)
+                ]
+                heapq.heapify(heap)
+                kept: list[tuple[float, list[int]]] = []
+                while heap and len(kept) < k:
+                    neg_score, prev, rank = heapq.heappop(heap)
+                    kept.append((-neg_score, beams[prev][rank][1] + [tag]))
+                    if rank + 1 < len(beams[prev]):
+                        heapq.heappush(
+                            heap,
+                            (
+                                -(beams[prev][rank + 1][0] + trans[prev, tag]
+                                  + emissions[step, tag]),
+                                prev,
+                                rank + 1,
+                            ),
+                        )
+                new_beams.append(kept)
+            beams = new_beams
+        finals = [
+            (
+                -(beams[tag][rank][0] + float(self.end_scores.data[tag])),
+                tag,
+                rank,
+            )
+            for tag in range(num_tags)
+            for rank in range(len(beams[tag]))
+        ]
+        return [
+            (beams[tag][rank][1], -neg_score)
+            for neg_score, tag, rank in heapq.nsmallest(k, finals)
+        ]
+
+    def _viterbi_top_k_reference(self, emissions: np.ndarray,
+                                 k: int = 3) -> list[tuple[list[int], float]]:
+        """The original O(T²·k log(T·k)) full-sort list-Viterbi scan.
+
+        Kept as the parity oracle for :meth:`viterbi_top_k` — the heap
+        merge must reproduce its output, ties included, exactly.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        emissions = np.asarray(
+            emissions.data if isinstance(emissions, Tensor) else emissions
+        )
+        length, num_tags = emissions.shape
+        self._check_num_tags(emissions)
+        trans = self.transitions.data + self._transition_penalty
+        start = self.start_scores.data + self._start_penalty
         beams: list[list[tuple[float, list[int]]]] = [
             [(float(start[t] + emissions[0, t]), [t])] for t in range(num_tags)
         ]

@@ -225,6 +225,7 @@ def run_adaptation(
     journal: RunJournal | None = None,
     policy: CellPolicy | None = None,
     on_cell=None,
+    workers: int = 0,
 ) -> TableResult:
     """Train and evaluate ``methods`` on every setting; fill a table.
 
@@ -236,7 +237,11 @@ def run_adaptation(
     ``journal`` makes the run resumable (completed cells are restored,
     not recomputed), ``policy`` configures retries and evaluation
     budgets, and ``on_cell`` is invoked after each newly completed cell
-    (a fault-injection and progress hook).
+    (a fault-injection and progress hook).  ``workers`` is forwarded to
+    :func:`~repro.meta.evaluate.evaluate_method` — ``>= 1`` switches
+    evaluation to the deterministic episode-parallel discipline (same
+    scores for any worker count), and composes with journal resume since
+    only whole completed cells are journalled.
     """
     policy = policy or CellPolicy()
     result = TableResult(
@@ -295,6 +300,7 @@ def run_adaptation(
                         adapter, episodes_by_shot[k_eval],
                         budget_seconds=policy.budget_seconds,
                         min_episodes=policy.min_episodes,
+                        workers=workers,
                     )
                     cell = MethodResult(
                         method=method_name,

@@ -59,9 +59,11 @@ def _fit_counts(counts: tuple[int, int, int], available: int) -> tuple[int, int,
 
 
 def run(scale, methods: tuple[str, ...] = TABLE_METHODS,
-        seed: int = 0, journal=None, policy=None) -> TableResult:
+        seed: int = 0, journal=None, policy=None,
+        workers: int = 0) -> TableResult:
     settings = build_settings(scale, seed=seed)
     return run_adaptation(
         "Table 2: intra-domain cross-type adaptation (5-way)",
         settings, methods, scale, journal=journal, policy=policy,
+        workers=workers,
     )

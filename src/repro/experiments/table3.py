@@ -43,9 +43,11 @@ def build_settings(scale, seed: int = 0) -> list[AdaptationSetting]:
 
 
 def run(scale, methods: tuple[str, ...] = TABLE_METHODS,
-        seed: int = 0, journal=None, policy=None) -> TableResult:
+        seed: int = 0, journal=None, policy=None,
+        workers: int = 0) -> TableResult:
     settings = build_settings(scale, seed=seed)
     return run_adaptation(
         "Table 3: cross-domain intra-type adaptation (ACE2005, 5-way)",
         settings, methods, scale, journal=journal, policy=policy,
+        workers=workers,
     )

@@ -64,9 +64,30 @@ class EvaluationResult:
         return f"{self.method}: {self.ci}"
 
 
+def _reseed_for_episode(adapter: Adapter, index: int) -> None:
+    """Give the adapter's RNG a deterministic per-episode state.
+
+    The state is derived from ``(method seed, episode index)`` only, so
+    an episode's randomness (test-time dropout, fine-tuning order) does
+    not depend on which episodes ran before it or in which process.  The
+    generator object is mutated *in place* because the model's stochastic
+    layers hold references to it.
+    """
+    import numpy as np
+
+    rng = getattr(adapter, "rng", None)
+    if rng is None:
+        return
+    seed = getattr(getattr(adapter, "config", None), "seed", 0)
+    fresh = np.random.default_rng((int(seed), 7919, index))
+    rng.bit_generator.state = fresh.bit_generator.state
+
+
 def evaluate_method(adapter: Adapter, episodes: list[Episode],
                     budget_seconds: float | None = None,
-                    min_episodes: int = 1) -> EvaluationResult:
+                    min_episodes: int = 1,
+                    workers: int = 0,
+                    fast: bool = False) -> EvaluationResult:
     """Adapt-and-score a method on each episode; aggregate with 95 % CI.
 
     Matching §4.1.1: every episode contributes one micro-F1; the result
@@ -76,25 +97,73 @@ def evaluate_method(adapter: Adapter, episodes: list[Episode],
     wall-clock budget is exhausted (and at least ``min_episodes`` are
     done) evaluation stops and the CI covers the completed episodes,
     flagged via :attr:`EvaluationResult.truncated`.
+
+    ``workers`` selects the execution discipline:
+
+    * ``0`` (default) — the historical serial loop: episodes share the
+      adapter's RNG stream sequentially, exactly as before;
+    * ``>= 1`` — episode-parallel discipline: each episode first resets
+      the adapter's RNG to a state derived only from the method seed and
+      the episode index, so results are identical for *any* worker count
+      (``workers=1`` runs serially, ``workers=N`` forks N processes via
+      :class:`repro.perf.EpisodeExecutor`; both produce the same
+      scores).  Under a budget, parallel evaluation proceeds in chunks
+      of ``workers`` episodes with the deadline checked between chunks.
+
+    ``fast`` enables the fused CRF NLL fast path
+    (:func:`repro.perf.fastpath.fastpath`) around each adaptation —
+    valid for the first-order inner loops used at evaluation time.
     """
+    import contextlib
     import time
+
+    from repro.perf.executor import EpisodeExecutor
+    from repro.perf.fastpath import fastpath
+
+    def score_episode(episode: Episode, index: int) -> float:
+        if workers >= 1:
+            _reseed_for_episode(adapter, index)
+        context = fastpath() if fast else contextlib.nullcontext()
+        with context:
+            predictions = adapter.predict_episode(episode)
+        gold = [
+            [span.as_tuple() for span in sent.spans] for sent in episode.query
+        ]
+        return episode_f1(gold, predictions)
 
     deadline = (
         None if budget_seconds is None
         else time.monotonic() + budget_seconds
     )
-    scores = []
+
+    def expired(done: int) -> bool:
+        return (deadline is not None and done >= min_episodes
+                and time.monotonic() >= deadline)
+
+    scores: list[float] = []
     truncated = False
-    for episode in episodes:
-        if (deadline is not None and len(scores) >= min_episodes
-                and time.monotonic() >= deadline):
-            truncated = True
-            break
-        predictions = adapter.predict_episode(episode)
-        gold = [
-            [span.as_tuple() for span in sent.spans] for sent in episode.query
-        ]
-        scores.append(episode_f1(gold, predictions))
+    executor = EpisodeExecutor(workers=workers)
+    if not executor.parallel_available:
+        for i, episode in enumerate(episodes):
+            if expired(len(scores)):
+                truncated = True
+                break
+            scores.append(score_episode(episode, i))
+    else:
+        chunk = max(int(workers), 1)
+        base = 0
+        while base < len(episodes):
+            if expired(len(scores)):
+                truncated = True
+                break
+            part = episodes[base : base + chunk]
+            scores.extend(
+                executor.map(
+                    lambda ep, j, _base=base: score_episode(ep, _base + j),
+                    part,
+                )
+            )
+            base += chunk
     return EvaluationResult(
         method=adapter.name,
         ci=aggregate_f1(scores),

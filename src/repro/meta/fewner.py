@@ -54,6 +54,8 @@ class FewNER(Adapter):
     def _inner_adapt(self, episode: Episode, steps: int,
                      create_graph: bool) -> Tensor:
         """Run the inner loop on the support set; returns adapted φ_k."""
+        from repro.perf.fastpath import adaptation_cache_enabled
+
         batch = self.model.encode(list(episode.support), episode.scheme)
         phi = self.model.new_context()
         alpha = Tensor(np.array(self.config.inner_lr))
@@ -64,9 +66,18 @@ class FewNER(Adapter):
             self.model.token_ce_loss if self.config.inner_loss == "ce"
             else self.model.loss
         )
+        base = None
+        if (not create_graph and not self.model.training
+                and adaptation_cache_enabled()):
+            # θ is frozen and its gradients are never materialised here
+            # (first-order, grad w.r.t. φ only), and dropout is inactive,
+            # so the φ-independent encoder pass is constant across the
+            # inner steps: compute it once and replay it as a leaf.
+            with no_grad():
+                base = Tensor(self.model.encoder_features(batch).data)
         try:
             for _k in range(steps):
-                loss = inner_loss(batch, phi)
+                loss = inner_loss(batch, phi, base=base)
                 (g_phi,) = grad(loss, [phi], create_graph=create_graph)
                 phi = phi - alpha * g_phi
         finally:

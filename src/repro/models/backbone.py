@@ -163,8 +163,16 @@ class CNNBiGRUCRF(Module):
         return zeros((self.context_size,), requires_grad=True)
 
     # ------------------------------------------------------------------
-    def features(self, batch: Batch, phi: Tensor | None = None) -> Tensor:
-        """Contextual features ``(B, L, 2H)`` for a padded batch."""
+    def encoder_features(self, batch: Batch) -> Tensor:
+        """The φ-independent slice of :meth:`features`.
+
+        Embeddings, char-CNN and the sequence encoder — everything below
+        the point where the task context enters.  During adaptation θ is
+        frozen, so this pass is constant across inner steps and callers
+        may compute it once and replay it via the ``base`` argument of
+        :meth:`features` / the loss methods (only valid while dropout is
+        inactive; see ``repro.perf.fastpath``).
+        """
         b, length = batch.word_ids.shape
         parts = [self.word_embedding(batch.word_ids)]
         if self.config.use_char_cnn:
@@ -175,16 +183,26 @@ class CNNBiGRUCRF(Module):
             )
         x = concatenate(parts, axis=-1) if len(parts) > 1 else parts[0]
         x = self.input_dropout(x)
-        h = self.encoder(x, batch.mask)
+        return self.encoder(x, batch.mask)
+
+    def features(self, batch: Batch, phi: Tensor | None = None,
+                 base: Tensor | None = None) -> Tensor:
+        """Contextual features ``(B, L, 2H)`` for a padded batch.
+
+        ``base`` replays a precomputed :meth:`encoder_features` result
+        instead of re-running the encoder stack.
+        """
+        h = base if base is not None else self.encoder_features(batch)
         if phi is not None and self.config.conditioning != "head":
             if self.config.context_dim == 0:
                 raise ValueError("model was built with context_dim=0")
             h = self.conditioner(h, phi)
         return self.output_dropout(h)
 
-    def emission_scores(self, batch: Batch, phi: Tensor | None = None) -> Tensor:
+    def emission_scores(self, batch: Batch, phi: Tensor | None = None,
+                        base: Tensor | None = None) -> Tensor:
         """Padded emission scores ``(B, L, T)`` under context φ."""
-        h = self.features(batch, phi)
+        h = self.features(batch, phi, base=base)
         scores = matmul(h, self.projection.weight) + self.projection.bias
         if phi is not None:
             if self.config.conditioning == "film+bias":
@@ -204,7 +222,8 @@ class CNNBiGRUCRF(Module):
         scores = self.emission_scores(batch, phi)
         return [scores[i, : batch.lengths[i], :] for i in range(batch.size)]
 
-    def loss(self, batch: Batch, phi: Tensor | None = None) -> Tensor:
+    def loss(self, batch: Batch, phi: Tensor | None = None,
+             base: Tensor | None = None) -> Tensor:
         """Mean CRF negative log-likelihood over the batch.
 
         Uses the batched padded forward algorithm so the graph size grows
@@ -212,7 +231,7 @@ class CNNBiGRUCRF(Module):
         """
         if batch.tag_ids is None:
             raise ValueError("batch was encoded without gold tags")
-        scores = self.emission_scores(batch, phi)
+        scores = self.emission_scores(batch, phi, base=base)
         b, max_len = batch.word_ids.shape
         padded_tags = np.zeros((b, max_len), dtype=np.intp)
         for i, tags in enumerate(batch.tag_ids):
@@ -220,7 +239,8 @@ class CNNBiGRUCRF(Module):
         return self.crf.batch_nll_padded(scores, padded_tags, batch.mask)
 
     def token_ce_loss(self, batch: Batch, phi: Tensor | None = None,
-                      balanced: bool = True) -> Tensor:
+                      balanced: bool = True,
+                      base: Tensor | None = None) -> Tensor:
         """Token-level cross-entropy over emission scores.
 
         Used as the inner-loop adaptation surrogate: unlike the CRF NLL —
@@ -237,7 +257,7 @@ class CNNBiGRUCRF(Module):
 
         if batch.tag_ids is None:
             raise ValueError("batch was encoded without gold tags")
-        scores = self.emission_scores(batch, phi)
+        scores = self.emission_scores(batch, phi, base=base)
         b, max_len = batch.word_ids.shape
         log_probs = log_softmax(scores, axis=-1)
         padded_tags = np.zeros((b, max_len), dtype=np.intp)
@@ -270,13 +290,23 @@ class CNNBiGRUCRF(Module):
 
     def decode(self, sentences: list[Sentence],
                phi: Tensor | None = None) -> list[list[int]]:
-        """Viterbi tag sequences for raw sentences (``[]`` for ``[]``)."""
+        """Viterbi tag sequences for raw sentences (``[]`` for ``[]``).
+
+        Uses the batch-vectorised Viterbi kernel (bit-identical to the
+        per-sentence recursion) unless
+        :func:`repro.perf.fastpath.legacy_kernels` is active.
+        """
+        from repro.perf.fastpath import batched_decode_enabled
+
         if not sentences:
             return []
         was_training = self.training
         self.eval()
         try:
             batch = self.encode(sentences)
+            if batched_decode_enabled():
+                scores = self.emission_scores(batch, phi)
+                return self.crf.viterbi_decode_batch(scores.data, batch.mask)
             emissions = self.emissions(batch, phi)
             return [self.crf.viterbi_decode(e.data) for e in emissions]
         finally:

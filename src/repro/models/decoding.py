@@ -56,7 +56,34 @@ def decode_emissions_within(
     :class:`repro.serving.Deadline`); ``on_sentence(i)`` is a test hook
     run before each Viterbi attempt — fault injectors use it to raise or
     to advance a manual clock, simulating a failing or slow decoder.
+
+    When no deadline or hook is in play and Viterbi is allowed, the whole
+    batch goes through the vectorised kernel in one shot (statuses all
+    ``FULL``) — bit-identical paths, no per-sentence Python loop.
     """
+    from repro.perf.fastpath import batched_decode_enabled
+
+    emissions = list(emissions)
+    if (
+        deadline is None
+        and on_sentence is None
+        and allow_viterbi
+        and emissions
+        and batched_decode_enabled()
+    ):
+        arrays = [
+            np.asarray(e.data if hasattr(e, "data") else e) for e in emissions
+        ]
+        lengths = [a.shape[0] for a in arrays]
+        max_len, num_tags = max(lengths), arrays[0].shape[1]
+        padded = np.zeros((len(arrays), max_len, num_tags))
+        mask = np.zeros((len(arrays), max_len))
+        for i, a in enumerate(arrays):
+            padded[i, : lengths[i], :] = a
+            mask[i, : lengths[i]] = 1.0
+        paths = crf.viterbi_decode_batch(padded, mask)
+        return paths, [FULL] * len(paths)
+
     paths: list[list[int]] = []
     statuses: list[str] = []
     for i, e in enumerate(emissions):

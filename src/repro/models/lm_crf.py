@@ -60,12 +60,20 @@ class LMTagger(Module):
         return self.crf.batch_nll(self.emissions(sentences), tags)
 
     def decode(self, sentences: list[Sentence]) -> list[list[int]]:
-        """Viterbi tag sequences (``[]`` for an empty batch)."""
+        """Viterbi tag sequences (``[]`` for an empty batch).
+
+        Routes through the batched kernel via
+        :func:`repro.models.decoding.decode_emissions_within` when the
+        fast decode path is on; paths are bit-identical either way.
+        """
+        from repro.models.decoding import decode_emissions_within
+
         if not sentences:
             return []
-        return [
-            self.crf.viterbi_decode(e.data) for e in self.emissions(sentences)
-        ]
+        paths, _statuses = decode_emissions_within(
+            self.crf, self.emissions(sentences)
+        )
+        return paths
 
     def decode_within(
         self,

@@ -2,6 +2,14 @@
 
 The BiGRU is the context encoder of the paper's CNN-BiGRU-CRF backbone
 (depth 1, hidden size 128 in the paper; sizes are configurable).
+
+Hot-path layout: the input-to-gates projection of a whole sequence is one
+``(B, L, I) @ (I, G·H)`` matmul hoisted out of the step loop (the cells
+expose :meth:`GRUCell.step` / :meth:`LSTMCell.step` that consume the
+precomputed slice), and the loop-invariant scalar one and the per-step
+keep/frozen mask constants are allocated once instead of per timestep —
+the tape then grows by a fixed number of nodes per step (see
+``tests/test_nn_rnn.py::TestTapeBudget``).
 """
 
 from __future__ import annotations
@@ -21,6 +29,11 @@ from repro.autodiff.tensor import (
 )
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+
+#: Loop-invariant scalar constant shared by every gate combination step.
+#: Constants never require grad and are never mutated, so one instance
+#: serves all layers and threads.
+_ONE = Tensor(np.array(1.0))
 
 
 class GRUCell(Module):
@@ -45,8 +58,11 @@ class GRUCell(Module):
         self.bias = Parameter(init.zeros((3 * hidden_size,)))
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        return self.step(matmul(x, self.w_x) + self.bias, h)
+
+    def step(self, gates_x: Tensor, h: Tensor) -> Tensor:
+        """One step given the precomputed input projection ``x W_x + b``."""
         hs = self.hidden_size
-        gates_x = matmul(x, self.w_x) + self.bias
         gates_h = matmul(h, self.w_h)
         xr = gates_x[:, :hs]
         xz = gates_x[:, hs : 2 * hs]
@@ -57,8 +73,17 @@ class GRUCell(Module):
         r = sigmoid(xr + hr)
         z = sigmoid(xz + hz)
         n = tanh(xn + mul(r, hn))
-        one = Tensor(np.array(1.0))
-        return mul(sub(one, z), n) + mul(z, h)
+        return mul(sub(_ONE, z), n) + mul(z, h)
+
+
+def _mask_pairs(mask: np.ndarray) -> list[tuple[Tensor, Tensor]]:
+    """Per-step ``(keep, frozen)`` mask constants, built once per forward."""
+    length = mask.shape[1]
+    inverse = 1.0 - mask
+    return [
+        (Tensor(mask[:, t : t + 1]), Tensor(inverse[:, t : t + 1]))
+        for t in range(length)
+    ]
 
 
 class GRU(Module):
@@ -81,14 +106,15 @@ class GRU(Module):
             mask = np.ones((batch, length))
         mask = np.asarray(mask, dtype=float)
         h = zeros((batch, self.hidden_size))
+        # One big input projection instead of ``length`` small ones.
+        gates_x = matmul(x, self.cell.w_x) + self.cell.bias
+        masks = _mask_pairs(mask)
         steps = range(length - 1, -1, -1) if self.reverse else range(length)
         outputs: list[Tensor | None] = [None] * length
         for t in steps:
-            xt = x[:, t, :]
-            h_new = self.cell(xt, h)
-            m = Tensor(mask[:, t : t + 1])
-            one = Tensor(np.array(1.0))
-            h = mul(m, h_new) + mul(sub(one, m), h)
+            h_new = self.cell.step(gates_x[:, t, :], h)
+            keep, frozen = masks[t]
+            h = mul(keep, h_new) + mul(frozen, h)
             outputs[t] = h
         return stack(outputs, axis=1)  # (batch, length, hidden)
 
@@ -131,8 +157,12 @@ class LSTMCell(Module):
         self.bias = Parameter(bias)
 
     def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        return self.step(matmul(x, self.w_x) + self.bias, h, c)
+
+    def step(self, gates_x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """One step given the precomputed input projection ``x W_x + b``."""
         hs = self.hidden_size
-        gates = matmul(x, self.w_x) + matmul(h, self.w_h) + self.bias
+        gates = gates_x + matmul(h, self.w_h)
         i = sigmoid(gates[:, :hs])
         f = sigmoid(gates[:, hs : 2 * hs])
         g = tanh(gates[:, 2 * hs : 3 * hs])
@@ -159,14 +189,15 @@ class LSTM(Module):
         mask = np.asarray(mask, dtype=float)
         h = zeros((batch, self.hidden_size))
         c = zeros((batch, self.hidden_size))
-        one = Tensor(np.array(1.0))
+        gates_x = matmul(x, self.cell.w_x) + self.cell.bias
+        masks = _mask_pairs(mask)
         steps = range(length - 1, -1, -1) if self.reverse else range(length)
         outputs: list[Tensor | None] = [None] * length
         for t in steps:
-            h_new, c_new = self.cell(x[:, t, :], h, c)
-            m = Tensor(mask[:, t : t + 1])
-            h = mul(m, h_new) + mul(sub(one, m), h)
-            c = mul(m, c_new) + mul(sub(one, m), c)
+            h_new, c_new = self.cell.step(gates_x[:, t, :], h, c)
+            keep, frozen = masks[t]
+            h = mul(keep, h_new) + mul(frozen, h)
+            c = mul(keep, c_new) + mul(frozen, c)
             outputs[t] = h
         return stack(outputs, axis=1)
 

@@ -1,0 +1,37 @@
+"""Performance layer: vectorised kernels, parallel evaluation, benchmarks.
+
+Three coordinated pieces:
+
+* :mod:`repro.perf.kernels` + :mod:`repro.perf.fastpath` — batched CRF
+  Viterbi/greedy decode (bit-identical to the per-sentence recursions,
+  on by default), a fused first-order CRF NLL (opt-in via
+  :func:`~repro.perf.fastpath.fastpath`), and the frozen-encoder
+  adaptation cache (on by default, bit-identical);
+* :mod:`repro.perf.executor` — a fork-based, deterministic,
+  serial-fallback worker pool used to fan adaptation episodes across
+  cores in :func:`repro.meta.evaluate.evaluate_method` and the table
+  runners;
+* :mod:`repro.perf.bench` — the ``repro perf bench`` workload timer and
+  ``BENCH_<rev>.json`` regression harness (imported lazily: it pulls in
+  the model stack).
+
+See ``docs/performance.md`` for the design and guarantees.
+"""
+
+from repro.perf.executor import EpisodeExecutor
+from repro.perf.fastpath import (
+    adaptation_cache_enabled,
+    batched_decode_enabled,
+    fastpath,
+    fused_nll_enabled,
+    legacy_kernels,
+)
+
+__all__ = [
+    "EpisodeExecutor",
+    "adaptation_cache_enabled",
+    "batched_decode_enabled",
+    "fastpath",
+    "fused_nll_enabled",
+    "legacy_kernels",
+]

@@ -1,0 +1,392 @@
+"""Benchmark workloads and the ``repro perf bench`` regression harness.
+
+Each workload times a *baseline* implementation (the pre-fast-path code
+path, reconstructed where the old code no longer exists) against the
+*fast* implementation shipped by :mod:`repro.perf`, on fixed seeded
+inputs:
+
+* ``crf_nll``      — padded-batch CRF NLL forward+backward: autodiff
+  graph (``batch_nll_padded`` with the fast path off) vs the fused
+  analytic kernel (``batch_nll_fast``);
+* ``crf_decode``   — Viterbi: per-sentence recursion vs the batched
+  kernel;
+* ``rnn_forward``  — BiGRU forward: per-step cell calls with per-step
+  constant allocation vs the hoisted-projection layer loop;
+* ``rnn_backward`` — the same pair, forward plus backward;
+* ``fewner_inner`` — one FEWNER adapt-and-predict episode, legacy vs
+  fast kernels;
+* ``episode_eval`` — end-to-end ``evaluate_method``: legacy kernels and
+  the serial loop vs fast kernels with the episode-parallel executor.
+
+Results are written as ``BENCH_<rev>.json`` (medians and IQRs over the
+preset's repetition count) and compared against a committed baseline
+file with :func:`compare`, which flags any workload whose fast-path
+median regressed beyond a configurable threshold.  See
+``docs/performance.md`` for the file format and CI wiring.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Workload names in canonical run order.
+WORKLOADS = (
+    "crf_nll",
+    "crf_decode",
+    "rnn_forward",
+    "rnn_backward",
+    "fewner_inner",
+    "episode_eval",
+)
+
+#: Repetition counts per preset: (kernel workloads, end-to-end workloads).
+PRESETS = {
+    "smoke": (5, 1),
+    "default": (20, 3),
+}
+
+#: The acceptance-criterion CRF shape: batch, length, tags.
+CRF_SHAPE = (16, 24, 9)
+
+
+def _time_ms(fn, reps: int) -> dict:
+    """Median/IQR wall-clock milliseconds of ``fn()`` over ``reps`` runs."""
+    fn()  # warm-up: imports, caches, allocator
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - t0) * 1000.0)
+    if len(samples) >= 2:
+        quartiles = statistics.quantiles(samples, n=4)
+        iqr = quartiles[2] - quartiles[0]
+    else:
+        iqr = 0.0
+    return {
+        "median_ms": round(statistics.median(samples), 4),
+        "iqr_ms": round(iqr, 4),
+        "reps": reps,
+    }
+
+
+def _paired(baseline_fn, fast_fn, reps: int) -> dict:
+    baseline = _time_ms(baseline_fn, reps)
+    fast = _time_ms(fast_fn, reps)
+    speedup = (
+        baseline["median_ms"] / fast["median_ms"]
+        if fast["median_ms"] > 0 else float("inf")
+    )
+    return {"baseline": baseline, "fast": fast, "speedup": round(speedup, 3)}
+
+
+# ----------------------------------------------------------------------
+# Shared fixtures
+# ----------------------------------------------------------------------
+def _crf_inputs(seed: int):
+    from repro.crf import LinearChainCRF
+
+    batch, length, num_tags = CRF_SHAPE
+    rng = np.random.default_rng(seed)
+    crf = LinearChainCRF(num_tags, rng)
+    emissions = rng.normal(size=(batch, length, num_tags))
+    tags = rng.integers(0, num_tags, size=(batch, length))
+    lengths = rng.integers(length // 2, length + 1, size=batch)
+    mask = (np.arange(length)[None, :] < lengths[:, None]).astype(float)
+    return crf, emissions, tags, mask
+
+
+@dataclass
+class _EpisodeFixture:
+    adapter: object
+    episodes: list
+
+
+def _episode_fixture(seed: int, n_episodes: int) -> _EpisodeFixture:
+    from repro.data.synthetic import generate_dataset
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.meta.base import MethodConfig
+    from repro.meta.evaluate import build_method, fixed_episodes
+
+    dataset = generate_dataset("GENIA", scale=0.02, seed=seed)
+    word_vocab = Vocabulary.from_datasets([dataset])
+    char_vocab = CharVocabulary.from_datasets([dataset])
+    config = MethodConfig(seed=seed, pretrain_iterations=0)
+    adapter = build_method("FewNER", word_vocab, char_vocab, 3, config)
+    episodes = fixed_episodes(
+        dataset, 3, 1, n_episodes, seed=seed + 99, query_size=4
+    )
+    return _EpisodeFixture(adapter=adapter, episodes=episodes)
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def _bench_crf_nll(reps: int, workers: int, seed: int) -> dict:
+    from repro.autodiff.tensor import Tensor
+    from repro.perf.fastpath import legacy_kernels
+
+    crf, emissions, tags, mask = _crf_inputs(seed)
+
+    def baseline():
+        with legacy_kernels():
+            e = Tensor(emissions, requires_grad=True)
+            crf.batch_nll_padded(e, tags, mask).backward()
+
+    def fast():
+        e = Tensor(emissions, requires_grad=True)
+        crf.batch_nll_fast(e, tags, mask).backward()
+
+    return _paired(baseline, fast, reps)
+
+
+def _bench_crf_decode(reps: int, workers: int, seed: int) -> dict:
+    crf, emissions, _tags, mask = _crf_inputs(seed)
+    lengths = mask.sum(axis=1).astype(int)
+    rows = [emissions[b, : lengths[b], :] for b in range(emissions.shape[0])]
+
+    def baseline():
+        for row in rows:
+            crf.viterbi_decode(row)
+
+    def fast():
+        crf.viterbi_decode_batch(emissions, mask)
+
+    return _paired(baseline, fast, reps)
+
+
+def _legacy_gru_forward(layer, x, mask):
+    """The pre-fast-path GRU loop: per-step cell calls, per-step constants."""
+    from repro.autodiff.tensor import Tensor, mul, stack, zeros
+
+    batch, length, _input = x.shape
+    h = zeros((batch, layer.hidden_size))
+    steps = (
+        range(length - 1, -1, -1) if layer.reverse else range(length)
+    )
+    outputs = [None] * length
+    for t in steps:
+        h_new = layer.cell(x[:, t, :], h)
+        keep = Tensor(mask[:, t : t + 1])
+        frozen = Tensor(1.0 - mask[:, t : t + 1])
+        h = mul(keep, h_new) + mul(frozen, h)
+        outputs[t] = h
+    return stack(outputs, axis=1)
+
+
+def _rnn_fixture(seed: int):
+    from repro.nn import BiGRU
+
+    rng = np.random.default_rng(seed)
+    layer = BiGRU(24, 24, rng)
+    x = rng.normal(size=(16, 24, 24))
+    lengths = rng.integers(12, 25, size=16)
+    mask = (np.arange(24)[None, :] < lengths[:, None]).astype(float)
+    return layer, x, mask
+
+
+def _bench_rnn_forward(reps: int, workers: int, seed: int) -> dict:
+    from repro.autodiff.tensor import Tensor
+
+    layer, x, mask = _rnn_fixture(seed)
+
+    def baseline():
+        xt = Tensor(x, requires_grad=True)
+        _legacy_gru_forward(layer.forward_rnn, xt, mask)
+        _legacy_gru_forward(layer.backward_rnn, xt, mask)
+
+    def fast():
+        layer(Tensor(x, requires_grad=True), mask)
+
+    return _paired(baseline, fast, reps)
+
+
+def _bench_rnn_backward(reps: int, workers: int, seed: int) -> dict:
+    from repro.autodiff.tensor import Tensor, concatenate
+
+    layer, x, mask = _rnn_fixture(seed)
+
+    def baseline():
+        xt = Tensor(x, requires_grad=True)
+        out = concatenate(
+            [
+                _legacy_gru_forward(layer.forward_rnn, xt, mask),
+                _legacy_gru_forward(layer.backward_rnn, xt, mask),
+            ],
+            axis=-1,
+        )
+        out.sum().backward()
+
+    def fast():
+        layer(Tensor(x, requires_grad=True), mask).sum().backward()
+
+    return _paired(baseline, fast, reps)
+
+
+def _bench_fewner_inner(reps: int, workers: int, seed: int) -> dict:
+    from repro.perf.fastpath import fastpath, legacy_kernels
+
+    fixture = _episode_fixture(seed, 1)
+    episode = fixture.episodes[0]
+
+    def baseline():
+        with legacy_kernels():
+            fixture.adapter.predict_episode(episode)
+
+    def fast():
+        with fastpath():
+            fixture.adapter.predict_episode(episode)
+
+    return _paired(baseline, fast, reps)
+
+
+def _bench_episode_eval(reps: int, workers: int, seed: int) -> dict:
+    from repro.meta.evaluate import evaluate_method
+    from repro.perf.fastpath import legacy_kernels
+
+    fixture = _episode_fixture(seed, 4)
+
+    def baseline():
+        with legacy_kernels():
+            evaluate_method(fixture.adapter, fixture.episodes)
+
+    def fast():
+        evaluate_method(
+            fixture.adapter, fixture.episodes, workers=workers, fast=True
+        )
+
+    return _paired(baseline, fast, reps)
+
+
+_RUNNERS = {
+    "crf_nll": _bench_crf_nll,
+    "crf_decode": _bench_crf_decode,
+    "rnn_forward": _bench_rnn_forward,
+    "rnn_backward": _bench_rnn_backward,
+    "fewner_inner": _bench_fewner_inner,
+    "episode_eval": _bench_episode_eval,
+}
+
+#: Workloads timed with the end-to-end repetition count.
+_HEAVY = frozenset({"fewner_inner", "episode_eval"})
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def run_bench(preset: str = "default",
+              workloads: tuple[str, ...] | None = None,
+              workers: int = 4, seed: int = 0) -> dict:
+    """Run the requested workloads; returns the result document."""
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; available: {sorted(PRESETS)}"
+        )
+    selected = tuple(workloads) if workloads else WORKLOADS
+    unknown = [w for w in selected if w not in _RUNNERS]
+    if unknown:
+        raise ValueError(
+            f"unknown workloads {unknown}; available: {list(WORKLOADS)}"
+        )
+    kernel_reps, heavy_reps = PRESETS[preset]
+    results = {}
+    for name in selected:
+        reps = heavy_reps if name in _HEAVY else kernel_reps
+        results[name] = _RUNNERS[name](reps, workers, seed)
+    document = {
+        "schema": 1,
+        "revision": git_revision(),
+        "preset": preset,
+        "workers": workers,
+        "seed": seed,
+        "crf_shape": list(CRF_SHAPE),
+        "workloads": results,
+    }
+    if "crf_nll" in results and "crf_decode" in results:
+        base = (results["crf_nll"]["baseline"]["median_ms"]
+                + results["crf_decode"]["baseline"]["median_ms"])
+        fast = (results["crf_nll"]["fast"]["median_ms"]
+                + results["crf_decode"]["fast"]["median_ms"])
+        document["crf_nll_decode_speedup"] = round(
+            base / fast if fast > 0 else float("inf"), 3
+        )
+    return document
+
+
+def write_result(document: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_result(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare(current: dict, baseline: dict,
+            threshold: float = 0.3) -> list[str]:
+    """Regression messages: fast-path medians that slowed past threshold.
+
+    A workload regresses when its current fast median exceeds the
+    baseline document's fast median by more than ``threshold`` (a
+    fraction, e.g. ``0.3`` = 30 %).  Workloads missing from either
+    document are skipped — adding a workload never fails the check.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    messages = []
+    base_workloads = baseline.get("workloads", {})
+    for name, result in current.get("workloads", {}).items():
+        if name not in base_workloads:
+            continue
+        now = result["fast"]["median_ms"]
+        before = base_workloads[name]["fast"]["median_ms"]
+        limit = before * (1.0 + threshold)
+        if now > limit:
+            messages.append(
+                f"{name}: fast median {now:.3f} ms exceeds baseline "
+                f"{before:.3f} ms by more than {threshold:.0%}"
+            )
+    return messages
+
+
+def render(document: dict) -> str:
+    """A fixed-width table of medians and speedups."""
+    lines = [
+        f"revision {document.get('revision', '?')}  "
+        f"preset {document.get('preset', '?')}  "
+        f"workers {document.get('workers', '?')}",
+        f"{'workload':>14s}  {'baseline ms':>12s}  {'fast ms':>10s}  "
+        f"{'speedup':>8s}",
+    ]
+    for name in WORKLOADS:
+        result = document.get("workloads", {}).get(name)
+        if result is None:
+            continue
+        lines.append(
+            f"{name:>14s}  {result['baseline']['median_ms']:>12.3f}  "
+            f"{result['fast']['median_ms']:>10.3f}  "
+            f"{result['speedup']:>7.2f}x"
+        )
+    combined = document.get("crf_nll_decode_speedup")
+    if combined is not None:
+        lines.append(f"crf nll+decode combined speedup: {combined:.2f}x")
+    return "\n".join(lines)

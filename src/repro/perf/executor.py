@@ -1,0 +1,87 @@
+"""Process-based episode-parallel execution with a serial fallback.
+
+:class:`EpisodeExecutor` fans independent work items (adaptation
+episodes, benchmark repetitions, table cells) across a pool of forked
+worker processes.  Design constraints, in order:
+
+* **Determinism** — results are returned in submission order, and the
+  caller's work function receives the item *index* so it can derive a
+  per-item seed; the executor itself introduces no randomness.
+* **Fork safety** — the payload (work function + items) is published in a
+  module-level slot *before* the pool forks, so workers inherit it by
+  copy-on-write and nothing but integer indices and results crosses the
+  pipe.  Closures, adapters and models therefore never need to be
+  picklable.
+* **Graceful degradation** — when fork is unavailable (platform or
+  nesting), ``workers <= 1``, or the pool fails mid-flight, the executor
+  runs the same work serially in the same order.  Parallel and serial
+  execution are observationally identical for episode-independent work
+  functions.
+
+Worker processes mutate only their own copy of the payload (fork
+isolation), which is why adapters whose ``predict_episode`` restores any
+state it touches parallelise without cross-episode contamination.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Sequence
+
+#: Fork-inherited payload: ``(work_fn, items)``; set only around a pool.
+_PAYLOAD = None
+
+
+def _run_index(index: int):
+    """Worker entry point: run one item of the fork-inherited payload."""
+    work_fn, items = _PAYLOAD
+    return index, work_fn(items[index], index)
+
+
+class EpisodeExecutor:
+    """Map a work function over items, optionally across forked workers."""
+
+    def __init__(self, workers: int = 0, start_method: str = "fork"):
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = int(workers)
+        self.start_method = start_method
+
+    @property
+    def parallel_available(self) -> bool:
+        """True when a fork pool can actually be used here and now."""
+        if self.workers <= 1 or not hasattr(os, "fork"):
+            return False
+        if self.start_method not in multiprocessing.get_all_start_methods():
+            return False
+        # Daemonic processes (we might *be* a worker) cannot fork a pool.
+        return not multiprocessing.current_process().daemon
+
+    def map(self, work_fn: Callable, items: Sequence) -> list:
+        """Run ``work_fn(item, index)`` for every item; ordered results.
+
+        Falls back to the serial loop whenever the parallel path is
+        unavailable or the pool raises.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if not self.parallel_available:
+            return [work_fn(item, i) for i, item in enumerate(items)]
+        global _PAYLOAD
+        previous = _PAYLOAD
+        _PAYLOAD = (work_fn, items)
+        try:
+            context = multiprocessing.get_context(self.start_method)
+            n = min(self.workers, len(items))
+            with context.Pool(processes=n) as pool:
+                indexed = pool.map(_run_index, range(len(items)), chunksize=1)
+        except Exception:
+            return [work_fn(item, i) for i, item in enumerate(items)]
+        finally:
+            _PAYLOAD = previous
+        results = [None] * len(items)
+        for index, value in indexed:
+            results[index] = value
+        return results

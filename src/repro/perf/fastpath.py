@@ -1,0 +1,91 @@
+"""Thread-local switches that select the performance fast paths.
+
+Three independent toggles, scoped with context managers so callers can
+never leak a mode change past their own frame:
+
+* **Batched decode** (default *on*): Viterbi / greedy decoding of a batch
+  runs as one vectorised recursion over ``(B, L, T)`` score tensors
+  instead of a per-sentence Python loop.  The batched kernels perform the
+  same float additions and the same ``argmax`` tie-breaking as the
+  per-sentence recursions, so the decoded paths are bit-identical and the
+  switch exists only for benchmarking and parity testing
+  (:func:`legacy_kernels`).
+* **Fused CRF NLL** (default *off*): the batched negative log-likelihood
+  is computed by one fused numpy kernel with an analytic first-order
+  gradient (forward-backward marginals) instead of a composite autodiff
+  graph.  This collapses ``O(L)`` tape nodes into one and is the main
+  training/adaptation speedup, but the analytic gradient is a *constant*
+  with respect to the tape — second-order differentiation through it is
+  undefined and is rejected at backprop time.  Enable it with
+  :func:`fastpath` around first-order work only (evaluation-time
+  adaptation, supervised training, benchmarking).
+* **Adaptation cache** (default *on*): during first-order, dropout-free
+  inner-loop adaptation the φ-independent encoder pass (embeddings,
+  char-CNN, BiGRU) is computed once per episode and reused as a
+  constant across the inner gradient steps.  θ is frozen there and its
+  gradients are discarded, so the cached activations are bit-identical
+  to recomputing them — the losses, φ gradients and final predictions
+  do not change.  The switch exists for benchmarking and parity tests.
+
+All switches are thread-local; a forked worker process inherits the
+state its parent had at fork time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+_state = threading.local()
+
+
+def fused_nll_enabled() -> bool:
+    """Whether the fused first-order CRF NLL kernel is active."""
+    return getattr(_state, "fused_nll", False)
+
+
+def batched_decode_enabled() -> bool:
+    """Whether batch-vectorised Viterbi/greedy decoding is active."""
+    return getattr(_state, "batched_decode", True)
+
+
+def adaptation_cache_enabled() -> bool:
+    """Whether the frozen-encoder adaptation cache is active."""
+    return getattr(_state, "adaptation_cache", True)
+
+
+@contextlib.contextmanager
+def fastpath(enabled: bool = True):
+    """Enable (or disable) the fused CRF NLL kernel inside the block.
+
+    First-order only: calling ``grad(..., create_graph=True)`` through a
+    loss produced under this context raises ``RuntimeError``.
+    """
+    prev = fused_nll_enabled()
+    _state.fused_nll = bool(enabled)
+    try:
+        yield
+    finally:
+        _state.fused_nll = prev
+
+
+@contextlib.contextmanager
+def legacy_kernels():
+    """Run with every fast path off: per-sentence decode, composite NLL.
+
+    Used by the benchmark harness to time the pre-fastpath implementations
+    and by parity tests as the reference side.
+    """
+    prev = (
+        fused_nll_enabled(),
+        batched_decode_enabled(),
+        adaptation_cache_enabled(),
+    )
+    _state.fused_nll = False
+    _state.batched_decode = False
+    _state.adaptation_cache = False
+    try:
+        yield
+    finally:
+        (_state.fused_nll, _state.batched_decode,
+         _state.adaptation_cache) = prev

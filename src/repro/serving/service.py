@@ -350,9 +350,12 @@ class TaggingService:
         sentences = [p.sentence for p in batch]
         deadline = self._batch_deadline(batch)
         try:
+            # No injector → no per-sentence hook, which lets the decoder
+            # take its batched bulk path when the deadline allows.
+            on_sentence = self._on_decode if self._injector is not None else None
             paths, statuses = self.model.decode_within(
                 sentences, phi=self.phi, deadline=deadline,
-                on_sentence=self._on_decode,
+                on_sentence=on_sentence,
                 allow_viterbi=self.breaker.allow(),
             )
         except Exception as exc:  # encoding/emissions failed outright

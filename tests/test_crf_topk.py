@@ -76,3 +76,45 @@ class TestTopK:
         crf = LinearChainCRF(2, rng)
         out = crf.viterbi_top_k(Tensor(rng.normal(size=(3, 2))), k=2)
         assert len(out) == 2
+
+
+class TestHeapMergeParity:
+    """The heap-merge top-k must reproduce the full-sort scan exactly."""
+
+    def test_matches_reference_random(self, rng):
+        for _ in range(30):
+            num_tags = int(rng.integers(2, 6))
+            length = int(rng.integers(1, 8))
+            k = int(rng.integers(1, 7))
+            crf = LinearChainCRF(num_tags, rng)
+            em = rng.normal(size=(length, num_tags))
+            assert crf.viterbi_top_k(em, k) == \
+                crf._viterbi_top_k_reference(em, k)
+
+    def test_matches_reference_tie_heavy(self, rng):
+        """Quantised emissions and zero transitions force score ties; the
+        merge must break them identically (smaller previous tag first,
+        then better beam rank)."""
+        for trial in range(20):
+            num_tags = int(rng.integers(2, 5))
+            length = int(rng.integers(2, 6))
+            crf = LinearChainCRF(num_tags, rng)
+            crf.transitions.data[:] = 0.0
+            crf.start_scores.data[:] = 0.0
+            crf.end_scores.data[:] = 0.0
+            em = np.round(rng.normal(size=(length, num_tags)))
+            if trial % 2:
+                em[:] = 0.0  # every path ties
+            for k in (1, 3, 8):
+                assert crf.viterbi_top_k(em, k) == \
+                    crf._viterbi_top_k_reference(em, k)
+
+    def test_matches_reference_constrained(self, rng):
+        from repro.crf import bio_start_mask, bio_transition_mask
+
+        names = ["O", "B-0", "I-0", "B-1", "I-1"]
+        crf = LinearChainCRF(
+            5, rng, bio_transition_mask(names), bio_start_mask(names)
+        )
+        em = rng.normal(size=(6, 5))
+        assert crf.viterbi_top_k(em, 4) == crf._viterbi_top_k_reference(em, 4)

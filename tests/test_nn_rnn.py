@@ -98,3 +98,108 @@ class TestBiGRU:
         mask = np.array([[1, 1, 0]])
         gradcheck(lambda x, *ps: (bi(x, mask) ** 2).sum(),
                   [x] + bi.parameters())
+
+
+def _tape_size(out):
+    """Number of distinct tensors reachable from ``out`` on the tape."""
+    seen = set()
+    stack = [out]
+    while stack:
+        t = stack.pop()
+        if id(t) in seen:
+            continue
+        seen.add(id(t))
+        if t._node is not None:
+            stack.extend(t._node.parents)
+    return len(seen)
+
+
+class TestTapeBudget:
+    """The step loop must add a fixed number of tape nodes per timestep.
+
+    Before the constant-hoisting pass, every step allocated fresh
+    scalar-one and mask tensors; hoisting them caps the per-step budget,
+    and this test pins it so a refactor cannot silently regrow the tape.
+    """
+
+    def _per_step_nodes(self, module_cls, rng, lengths=(4, 8, 12)):
+        sizes = []
+        for length in lengths:
+            layer = module_cls(3, 4, np.random.default_rng(0))
+            x = Tensor(rng.normal(size=(2, length, 3)), requires_grad=True)
+            sizes.append(_tape_size(layer(x).sum()))
+        deltas = {
+            (sizes[i + 1] - sizes[i]) // (lengths[i + 1] - lengths[i])
+            for i in range(len(sizes) - 1)
+        }
+        assert len(deltas) == 1, f"tape growth is not linear: {sizes}"
+        return deltas.pop()
+
+    def test_gru_growth_is_linear_and_bounded(self, rng):
+        per_step = self._per_step_nodes(GRU, rng)
+        assert per_step <= 24, f"GRU tape grew to {per_step} nodes/step"
+
+    def test_lstm_growth_is_linear_and_bounded(self, rng):
+        from repro.nn import LSTM
+
+        per_step = self._per_step_nodes(LSTM, rng)
+        assert per_step <= 24, f"LSTM tape grew to {per_step} nodes/step"
+
+    def test_scalar_one_is_shared(self, rng):
+        """All GRU steps reuse the module-level constant — the tape holds
+        exactly one scalar-one tensor, not one per step."""
+        from repro.nn import rnn as rnn_module
+
+        gru = GRU(3, 4, rng)
+        out = gru(Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True))
+        seen = set()
+        stack = [out.sum()]
+        ones = 0
+        while stack:
+            t = stack.pop()
+            if id(t) in seen:
+                continue
+            seen.add(id(t))
+            if t is rnn_module._ONE:
+                ones += 1
+            if t._node is not None:
+                stack.extend(t._node.parents)
+        assert ones == 1
+
+
+class TestLayerVsCellLoop:
+    """The hoisted-projection layer loop equals per-step cell calls."""
+
+    def test_gru_matches_manual_loop(self, rng):
+        gru = GRU(3, 4, rng)
+        x = rng.normal(size=(2, 5, 3))
+        lengths = np.array([5, 3])
+        mask = (np.arange(5)[None, :] < lengths[:, None]).astype(float)
+        out = gru(Tensor(x), mask).data
+
+        from repro.autodiff.tensor import mul
+        h = Tensor(np.zeros((2, 4)))
+        manual = []
+        for t in range(5):
+            h_new = gru.cell(Tensor(x[:, t, :]), h)
+            keep = Tensor(mask[:, t : t + 1])
+            frozen = Tensor(1.0 - mask[:, t : t + 1])
+            h = mul(keep, h_new) + mul(frozen, h)
+            manual.append(h.data)
+        assert np.allclose(out, np.stack(manual, axis=1))
+
+    def test_lstm_matches_manual_loop(self, rng):
+        from repro.nn import LSTM
+        from repro.autodiff.tensor import mul
+
+        lstm = LSTM(3, 4, rng)
+        x = rng.normal(size=(2, 5, 3))
+        mask = np.ones((2, 5))
+        out = lstm(Tensor(x), mask).data
+        h = Tensor(np.zeros((2, 4)))
+        c = Tensor(np.zeros((2, 4)))
+        manual = []
+        for t in range(5):
+            h, c = lstm.cell(Tensor(x[:, t, :]), h, c)
+            manual.append(h.data)
+        assert np.allclose(out, np.stack(manual, axis=1))

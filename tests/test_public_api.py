@@ -8,6 +8,7 @@ PACKAGES = (
     "repro.autodiff", "repro.nn", "repro.crf", "repro.data",
     "repro.embeddings", "repro.models", "repro.meta", "repro.eval",
     "repro.experiments", "repro.reliability", "repro.serving",
+    "repro.perf",
 )
 
 
