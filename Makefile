@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving
+.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-chaos
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ verify-serving:
 	    tests/test_data_lint.py \
 	    tests/test_crf_greedy.py \
 	    tests/test_cli_serving.py -q
+
+verify-chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos soak --max-rounds 1 --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -15,7 +15,10 @@ Commands:
   and line number (non-zero exit when defects exist);
 * ``perf bench`` — time the fast-path benchmark workloads, write a
   ``BENCH_<rev>.json`` report and optionally fail on regressions
-  against a committed baseline (``--check``).
+  against a committed baseline (``--check``);
+* ``chaos soak`` — loop the cross-layer chaos scenarios (worker
+  crashes/hangs, NaN gradients, checkpoint corruption, serving fault
+  bursts) under a time/round budget and fail on any broken invariant.
 
 Examples::
 
@@ -23,6 +26,7 @@ Examples::
     echo "Kavox visited Zuqev" | repro tag model.npz
     repro validate corpus.conll --scheme bio
     repro perf bench --preset smoke --check benchmarks/BENCH_baseline.json
+    repro chaos soak --max-rounds 1 --seed 0
 """
 
 from __future__ import annotations
@@ -157,8 +161,14 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         test, metadata.get("n_way", args.n_way), args.k_shot,
         args.episodes, seed=args.seed + 99, query_size=4,
     )
-    result = evaluate_method(adapter, episodes, workers=args.workers)
+    result = evaluate_method(adapter, episodes, workers=args.workers,
+                             task_timeout_s=args.task_timeout_s)
     print(f"{method}: {result.ci} over {args.episodes} episodes")
+    if result.execution is not None and not result.execution.clean:
+        print(result.execution.render())
+    if result.failed_episodes:
+        print(f"warning: episodes {list(result.failed_episodes)} failed "
+              f"and are excluded from the CI", file=sys.stderr)
     return 0
 
 
@@ -197,6 +207,14 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         kwargs["workers"] = args.workers
+    if args.task_timeout_s is not None:
+        signature = inspect.signature(EXPERIMENTS[args.name])
+        if "task_timeout_s" not in signature.parameters:
+            print(f"error: experiment {args.name!r} does not support "
+                  f"--task-timeout-s (no supervised evaluation)",
+                  file=sys.stderr)
+            return 2
+        kwargs["task_timeout_s"] = args.task_timeout_s
     from repro.reliability.journal import JournalMismatch
 
     try:
@@ -205,7 +223,40 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_result(args.name, result))
+    for note in getattr(result, "execution_notes", ()) or ():
+        print(f"self-healing: {note['method']}/{note['setting']}/"
+              f"{note['k_shot']}-shot — retried {len(note['retried'])}, "
+              f"quarantined {len(note['quarantined'])}, "
+              f"errors {len(note['errors'])}, "
+              f"pool restarts {note['pool_restarts']}", file=sys.stderr)
     return 0
+
+
+def cmd_chaos_soak(args: argparse.Namespace) -> int:
+    from repro.reliability.chaos import SCENARIOS, run_soak
+
+    if args.list:
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name}: {scenario.description}")
+        return 0
+    try:
+        report = run_soak(
+            scenarios=args.scenario or None,
+            time_budget_s=args.time_budget_s,
+            max_rounds=args.max_rounds,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(report.summary(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
 
 
 def cmd_tag(args: argparse.Namespace) -> int:
@@ -402,6 +453,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "serial loop, >= 1 = deterministic per-episode "
                         "seeding (same scores for any worker count), "
                         "> 1 forks that many processes")
+    p.add_argument("--task-timeout-s", type=float, default=None,
+                   help="per-episode deadline under --workers; a hung "
+                        "episode is retried on a fresh worker")
     p.add_argument("checkpoint")
     p.set_defaults(func=cmd_evaluate)
 
@@ -421,6 +475,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=0,
                    help="episode-parallel evaluation worker count "
                         "(composes with --journal resume)")
+    p.add_argument("--task-timeout-s", type=float, default=None,
+                   help="per-episode deadline under --workers (see "
+                        "repro evaluate --task-timeout-s)")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -470,6 +527,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker count for the episode_eval workload")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_perf_bench)
+
+    p = sub.add_parser("chaos", help="chaos/soak testing tools")
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+    p = chaos_sub.add_parser(
+        "soak",
+        help="loop the cross-layer chaos scenarios under a budget; "
+             "exit 1 on any broken invariant",
+    )
+    p.add_argument("--scenario", action="append", default=None,
+                   metavar="NAME",
+                   help="scenario to include (repeatable; default: all)")
+    p.add_argument("--time-budget-s", type=float, default=60.0,
+                   help="wall-clock budget; at least one full round "
+                        "always completes (default 60)")
+    p.add_argument("--max-rounds", type=int, default=None,
+                   help="stop after this many full rounds")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; each round derives fresh fault "
+                        "schedules from it")
+    p.add_argument("--list", action="store_true",
+                   help="list the available scenarios and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable soak summary")
+    p.set_defaults(func=cmd_chaos_soak)
 
     p = sub.add_parser("validate",
                        help="lint a CoNLL corpus; non-zero exit on defects")

@@ -69,6 +69,9 @@ class MethodResult:
     #: (``share_training_across_shots``); the shared training cost is
     #: recorded once, on the row that actually trained.
     reused_training: bool = False
+    #: Supervised-execution digest (:meth:`ExecutionReport.summary`) when
+    #: the cell was evaluated with ``workers >= 1``; ``None`` otherwise.
+    execution: dict | None = None
 
     @property
     def f1(self) -> float:
@@ -94,6 +97,9 @@ class TableResult:
     shots: tuple[int, ...]
     cells: list[MethodResult] = field(default_factory=list)
     failures: list[FailedCell] = field(default_factory=list)
+    #: One entry per cell whose evaluation needed self-healing (retries,
+    #: quarantines, pool restarts, degraded fallback, lost episodes).
+    execution_notes: list[dict] = field(default_factory=list)
 
     def cell(self, method: str, setting: str, k_shot: int) -> MethodResult:
         for c in self.cells:
@@ -165,7 +171,7 @@ class TableResult:
 # Journal (de)serialisation of cells
 # ----------------------------------------------------------------------
 def _cell_payload(cell: MethodResult) -> dict:
-    return {
+    payload = {
         "f1": cell.ci.mean,
         "half_width": cell.ci.half_width,
         "episodes": cell.ci.n,
@@ -173,6 +179,9 @@ def _cell_payload(cell: MethodResult) -> dict:
         "eval_seconds": cell.eval_seconds,
         "reused_training": cell.reused_training,
     }
+    if cell.execution is not None:
+        payload["execution"] = cell.execution
+    return payload
 
 
 def _cell_from_record(record: dict) -> MethodResult:
@@ -188,6 +197,7 @@ def _cell_from_record(record: dict) -> MethodResult:
         train_seconds=float(record["train_seconds"]),
         eval_seconds=float(record["eval_seconds"]),
         reused_training=bool(record.get("reused_training", False)),
+        execution=record.get("execution"),
     )
 
 
@@ -226,6 +236,7 @@ def run_adaptation(
     policy: CellPolicy | None = None,
     on_cell=None,
     workers: int = 0,
+    task_timeout_s: float | None = None,
 ) -> TableResult:
     """Train and evaluate ``methods`` on every setting; fill a table.
 
@@ -241,7 +252,11 @@ def run_adaptation(
     :func:`~repro.meta.evaluate.evaluate_method` — ``>= 1`` switches
     evaluation to the deterministic episode-parallel discipline (same
     scores for any worker count), and composes with journal resume since
-    only whole completed cells are journalled.
+    only whole completed cells are journalled.  ``task_timeout_s`` is
+    the per-episode deadline of that discipline; whenever self-healing
+    had to act (retries, quarantines, pool restarts, degraded fallback,
+    abandoned episodes), the digest is recorded on the cell, appended to
+    :attr:`TableResult.execution_notes`, and journalled as a ``note``.
     """
     policy = policy or CellPolicy()
     result = TableResult(
@@ -301,7 +316,9 @@ def run_adaptation(
                         budget_seconds=policy.budget_seconds,
                         min_episodes=policy.min_episodes,
                         workers=workers,
+                        task_timeout_s=task_timeout_s,
                     )
+                    execution = eval_result.execution
                     cell = MethodResult(
                         method=method_name,
                         setting=setting.name,
@@ -310,9 +327,24 @@ def run_adaptation(
                         train_seconds=0.0 if reused else train_s,
                         eval_seconds=time.perf_counter() - t0,
                         reused_training=reused,
+                        execution=(None if execution is None
+                                   else execution.summary()),
                     )
                     result.cells.append(cell)
                     pending.remove(k_eval)
+                    if execution is not None and not execution.clean:
+                        note = {
+                            "method": method_name,
+                            "setting": setting.name,
+                            "k_shot": k_eval,
+                            "failed_episodes": list(
+                                eval_result.failed_episodes
+                            ),
+                            **execution.summary(),
+                        }
+                        result.execution_notes.append(note)
+                        if journal is not None:
+                            journal.record_note("execution", note)
                     if journal is not None:
                         journal.record_cell(
                             method_name, setting.name, k_eval,

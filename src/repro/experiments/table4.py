@@ -55,10 +55,11 @@ def build_settings(scale, seed: int = 0) -> list[AdaptationSetting]:
 
 def run(scale, methods: tuple[str, ...] = TABLE_METHODS,
         seed: int = 0, journal=None, policy=None,
-        workers: int = 0) -> TableResult:
+        workers: int = 0,
+        task_timeout_s: float | None = None) -> TableResult:
     settings = build_settings(scale, seed=seed)
     return run_adaptation(
         "Table 4: cross-domain cross-type adaptation (5-way)",
         settings, methods, scale, journal=journal, policy=policy,
-        workers=workers,
+        workers=workers, task_timeout_s=task_timeout_s,
     )

@@ -55,6 +55,13 @@ class EvaluationResult:
     #: True when a wall-clock budget stopped evaluation early; the CI
     #: then covers only the episodes completed before the deadline.
     truncated: bool = False
+    #: Supervised-execution accounting (retries, quarantines, pool
+    #: restarts) when ``workers >= 1``; ``None`` on the legacy stream.
+    execution: "ExecutionReport | None" = None
+    #: Indices of episodes abandoned after retry + quarantine (their
+    #: scores are excluded from the CI) — the ``ERR`` cells of one
+    #: evaluation.  Always empty unless episodes are genuinely poison.
+    failed_episodes: tuple[int, ...] = ()
 
     @property
     def f1(self) -> float:
@@ -83,11 +90,31 @@ def _reseed_for_episode(adapter: Adapter, index: int) -> None:
     rng.bit_generator.state = fresh.bit_generator.state
 
 
+def _validate_score(value, index: int) -> str | None:
+    """Reject non-numeric / non-finite / out-of-range episode scores.
+
+    The executor treats a rejected result as a failed attempt, so a
+    worker that returned a corrupted value (bit-flip, injected fault)
+    is retried instead of poisoning the aggregate F1.
+    """
+    import math
+
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return f"episode {index}: non-numeric score {value!r}"
+    score = float(value)
+    if not math.isfinite(score) or not 0.0 <= score <= 1.0:
+        return f"episode {index}: score {score!r} outside [0, 1]"
+    return None
+
+
 def evaluate_method(adapter: Adapter, episodes: list[Episode],
                     budget_seconds: float | None = None,
                     min_episodes: int = 1,
                     workers: int = 0,
-                    fast: bool = False) -> EvaluationResult:
+                    fast: bool = False,
+                    task_timeout_s: float | None = None,
+                    max_attempts: int = 3,
+                    fault_injector=None) -> EvaluationResult:
     """Adapt-and-score a method on each episode; aggregate with 95 % CI.
 
     Matching §4.1.1: every episode contributes one micro-F1; the result
@@ -113,11 +140,22 @@ def evaluate_method(adapter: Adapter, episodes: list[Episode],
     ``fast`` enables the fused CRF NLL fast path
     (:func:`repro.perf.fastpath.fastpath`) around each adaptation —
     valid for the first-order inner loops used at evaluation time.
+
+    With ``workers >= 1`` the run is *self-healing*: episodes execute
+    under the supervised pool with per-task deadlines
+    (``task_timeout_s``), up to ``max_attempts`` deterministic retries
+    per episode (re-seeding makes a retry bit-identical to the first
+    attempt), score validation, and poison-episode quarantine.  An
+    episode that fails even its guarded serial re-run is excluded from
+    the CI and listed in :attr:`EvaluationResult.failed_episodes`;
+    everything self-healing had to do is accounted for in
+    :attr:`EvaluationResult.execution`.  ``fault_injector`` is the
+    test-only chaos hook handed to every worker.
     """
     import contextlib
     import time
 
-    from repro.perf.executor import EpisodeExecutor
+    from repro.perf.executor import ExecutionReport, EpisodeExecutor
     from repro.perf.fastpath import fastpath
 
     def score_episode(episode: Episode, index: int) -> float:
@@ -140,35 +178,76 @@ def evaluate_method(adapter: Adapter, episodes: list[Episode],
         return (deadline is not None and done >= min_episodes
                 and time.monotonic() >= deadline)
 
-    scores: list[float] = []
     truncated = False
-    executor = EpisodeExecutor(workers=workers)
-    if not executor.parallel_available:
+    if workers == 0:
+        # Legacy serial stream: episodes share the adapter's RNG
+        # sequentially; any exception propagates to the caller.
+        scores: list[float] = []
         for i, episode in enumerate(episodes):
             if expired(len(scores)):
                 truncated = True
                 break
             scores.append(score_episode(episode, i))
-    else:
-        chunk = max(int(workers), 1)
-        base = 0
-        while base < len(episodes):
-            if expired(len(scores)):
-                truncated = True
-                break
-            part = episodes[base : base + chunk]
-            scores.extend(
-                executor.map(
-                    lambda ep, j, _base=base: score_episode(ep, _base + j),
-                    part,
-                )
-            )
-            base += chunk
+        return EvaluationResult(
+            method=adapter.name,
+            ci=aggregate_f1(scores),
+            episode_scores=tuple(scores),
+            truncated=truncated,
+        )
+
+    # Supervised episode-parallel discipline (workers >= 1); proceeds in
+    # chunks of ``workers`` with the budget checked between chunks.
+    executor = EpisodeExecutor(
+        workers=workers, task_timeout_s=task_timeout_s,
+        max_attempts=max_attempts, fault_injector=fault_injector,
+        validate_fn=_validate_score,
+    )
+    chunk = max(int(workers), 1)
+    t0 = time.perf_counter()
+    tasks, results, modes = [], [], set()
+    pool_restarts = 0
+    fallback_reason = None
+    base = 0
+    while base < len(episodes):
+        if expired(len(results)):
+            truncated = True
+            break
+        part = episodes[base : base + chunk]
+        report = executor.run(
+            lambda ep, j, _base=base: score_episode(ep, _base + j), part
+        )
+        for record in report.tasks:
+            record.index += base  # chunk-local -> episode index
+        tasks.extend(report.tasks)
+        results.extend(report.results)
+        modes.add(report.mode)
+        pool_restarts += report.pool_restarts
+        fallback_reason = fallback_reason or report.fallback_reason
+        base += chunk
+    failed = tuple(t.index for t in tasks if t.outcome == "error")
+    failed_set = set(failed)
+    scores = [value for i, value in enumerate(results)
+              if i not in failed_set]
+    if not scores:
+        raise RuntimeError(
+            f"all {len(results)} evaluated episodes failed "
+            f"({adapter.name}); first error: "
+            f"{tasks[failed[0]].errors[-1] if failed else 'none run'}"
+        )
+    execution = ExecutionReport(
+        mode=("parallel-degraded" if fallback_reason is not None
+              else "parallel" if "parallel" in modes else "serial"),
+        workers=workers, tasks=tasks, results=results,
+        fallback_reason=fallback_reason, pool_restarts=pool_restarts,
+        wall_time_s=time.perf_counter() - t0,
+    )
     return EvaluationResult(
         method=adapter.name,
         ci=aggregate_f1(scores),
         episode_scores=tuple(scores),
         truncated=truncated,
+        execution=execution,
+        failed_episodes=failed,
     )
 
 

@@ -7,10 +7,11 @@ Three coordinated pieces:
   on by default), a fused first-order CRF NLL (opt-in via
   :func:`~repro.perf.fastpath.fastpath`), and the frozen-encoder
   adaptation cache (on by default, bit-identical);
-* :mod:`repro.perf.executor` — a fork-based, deterministic,
-  serial-fallback worker pool used to fan adaptation episodes across
-  cores in :func:`repro.meta.evaluate.evaluate_method` and the table
-  runners;
+* :mod:`repro.perf.executor` — a fork-based, deterministic, *supervised*
+  worker pool (per-task deadlines, crash/hang detection, bounded
+  retries, poison-episode quarantine, :class:`ExecutionReport`
+  accounting) used to fan adaptation episodes across cores in
+  :func:`repro.meta.evaluate.evaluate_method` and the table runners;
 * :mod:`repro.perf.bench` — the ``repro perf bench`` workload timer and
   ``BENCH_<rev>.json`` regression harness (imported lazily: it pulls in
   the model stack).
@@ -18,20 +19,32 @@ Three coordinated pieces:
 See ``docs/performance.md`` for the design and guarantees.
 """
 
-from repro.perf.executor import EpisodeExecutor
+from repro.perf.executor import (
+    EpisodeExecutor,
+    ExecutionReport,
+    ExecutorError,
+    TaskRecord,
+)
 from repro.perf.fastpath import (
+    DEFAULT_FASTPATH_STATE,
     adaptation_cache_enabled,
     batched_decode_enabled,
     fastpath,
+    fastpath_state,
     fused_nll_enabled,
     legacy_kernels,
 )
 
 __all__ = [
     "EpisodeExecutor",
+    "ExecutionReport",
+    "ExecutorError",
+    "TaskRecord",
+    "DEFAULT_FASTPATH_STATE",
     "adaptation_cache_enabled",
     "batched_decode_enabled",
     "fastpath",
+    "fastpath_state",
     "fused_nll_enabled",
     "legacy_kernels",
 ]

@@ -1,53 +1,227 @@
-"""Process-based episode-parallel execution with a serial fallback.
+"""Self-healing process-based episode-parallel execution.
 
 :class:`EpisodeExecutor` fans independent work items (adaptation
-episodes, benchmark repetitions, table cells) across a pool of forked
-worker processes.  Design constraints, in order:
+episodes, benchmark repetitions, table cells) across a supervised pool
+of forked worker processes.  Design constraints, in order:
 
 * **Determinism** — results are returned in submission order, and the
   caller's work function receives the item *index* so it can derive a
-  per-item seed; the executor itself introduces no randomness.
-* **Fork safety** — the payload (work function + items) is published in a
-  module-level slot *before* the pool forks, so workers inherit it by
-  copy-on-write and nothing but integer indices and results crosses the
-  pipe.  Closures, adapters and models therefore never need to be
-  picklable.
+  per-item seed; the executor itself introduces no randomness.  A
+  retried item re-runs ``work_fn(item, index)`` with the same arguments,
+  so as long as the work function derives its randomness from the index
+  (the ``(seed, 7919, index)`` discipline of
+  :func:`repro.meta.evaluate.evaluate_method`), a retry is bit-identical
+  to the first attempt.
+* **Fork safety** — the payload (work function + items) is published in
+  a lock-guarded module-level slot *before* the pool forks, so workers
+  inherit it by copy-on-write and nothing but integer indices and
+  results crosses the pipe.  Closures, adapters and models therefore
+  never need to be picklable.
+* **Supervision** — tasks are submitted with ``apply_async`` and polled
+  with bounded waits instead of a blocking ``pool.map``.  Workers
+  announce each task on a control queue, so the supervisor knows which
+  index every worker pid is running; a crashed worker (abnormal
+  exitcode among the pool's processes) or a hung worker (task past its
+  ``task_timeout_s`` deadline) costs only that task a retry, never the
+  whole run.  A hang additionally rebuilds the pool (the hung worker
+  would otherwise keep its slot forever); in-flight innocents are
+  requeued without being charged an attempt.
+* **Quarantine** — an index that fails ``max_attempts`` parallel
+  attempts is poison-quarantined: after the parallel phase it is run
+  once serially under guard in the supervisor process.  If it *still*
+  fails it becomes an ``"error"`` task record (the executor analogue of
+  a :mod:`repro.reliability.journal` ``ERR`` cell) instead of aborting
+  the run.
 * **Graceful degradation** — when fork is unavailable (platform or
-  nesting), ``workers <= 1``, or the pool fails mid-flight, the executor
-  runs the same work serially in the same order.  Parallel and serial
-  execution are observationally identical for episode-independent work
-  functions.
+  nesting) or ``workers <= 1``, the same work runs serially in the same
+  order.  If supervision itself fails mid-flight, the failure reason is
+  recorded on the report, a :class:`UserWarning` is emitted, and *only
+  the indices without results* are re-run serially.
 
-Worker processes mutate only their own copy of the payload (fork
-isolation), which is why adapters whose ``predict_episode`` restores any
-state it touches parallelise without cross-episode contamination.
+Every run produces an :class:`ExecutionReport` — per-index attempts,
+failure reasons, wall-times, quarantines and pool restarts — so callers
+can account for exactly what self-healing had to do.
 """
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
 import os
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-#: Fork-inherited payload: ``(work_fn, items)``; set only around a pool.
+#: Fork-inherited payload: ``(work_fn, items, injector, ctrl_queue)``.
+#: Set only while a pool exists, and only under :data:`_PAYLOAD_LOCK` —
+#: two executors mapping concurrently from different threads serialise
+#: their parallel phases instead of clobbering each other's payload.
 _PAYLOAD = None
+_PAYLOAD_LOCK = threading.Lock()
+
+#: Outcomes a :class:`TaskRecord` can end in.
+OK = "ok"                #: succeeded on the first attempt
+RECOVERED = "recovered"  #: succeeded after at least one retry
+ERROR = "error"          #: never succeeded (an ``ERR``-style cell)
+PENDING = "pending"      #: not finished yet (only seen mid-run)
 
 
-def _run_index(index: int):
-    """Worker entry point: run one item of the fork-inherited payload."""
-    work_fn, items = _PAYLOAD
-    return index, work_fn(items[index], index)
+def _run_index(index: int, attempt: int):
+    """Worker entry point: run one item of the fork-inherited payload.
+
+    Announces ``start``/``done`` on the control queue so the supervisor
+    can attribute a crash or hang to the exact index, and measures the
+    attempt's wall time worker-side (exact, unaffected by polling).
+    """
+    work_fn, items, injector, ctrl = _PAYLOAD
+    pid = os.getpid()
+    if ctrl is not None:
+        ctrl.put(("start", pid, index, attempt))
+    if injector is not None:
+        injector.worker_fault(index, attempt)  # may crash, hang or raise
+    t0 = time.perf_counter()
+    value = work_fn(items[index], index)
+    took = time.perf_counter() - t0
+    if injector is not None:
+        value = injector.corrupt_result(index, attempt, value)
+    if ctrl is not None:
+        ctrl.put(("done", pid, index, attempt))
+    return index, attempt, value, took
+
+
+@dataclass
+class TaskRecord:
+    """The execution history of one index."""
+
+    index: int
+    #: Total attempts, parallel and serial (1 = clean first-try success).
+    attempts: int = 0
+    outcome: str = PENDING
+    #: True once the index exhausted its parallel attempts and was
+    #: poison-quarantined to a guarded serial run in the supervisor.
+    quarantined: bool = False
+    #: True when the final (successful or failed) run happened serially
+    #: in the supervisor process rather than in a pool worker.
+    serial_fallback: bool = False
+    #: Wall time of the successful attempt (seconds); 0.0 if none.
+    wall_time_s: float = 0.0
+    #: One reason per failed attempt, oldest first.
+    errors: tuple[str, ...] = ()
+
+
+@dataclass
+class ExecutionReport:
+    """What a :meth:`EpisodeExecutor.run` actually did, per index.
+
+    ``results`` is ordered like the input items; indices whose record
+    ended in :data:`ERROR` hold ``None`` there.
+    """
+
+    mode: str  #: ``"serial"`` | ``"parallel"`` | ``"parallel-degraded"``
+    workers: int
+    tasks: list[TaskRecord] = field(default_factory=list)
+    results: list = field(default_factory=list, repr=False)
+    #: Why the run degraded to serial mid-flight (``None`` if it didn't).
+    fallback_reason: str | None = None
+    #: Times the pool was torn down and rebuilt (hangs, stalls).
+    pool_restarts: int = 0
+    wall_time_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def retried_indices(self) -> tuple[int, ...]:
+        return tuple(t.index for t in self.tasks if t.attempts > 1)
+
+    @property
+    def quarantined_indices(self) -> tuple[int, ...]:
+        return tuple(t.index for t in self.tasks if t.quarantined)
+
+    @property
+    def failed_indices(self) -> tuple[int, ...]:
+        return tuple(t.index for t in self.tasks if t.outcome == ERROR)
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(t.attempts for t in self.tasks)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needed healing: no retries, no fallback."""
+        return (not self.retried_indices and not self.failed_indices
+                and self.fallback_reason is None and self.pool_restarts == 0)
+
+    def summary(self) -> dict:
+        """JSON-serialisable digest for journals, CLIs and logs."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "tasks": len(self.tasks),
+            "attempts": self.total_attempts,
+            "retried": list(self.retried_indices),
+            "quarantined": list(self.quarantined_indices),
+            "errors": list(self.failed_indices),
+            "pool_restarts": self.pool_restarts,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    def render(self) -> str:
+        s = self.summary()
+        line = (f"execution: mode={s['mode']} workers={s['workers']} "
+                f"tasks={s['tasks']} attempts={s['attempts']} "
+                f"retried={len(s['retried'])} "
+                f"quarantined={len(s['quarantined'])} "
+                f"errors={len(s['errors'])} "
+                f"pool_restarts={s['pool_restarts']}")
+        if self.fallback_reason:
+            line += f" fallback={self.fallback_reason!r}"
+        return line
+
+
+class ExecutorError(RuntimeError):
+    """Raised by :meth:`EpisodeExecutor.map` when indices end in ERROR."""
 
 
 class EpisodeExecutor:
-    """Map a work function over items, optionally across forked workers."""
+    """Map a work function over items under a supervised worker pool.
 
-    def __init__(self, workers: int = 0, start_method: str = "fork"):
+    ``task_timeout_s`` is the per-task deadline (``None`` = no hang
+    detection); ``max_attempts`` bounds parallel attempts per index
+    before quarantine; ``validate_fn(value, index)`` may return an error
+    string to reject a corrupt result (a rejected result counts as a
+    failed attempt); ``fault_injector`` is the test-only chaos hook
+    consulted inside each worker (see
+    :meth:`repro.reliability.faults.FaultInjector.worker_fault`).
+    """
+
+    def __init__(self, workers: int = 0, start_method: str = "fork",
+                 task_timeout_s: float | None = None,
+                 max_attempts: int = 3,
+                 poll_interval_s: float = 0.02,
+                 stall_timeout_s: float = 30.0,
+                 fault_injector=None,
+                 validate_fn: Callable[[object, int], str | None] | None = None):
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError(
+                f"task_timeout_s must be positive, got {task_timeout_s}"
+            )
         self.workers = int(workers)
         self.start_method = start_method
+        self.task_timeout_s = task_timeout_s
+        self.max_attempts = int(max_attempts)
+        self.poll_interval_s = poll_interval_s
+        self.stall_timeout_s = stall_timeout_s
+        self.fault_injector = fault_injector
+        self.validate_fn = validate_fn
+        self.last_report: ExecutionReport | None = None
+        self._last_errors: dict[int, BaseException] = {}
 
+    # ------------------------------------------------------------------
     @property
     def parallel_available(self) -> bool:
         """True when a fork pool can actually be used here and now."""
@@ -58,30 +232,300 @@ class EpisodeExecutor:
         # Daemonic processes (we might *be* a worker) cannot fork a pool.
         return not multiprocessing.current_process().daemon
 
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
     def map(self, work_fn: Callable, items: Sequence) -> list:
         """Run ``work_fn(item, index)`` for every item; ordered results.
 
-        Falls back to the serial loop whenever the parallel path is
-        unavailable or the pool raises.
+        Compatibility wrapper over :meth:`run`: if any index ended in
+        :data:`ERROR` the underlying exception is re-raised (the first
+        one, by index), so callers that cannot tolerate holes keep the
+        historical raise-through behaviour.  Callers that *can* tolerate
+        ``ERR`` cells should use :meth:`run` and read the report.
+        """
+        report = self.run(work_fn, items)
+        failed = report.failed_indices
+        if failed:
+            exc = self._last_errors.get(failed[0])
+            if exc is not None:
+                raise exc
+            record = report.tasks[failed[0]]
+            raise ExecutorError(
+                f"index {failed[0]} failed after {record.attempts} "
+                f"attempt(s): {record.errors[-1] if record.errors else '?'}"
+            )
+        return report.results
+
+    def run(self, work_fn: Callable, items: Sequence) -> ExecutionReport:
+        """Execute every item; returns the full :class:`ExecutionReport`.
+
+        Never raises for work-function failures — they end as
+        :data:`ERROR` records with ``results[index] is None``.  Only a
+        ``BaseException`` (e.g. a
+        :class:`~repro.reliability.faults.SimulatedCrash`) escapes, by
+        design.
         """
         items = list(items)
+        t_run = time.perf_counter()
+        records = [TaskRecord(index=i) for i in range(len(items))]
+        results: list = [None] * len(items)
+        self._last_errors = {}
         if not items:
-            return []
+            report = ExecutionReport(mode="serial", workers=self.workers)
+            self.last_report = report
+            return report
         if not self.parallel_available:
-            return [work_fn(item, i) for i, item in enumerate(items)]
-        global _PAYLOAD
-        previous = _PAYLOAD
-        _PAYLOAD = (work_fn, items)
+            self._run_serial(work_fn, items, records, results,
+                             range(len(items)))
+            report = ExecutionReport(
+                mode="serial", workers=self.workers, tasks=records,
+                results=results, wall_time_s=time.perf_counter() - t_run,
+            )
+            self.last_report = report
+            return report
+
+        mode = "parallel"
+        fallback_reason = None
+        pool_restarts = 0
+        quarantine: list[int] = []
         try:
-            context = multiprocessing.get_context(self.start_method)
-            n = min(self.workers, len(items))
-            with context.Pool(processes=n) as pool:
-                indexed = pool.map(_run_index, range(len(items)), chunksize=1)
-        except Exception:
-            return [work_fn(item, i) for i, item in enumerate(items)]
-        finally:
-            _PAYLOAD = previous
-        results = [None] * len(items)
-        for index, value in indexed:
-            results[index] = value
-        return results
+            pool_restarts = self._supervise(
+                work_fn, items, records, results, quarantine
+            )
+        except Exception as exc:
+            fallback_reason = f"{type(exc).__name__}: {exc}"
+            mode = "parallel-degraded"
+            warnings.warn(
+                f"parallel execution degraded to serial "
+                f"({fallback_reason}); re-running only the "
+                f"{sum(1 for r in records if r.outcome == PENDING)} "
+                f"unfinished item(s)",
+                stacklevel=2,
+            )
+        # Quarantined poison items and anything stranded by a supervision
+        # failure get exactly one guarded serial attempt each.
+        missing = [i for i in range(len(items))
+                   if records[i].outcome == PENDING]
+        self._run_serial(work_fn, items, records, results, missing,
+                         serial_fallback=True)
+        report = ExecutionReport(
+            mode=mode, workers=self.workers, tasks=records, results=results,
+            fallback_reason=fallback_reason, pool_restarts=pool_restarts,
+            wall_time_s=time.perf_counter() - t_run,
+        )
+        self.last_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # Serial execution (workers <= 1, quarantine, degraded fallback)
+    # ------------------------------------------------------------------
+    def _run_serial(self, work_fn, items, records, results, indices,
+                    serial_fallback: bool = False) -> None:
+        for i in indices:
+            record = records[i]
+            record.attempts += 1
+            record.serial_fallback = serial_fallback
+            t0 = time.perf_counter()
+            try:
+                value = work_fn(items[i], i)
+            except Exception as exc:
+                record.errors += (f"{type(exc).__name__}: {exc}",)
+                record.outcome = ERROR
+                self._last_errors[i] = exc
+                continue
+            took = time.perf_counter() - t0
+            problem = (self.validate_fn(value, i)
+                       if self.validate_fn is not None else None)
+            if problem is not None:
+                record.errors += (f"invalid result: {problem}",)
+                record.outcome = ERROR
+                self._last_errors[i] = ExecutorError(
+                    f"index {i}: invalid result: {problem}"
+                )
+                continue
+            results[i] = value
+            record.wall_time_s = took
+            record.outcome = OK if record.attempts == 1 else RECOVERED
+
+    # ------------------------------------------------------------------
+    # Supervised parallel execution
+    # ------------------------------------------------------------------
+    def _record_failure(self, record: TaskRecord, reason: str,
+                        todo, quarantine: list[int]) -> None:
+        record.errors += (reason,)
+        if record.attempts >= self.max_attempts:
+            record.quarantined = True
+            quarantine.append(record.index)
+        else:
+            todo.append(record.index)
+
+    def _supervise(self, work_fn, items, records, results,
+                   quarantine: list[int]) -> int:
+        """Run the pool until every index succeeded or was quarantined.
+
+        Returns the number of pool rebuilds.  Raises on unrecoverable
+        supervision failures (the caller then degrades to serial).
+        """
+        global _PAYLOAD
+        context = multiprocessing.get_context(self.start_method)
+        n = len(items)
+        restarts = 0
+        stall_rebuilds = 0
+        todo = collections.deque(range(n))
+        inflight: dict[int, object] = {}      # index -> AsyncResult
+        started: dict[int, float] = {}        # index -> start seen at
+        current: dict[int, tuple] = {}        # pid -> (index, attempt)
+        seen: dict[int, object] = {}          # pid -> Process
+        pool = None
+        ctrl = None
+
+        def build_pool():
+            # A fresh control queue per pool: a worker killed while
+            # holding the old queue's write lock must not poison the
+            # replacement pool.
+            nonlocal pool, ctrl
+            global _PAYLOAD
+            ctrl = context.SimpleQueue()
+            _PAYLOAD = (work_fn, items, self.fault_injector, ctrl)
+            pool = context.Pool(processes=min(self.workers, n))
+            for proc in getattr(pool, "_pool", []):
+                seen[proc.pid] = proc
+
+        def rebuild_pool(refund_inflight: bool):
+            # Requeue in-flight innocents; with ``refund_inflight`` they
+            # are not charged an attempt (the pool died, not them).
+            nonlocal restarts
+            for j in list(inflight):
+                inflight.pop(j)
+                if refund_inflight:
+                    records[j].attempts -= 1
+                todo.appendleft(j)
+            started.clear()
+            current.clear()
+            pool.terminate()
+            pool.join()
+            restarts += 1
+            build_pool()
+
+        with _PAYLOAD_LOCK:
+            try:
+                build_pool()
+                last_progress = time.perf_counter()
+                while todo or inflight:
+                    while todo:
+                        i = todo.popleft()
+                        attempt = records[i].attempts
+                        records[i].attempts += 1
+                        inflight[i] = pool.apply_async(
+                            _run_index, (i, attempt)
+                        )
+                    # Control messages: who is running what, where.
+                    try:
+                        while not ctrl.empty():
+                            kind, pid, i, attempt = ctrl.get()
+                            if kind == "start":
+                                current[pid] = (i, attempt)
+                                started[i] = time.perf_counter()
+                            elif current.get(pid, (None,))[0] == i:
+                                current.pop(pid, None)
+                    except (OSError, EOFError):  # pragma: no cover
+                        pass
+                    # Completions (success, exception, corrupt result).
+                    progressed = False
+                    for i in [i for i, h in inflight.items() if h.ready()]:
+                        handle = inflight.pop(i)
+                        started.pop(i, None)
+                        for pid, (j, _a) in list(current.items()):
+                            if j == i:
+                                current.pop(pid)
+                        progressed = True
+                        try:
+                            _i, _a, value, took = handle.get()
+                        except Exception as exc:
+                            self._record_failure(
+                                records[i],
+                                f"{type(exc).__name__}: {exc}",
+                                todo, quarantine,
+                            )
+                            continue
+                        problem = (self.validate_fn(value, i)
+                                   if self.validate_fn is not None else None)
+                        if problem is not None:
+                            self._record_failure(
+                                records[i], f"invalid result: {problem}",
+                                todo, quarantine,
+                            )
+                            continue
+                        results[i] = value
+                        records[i].wall_time_s = took
+                        records[i].outcome = (
+                            OK if records[i].attempts == 1 else RECOVERED
+                        )
+                    if progressed:
+                        last_progress = time.perf_counter()
+                    if not todo and not inflight:
+                        break
+                    # Crashed workers: a pid we attributed a task to has
+                    # exited (sentinel/exitcode) without delivering it.
+                    for proc in getattr(pool, "_pool", []):
+                        seen.setdefault(proc.pid, proc)
+                    live = {p.pid for p in getattr(pool, "_pool", [])}
+                    for pid, (i, _attempt) in list(current.items()):
+                        proc = seen.get(pid)
+                        dead = (
+                            (proc is not None and proc.exitcode is not None)
+                            or (proc is None and pid not in live)
+                        )
+                        if dead and i in inflight:
+                            inflight.pop(i)
+                            started.pop(i, None)
+                            current.pop(pid, None)
+                            code = getattr(proc, "exitcode", "?")
+                            self._record_failure(
+                                records[i],
+                                f"worker pid {pid} crashed "
+                                f"(exit {code}) while running index {i}",
+                                todo, quarantine,
+                            )
+                            last_progress = time.perf_counter()
+                    # Hung workers: past the per-task deadline.  The hung
+                    # worker keeps its pool slot, so rebuild the pool.
+                    now = time.perf_counter()
+                    if self.task_timeout_s is not None:
+                        hung = [i for i, t0 in started.items()
+                                if i in inflight
+                                and now - t0 > self.task_timeout_s]
+                        if hung:
+                            for i in hung:
+                                inflight.pop(i)
+                                started.pop(i, None)
+                                self._record_failure(
+                                    records[i],
+                                    f"task exceeded its "
+                                    f"{self.task_timeout_s:g}s deadline",
+                                    todo, quarantine,
+                                )
+                            rebuild_pool(refund_inflight=True)
+                            last_progress = time.perf_counter()
+                            continue
+                    # Stall safety net: no completion for a long time and
+                    # no attributable culprit (e.g. a worker died between
+                    # task pickup and its start announcement).
+                    if now - last_progress > self.stall_timeout_s:
+                        stall_rebuilds += 1
+                        if stall_rebuilds > 3:
+                            raise RuntimeError(
+                                f"worker pool made no progress through "
+                                f"{stall_rebuilds} restarts"
+                            )
+                        rebuild_pool(refund_inflight=True)
+                        last_progress = time.perf_counter()
+                        continue
+                    time.sleep(self.poll_interval_s)
+                return restarts
+            finally:
+                _PAYLOAD = None
+                if pool is not None:
+                    pool.terminate()
+                    pool.join()

@@ -54,6 +54,25 @@ def adaptation_cache_enabled() -> bool:
     return getattr(_state, "adaptation_cache", True)
 
 
+#: The documented default of every switch; chaos invariants compare
+#: :func:`fastpath_state` against this to prove no scenario leaked a
+#: mode change past its own frame.
+DEFAULT_FASTPATH_STATE = {
+    "fused_nll": False,
+    "batched_decode": True,
+    "adaptation_cache": True,
+}
+
+
+def fastpath_state() -> dict:
+    """Snapshot of every fast-path switch in this thread."""
+    return {
+        "fused_nll": fused_nll_enabled(),
+        "batched_decode": batched_decode_enabled(),
+        "adaptation_cache": adaptation_cache_enabled(),
+    }
+
+
 @contextlib.contextmanager
 def fastpath(enabled: bool = True):
     """Enable (or disable) the fused CRF NLL kernel inside the block.

@@ -17,10 +17,16 @@ Four cooperating pieces make long experiment sweeps survivable:
   skips completed cells on resume and isolates per-method failures;
 * :mod:`~repro.reliability.faults` — a deterministic, test-only
   :class:`FaultInjector` that corrupts gradients, raises mid-``fit``,
-  simulates crashes between table cells and truncates checkpoint files,
-  so every recovery path is provable end-to-end.
+  crashes/hangs/corrupts executor workers, simulates crashes between
+  table cells and truncates checkpoint files, so every recovery path is
+  provable end-to-end;
+* :mod:`~repro.reliability.chaos` — named cross-layer chaos scenarios
+  (:data:`~repro.reliability.chaos.SCENARIOS`) with invariant checks,
+  looped by :func:`~repro.reliability.chaos.run_soak` under a
+  time/round budget (CLI: ``repro chaos soak``).
 
-See ``docs/reliability.md`` for policies, file formats and semantics.
+See ``docs/reliability.md`` and ``docs/chaos.md`` for policies, file
+formats and semantics.
 """
 
 from repro.reliability.guard import (
@@ -37,6 +43,15 @@ from repro.reliability.checkpoint import (
 from repro.reliability.journal import RunJournal
 from repro.reliability.policy import CellPolicy
 from repro.reliability.faults import FaultInjector, InjectedFault, SimulatedCrash
+from repro.reliability.chaos import (
+    SCENARIOS,
+    ChaosScenario,
+    Invariant,
+    ScenarioResult,
+    SoakReport,
+    run_scenario,
+    run_soak,
+)
 
 __all__ = [
     "AnomalyEvent",
@@ -51,4 +66,11 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "SimulatedCrash",
+    "SCENARIOS",
+    "ChaosScenario",
+    "Invariant",
+    "ScenarioResult",
+    "SoakReport",
+    "run_scenario",
+    "run_soak",
 ]

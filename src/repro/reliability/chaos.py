@@ -1,0 +1,620 @@
+"""Cross-layer chaos scenarios and the ``repro chaos soak`` harness.
+
+Each :class:`ChaosScenario` composes :class:`FaultInjector` hooks with
+one production recovery path — the supervised executor, the guarded
+training step, the checkpoint store, the serving degradation ladder —
+and asserts *invariants* about what self-healing must have preserved:
+
+* results come back ordered, with no index lost or duplicated;
+* scores are bit-identical to a fault-free serial run of the same work;
+* damaged checkpoints are quarantined, never half-loaded, and no
+  partial file is left behind;
+* the serving breaker opens under a fault burst and re-closes through
+  its half-open probe once the burst ends;
+* no scenario leaks a fast-path mode change past its own frame
+  (:func:`repro.perf.fastpath.fastpath_state` must equal
+  :data:`repro.perf.fastpath.DEFAULT_FASTPATH_STATE` afterwards).
+
+:func:`run_scenario` runs one scenario and returns a
+:class:`ScenarioResult`; :func:`run_soak` loops the scenario suite
+under a wall-clock / round budget (always completing at least one full
+round, so a fixed-seed CI smoke run is deterministic) and returns a
+:class:`SoakReport`.  The CLI verb is ``repro chaos soak``.
+
+Scenarios are deterministic given their seed: every fault schedule is
+derived from it, and nothing here consults global randomness.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+# ----------------------------------------------------------------------
+# Result containers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One checked property of a scenario run."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "ok " if self.ok else "FAIL"
+        line = f"    [{mark}] {self.name}"
+        if self.detail and not self.ok:
+            line += f" — {self.detail}"
+        return line
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one :func:`run_scenario` invocation."""
+
+    scenario: str
+    seed: int
+    invariants: tuple[Invariant, ...] = ()
+    #: Scenario-specific observations (counts, modes, reports) — JSONable.
+    details: dict = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    #: Set when the scenario body itself raised (always a failure).
+    error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return self.error is None and all(inv.ok for inv in self.invariants)
+
+    def failures(self) -> list[Invariant]:
+        return [inv for inv in self.invariants if not inv.ok]
+
+    def summary(self) -> dict:
+        """JSON-serialisable digest for journals and ``--json`` output."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "passed": self.passed,
+            "invariants": [
+                {"name": inv.name, "ok": inv.ok, "detail": inv.detail}
+                for inv in self.invariants
+            ],
+            "details": self.details,
+            "wall_time_s": round(self.wall_time_s, 3),
+            "error": self.error,
+        }
+
+    def render(self) -> str:
+        mark = "pass" if self.passed else "FAIL"
+        lines = [
+            f"  [{mark}] {self.scenario} seed={self.seed} "
+            f"({self.wall_time_s:.2f}s, "
+            f"{sum(inv.ok for inv in self.invariants)}"
+            f"/{len(self.invariants)} invariants)"
+        ]
+        if self.error is not None:
+            lines.append(f"    [FAIL] scenario raised: {self.error}")
+        for inv in self.invariants:
+            if not inv.ok:
+                lines.append(inv.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one :func:`run_soak` invocation."""
+
+    seed: int
+    rounds: int
+    results: list[ScenarioResult] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    #: True when the wall-clock budget (not ``max_rounds``) stopped it.
+    budget_exhausted: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def failures(self) -> list[ScenarioResult]:
+        return [r for r in self.results if not r.passed]
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "runs": len(self.results),
+            "passed": self.passed,
+            "failures": [r.scenario for r in self.failures()],
+            "wall_time_s": round(self.wall_time_s, 3),
+            "budget_exhausted": self.budget_exhausted,
+            "results": [r.summary() for r in self.results],
+        }
+
+    def render(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"chaos soak: seed={self.seed} rounds={self.rounds} "
+            f"runs={len(self.results)} wall={self.wall_time_s:.1f}s "
+            f"{verdict}"
+        ]
+        lines.extend(r.render() for r in self.results)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named fault-composition with invariant checks.
+
+    ``run(seed, check)`` executes the scenario; it reports invariants
+    through ``check(name, ok, detail="")`` and returns a JSONable
+    ``details`` dict (or ``None``).
+    """
+
+    name: str
+    description: str
+    run: Callable
+
+
+#: Registry of every named scenario, in definition order.
+SCENARIOS: dict[str, ChaosScenario] = {}
+
+
+def _scenario(name: str, description: str):
+    def register(fn):
+        SCENARIOS[name] = ChaosScenario(name, description, fn)
+        return fn
+    return register
+
+
+# ----------------------------------------------------------------------
+# Executor-layer scenarios (synthetic work, real supervision)
+# ----------------------------------------------------------------------
+
+def _synthetic_work(item, index):
+    """Cheap, deterministic, index-independent-of-scheduling work."""
+    return ((int(item) * 31 + 7) % 1000) / 1000.0
+
+
+def _reject_non_finite(value, index):
+    if not isinstance(value, float) or not math.isfinite(value):
+        return f"index {index}: non-finite result {value!r}"
+    return None
+
+
+def _check_executor_run(check, report, items, *, injector=None,
+                        fault_kind=None):
+    """The invariants every executor scenario shares.
+
+    Ordered results, no lost/duplicate index, bit-identical parity with
+    a fault-free serial run, no ``ERR`` records — and, when the run was
+    genuinely parallel, that every index the injector *planned* to
+    fault shows up among the retried indices (fault schedules in the
+    serial fallback path are intentionally inert, so those checks are
+    recorded as skipped there).
+    """
+    n = len(items)
+    expected = [_synthetic_work(item, i) for i, item in enumerate(items)]
+    check("no-lost-or-duplicate-index",
+          sorted(t.index for t in report.tasks) == list(range(n)),
+          f"task indices {sorted(t.index for t in report.tasks)}")
+    check("ordered-result-parity", report.results == expected,
+          f"results diverge from fault-free serial run")
+    check("no-error-records", not report.failed_indices,
+          f"failed indices {report.failed_indices}")
+    check("every-attempt-accounted", report.total_attempts >= n,
+          f"{report.total_attempts} attempts for {n} tasks")
+    parallel = report.mode == "parallel"
+    if injector is not None and fault_kind is not None:
+        planned = [i for i in range(n)
+                   if injector.planned_worker_fault(i) == fault_kind]
+        if parallel:
+            check("faults-actually-injected", bool(planned),
+                  f"no {fault_kind} faults planned for this seed")
+            check("planned-faults-all-retried",
+                  set(planned) <= set(report.retried_indices),
+                  f"planned {planned}, retried {report.retried_indices}")
+        else:
+            check("planned-faults-all-retried", True,
+                  "skipped: serial mode (fork unavailable)")
+        return planned
+    return []
+
+
+@_scenario(
+    "executor-crash",
+    "workers killed with os._exit mid-task; supervisor retries, result "
+    "parity with a fault-free serial run holds",
+)
+def _run_executor_crash(seed, check):
+    from repro.perf.executor import EpisodeExecutor
+    from repro.reliability.faults import FaultInjector
+
+    n = 24
+    items = list(range(n))
+    injector = FaultInjector(
+        worker_crash_at=(1, n // 2), worker_crash_p=0.15, worker_seed=seed,
+    )
+    executor = EpisodeExecutor(
+        workers=3, max_attempts=3, fault_injector=injector,
+        stall_timeout_s=10.0,
+    )
+    report = executor.run(_synthetic_work, items)
+    planned = _check_executor_run(check, report, items, injector=injector,
+                                  fault_kind="crash")
+    return {"execution": report.summary(), "planned_crashes": planned}
+
+
+@_scenario(
+    "executor-hang",
+    "workers sleep past the task deadline; supervisor rebuilds the pool, "
+    "requeues innocents without charging attempts, parity holds",
+)
+def _run_executor_hang(seed, check):
+    from repro.perf.executor import EpisodeExecutor
+    from repro.reliability.faults import FaultInjector
+
+    n = 10
+    items = list(range(n))
+    injector = FaultInjector(
+        worker_hang_at=(2,), worker_hang_p=0.1, worker_seed=seed,
+        worker_hang_s=5.0,
+    )
+    executor = EpisodeExecutor(
+        workers=2, task_timeout_s=0.25, max_attempts=3,
+        fault_injector=injector, stall_timeout_s=10.0,
+    )
+    report = executor.run(_synthetic_work, items)
+    planned = _check_executor_run(check, report, items, injector=injector,
+                                  fault_kind="hang")
+    if report.mode == "parallel":
+        check("hang-rebuilt-pool", report.pool_restarts >= 1,
+              f"pool_restarts={report.pool_restarts}")
+        check("deadline-recorded",
+              any("deadline" in err for t in report.tasks
+                  for err in t.errors),
+              "no task records a deadline overrun")
+    return {"execution": report.summary(), "planned_hangs": planned}
+
+
+@_scenario(
+    "executor-corrupt",
+    "workers return NaN results; validate_fn rejects them, the retry "
+    "restores the true value, parity holds",
+)
+def _run_executor_corrupt(seed, check):
+    from repro.perf.executor import EpisodeExecutor
+    from repro.reliability.faults import FaultInjector
+
+    n = 12
+    items = list(range(n))
+    injector = FaultInjector(
+        worker_corrupt_at=(0, 3, 7), worker_seed=seed,
+    )
+    executor = EpisodeExecutor(
+        workers=2, max_attempts=3, fault_injector=injector,
+        validate_fn=_reject_non_finite, stall_timeout_s=10.0,
+    )
+    report = executor.run(_synthetic_work, items)
+    planned = _check_executor_run(check, report, items, injector=injector,
+                                  fault_kind="corrupt")
+    if report.mode == "parallel":
+        check("rejection-reasons-recorded",
+              all(any("invalid result" in err
+                      for err in report.tasks[i].errors)
+                  for i in planned),
+              "a corrupted index has no 'invalid result' failure reason")
+    return {"execution": report.summary(), "planned_corruptions": planned}
+
+
+# ----------------------------------------------------------------------
+# Evaluation-layer scenario (real model, real episodes)
+# ----------------------------------------------------------------------
+
+@_scenario(
+    "episode-eval-crash",
+    "evaluate_method under worker crash/raise faults: scores stay "
+    "bit-identical to the fault-free serial run, no episode is lost",
+)
+def _run_episode_eval_crash(seed, check):
+    from repro.data.synthetic import generate_dataset
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.experiments.configs import SCALES
+    from repro.meta.evaluate import (
+        build_method, evaluate_method, fixed_episodes,
+    )
+    from repro.reliability.faults import FaultInjector
+
+    dataset = generate_dataset("OntoNotes", scale=0.02, seed=seed % 97)
+    half = len(dataset) // 2
+    train, test = dataset[:half], dataset[half:]
+    scale = SCALES["smoke"]
+    word_vocab = Vocabulary.from_datasets([train])
+    char_vocab = CharVocabulary.from_datasets([train])
+    adapter = build_method("ProtoNet", word_vocab, char_vocab,
+                           scale.n_way, scale.method_config)
+    episodes = fixed_episodes(test, scale.n_way, 1, 4, seed=5,
+                              query_size=scale.query_size)
+    baseline = evaluate_method(adapter, episodes, workers=0)
+    injector = FaultInjector(worker_crash_at=(0,), worker_raise_at=(1,),
+                             worker_seed=seed)
+    faulted = evaluate_method(
+        adapter, episodes, workers=2, task_timeout_s=120.0,
+        fault_injector=injector,
+    )
+    check("score-parity-with-serial",
+          faulted.episode_scores == baseline.episode_scores,
+          f"faulted {faulted.episode_scores} != "
+          f"serial {baseline.episode_scores}")
+    check("no-failed-episodes", not faulted.failed_episodes,
+          f"failed episodes {faulted.failed_episodes}")
+    check("execution-report-present", faulted.execution is not None)
+    execution = faulted.execution
+    if execution is not None:
+        check("every-episode-accounted",
+              sorted(t.index for t in execution.tasks)
+              == list(range(len(episodes))),
+              f"task indices {sorted(t.index for t in execution.tasks)}")
+        if execution.mode == "parallel":
+            check("faults-retried", bool(execution.retried_indices),
+                  "no retries despite scheduled crash/raise faults")
+    return {
+        "episodes": len(episodes),
+        "f1": baseline.f1,
+        "execution": execution.summary() if execution is not None else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Training-layer scenario (guarded step)
+# ----------------------------------------------------------------------
+
+@_scenario(
+    "training-guard",
+    "NaN gradients injected into fit: the guarded step skips them, "
+    "parameters stay finite, the anomaly report accounts for the skip",
+)
+def _run_training_guard(seed, check):
+    import numpy as np
+
+    from repro.data.episodes import EpisodeSampler
+    from repro.data.synthetic import generate_dataset
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.experiments.configs import SCALES
+    from repro.meta.evaluate import build_method
+    from repro.reliability.faults import FaultInjector
+
+    dataset = generate_dataset("OntoNotes", scale=0.02, seed=seed % 97)
+    half = len(dataset) // 2
+    train = dataset[:half]
+    scale = SCALES["smoke"]
+    word_vocab = Vocabulary.from_datasets([train])
+    char_vocab = CharVocabulary.from_datasets([train])
+    adapter = build_method("FewNER", word_vocab, char_vocab,
+                           scale.n_way, scale.method_config)
+    adapter.fault_injector = FaultInjector(nan_grad_at={0})
+    sampler = EpisodeSampler(train, scale.n_way, 1,
+                             query_size=scale.query_size, seed=7)
+    adapter.fit(sampler, 2)
+    finite = all(
+        bool(np.all(np.isfinite(p.data)))
+        for _name, p in adapter.model.named_parameters()
+    )
+    check("parameters-stay-finite", finite,
+          "NaN reached a parameter tensor")
+    report = adapter.anomaly_report
+    check("anomaly-report-present", report is not None)
+    if report is not None:
+        check("poisoned-step-skipped", report.steps_skipped >= 1,
+              f"steps_skipped={report.steps_skipped}")
+        check("anomaly-recorded", not report.clean,
+              "report claims a clean run despite the injected NaN")
+    return {"anomalies": None if report is None else report.steps_skipped}
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-layer scenario
+# ----------------------------------------------------------------------
+
+@_scenario(
+    "checkpoint-corruption",
+    "newest checkpoint bit-flipped on disk: sha256 catches it, the file "
+    "is quarantined, the previous good checkpoint loads, no partial "
+    "file is left behind",
+)
+def _run_checkpoint_corruption(seed, check):
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro.reliability.checkpoint import (
+        CHECKSUM_SUFFIX, QUARANTINE_SUFFIX, CheckpointStore,
+        TrainingCheckpoint,
+    )
+
+    directory = tempfile.mkdtemp(prefix="chaos-ckpt-")
+    try:
+        store = CheckpointStore(directory, keep=3)
+        rng = np.random.default_rng(seed)
+        for iteration in (1, 2):
+            store.save(TrainingCheckpoint(
+                iteration=iteration,
+                module_state={"w": rng.normal(size=8)},
+                loss_history=[0.5, 0.25],
+            ))
+        latest = store.latest_path()
+        # Flip one byte in the middle: the archive may still parse, but
+        # the sha256 sidecar must not let it load.
+        with open(latest, "r+b") as fh:
+            fh.seek(os.path.getsize(latest) // 2)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        loaded = store.load_latest()
+        check("fallback-to-previous-good",
+              loaded is not None and loaded.iteration == 1,
+              f"loaded iteration "
+              f"{None if loaded is None else loaded.iteration}")
+        check("damaged-file-quarantined",
+              store.quarantined == [latest]
+              and os.path.exists(latest + QUARANTINE_SUFFIX)
+              and not os.path.exists(latest),
+              f"quarantined={store.quarantined}")
+        check("sidecar-quarantined-too",
+              not os.path.exists(latest + CHECKSUM_SUFFIX),
+              "damaged checkpoint's sidecar left in rotation")
+        check("no-partial-files",
+              not any(name.startswith(".tmp")
+                      for name in os.listdir(directory)),
+              f"stray files: {sorted(os.listdir(directory))}")
+        check("rotation-skips-quarantined",
+              [os.path.basename(p) for p in store.paths()]
+              == ["state-00000001.npz"],
+              f"paths={[os.path.basename(p) for p in store.paths()]}")
+        return {"quarantined": [os.path.basename(p)
+                                for p in store.quarantined]}
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Serving-layer scenario
+# ----------------------------------------------------------------------
+
+@_scenario(
+    "serving-burst",
+    "slow-decode burst trips the breaker; shed requests degrade (never "
+    "hang); after the cool-down the half-open probe re-closes it",
+)
+def _run_serving_burst(seed, check):
+    import numpy as np
+
+    from repro.data.tags import TagScheme
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+    from repro.reliability.faults import FaultInjector
+    from repro.serving import (
+        CLOSED, HALF_OPEN, OPEN, ManualClock, ServiceConfig, TaggingService,
+    )
+
+    tokens = ["the", "visited", "today", "reports", "arrived"]
+    rng = np.random.default_rng(seed)
+    scheme = TagScheme(("0", "1"))
+    model = CNNBiGRUCRF(Vocabulary(tokens), CharVocabulary(tokens),
+                        scheme.num_tags, BackboneConfig(), rng,
+                        tag_names=scheme.tags)
+    clock = ManualClock()
+    injector = FaultInjector(slow_decode_s=0.3, slow_decode_for=2,
+                             clock=clock)
+    service = TaggingService(
+        model, scheme,
+        ServiceConfig(default_deadline_ms=100, breaker_threshold=2,
+                      breaker_cooldown_ms=1000),
+        clock=clock, fault_injector=injector,
+    )
+    first = service.tag(["the"])
+    second = service.tag(["visited"])
+    check("overruns-answered-not-hung",
+          first.ok and "overran" in (first.note or "")
+          and second.ok and "overran" in (second.note or ""),
+          f"notes {first.note!r}, {second.note!r}")
+    check("burst-trips-breaker",
+          service.breaker.state == OPEN and service.breaker.trips == 1,
+          f"state={service.breaker.state} trips={service.breaker.trips}")
+    shed = service.tag(["today"])
+    check("open-breaker-sheds-degraded",
+          shed.ok and shed.degraded and "breaker" in (shed.note or ""),
+          f"note={shed.note!r}")
+    clock.advance(1.1)
+    check("cooldown-half-opens",
+          service.breaker.state == HALF_OPEN,
+          f"state={service.breaker.state}")
+    probe = service.tag(["arrived"])
+    check("probe-recloses-breaker",
+          probe.ok and not probe.degraded
+          and service.breaker.state == CLOSED,
+          f"state={service.breaker.state} note={probe.note!r}")
+    return {"trips": service.breaker.trips, "stats": dict(service.stats)}
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
+    """Run one named scenario; never raises for scenario failures."""
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; "
+            f"available: {', '.join(SCENARIOS)}"
+        )
+    from repro.perf.fastpath import DEFAULT_FASTPATH_STATE, fastpath_state
+
+    scenario = SCENARIOS[name]
+    invariants: list[Invariant] = []
+
+    def check(label: str, ok, detail: str = "") -> None:
+        invariants.append(Invariant(label, bool(ok), str(detail)))
+
+    t0 = time.perf_counter()
+    error = None
+    details: dict = {}
+    try:
+        details = scenario.run(seed, check) or {}
+    except Exception as exc:  # scenario bodies must not take the run down
+        error = f"{type(exc).__name__}: {exc}"
+    state = fastpath_state()
+    check("fastpath-defaults-intact", state == DEFAULT_FASTPATH_STATE,
+          f"leaked state {state}")
+    return ScenarioResult(
+        scenario=name, seed=int(seed), invariants=tuple(invariants),
+        details=details, wall_time_s=time.perf_counter() - t0, error=error,
+    )
+
+
+def run_soak(scenarios=None, time_budget_s: float | None = 60.0,
+             max_rounds: int | None = None, seed: int = 0) -> SoakReport:
+    """Loop the scenario suite under a wall-clock / round budget.
+
+    At least one full round always completes, regardless of budget — a
+    fixed-seed smoke soak therefore covers every scenario exactly once
+    and is deterministic.  After each completed round the budget is
+    consulted: the soak stops once ``time_budget_s`` is spent or
+    ``max_rounds`` rounds are done, whichever comes first.  Per-run
+    seeds are derived from ``seed`` and the round index so successive
+    rounds exercise different fault schedules.
+    """
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise KeyError(
+            f"unknown chaos scenario(s) {unknown}; "
+            f"available: {', '.join(SCENARIOS)}"
+        )
+    if time_budget_s is None and max_rounds is None:
+        raise ValueError("need a time budget or a round limit (or both)")
+    t0 = time.perf_counter()
+    deadline = None if time_budget_s is None else t0 + float(time_budget_s)
+    results: list[ScenarioResult] = []
+    rounds = 0
+    budget_exhausted = False
+    while True:
+        round_seed = int(seed) + 101 * rounds
+        for offset, name in enumerate(names):
+            results.append(run_scenario(name, seed=round_seed + offset))
+        rounds += 1
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        if deadline is not None and time.perf_counter() >= deadline:
+            budget_exhausted = True
+            break
+    return SoakReport(
+        seed=int(seed), rounds=rounds, results=results,
+        wall_time_s=time.perf_counter() - t0,
+        budget_exhausted=budget_exhausted,
+    )

@@ -18,8 +18,10 @@ a crash.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import tempfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +30,67 @@ from repro.nn.serialization import CheckpointError, atomic_savez
 
 _META_KEY = "__repro_meta__"
 _FORMAT = 1
+
+#: Integrity sidecar written next to every checkpoint (sha256sum format).
+CHECKSUM_SUFFIX = ".sha256"
+#: Suffix a damaged checkpoint is renamed to when quarantined.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+def _file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _write_checksum(path: str) -> None:
+    """Write ``path``'s sha256 sidecar atomically (sha256sum format)."""
+    line = f"{_file_sha256(path)}  {os.path.basename(path)}\n"
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-sha256-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path + CHECKSUM_SUFFIX)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def verify_checksum(path: str) -> None:
+    """Check ``path`` against its sha256 sidecar, if one exists.
+
+    Raises :class:`CheckpointError` on mismatch or an unreadable
+    sidecar.  A *missing* sidecar is accepted silently — checkpoints
+    written before the sidecar existed (or whose sidecar write was cut
+    short by a crash) still load; the archive-level damage checks in
+    :meth:`TrainingCheckpoint.load` remain the floor.
+    """
+    sidecar = path + CHECKSUM_SUFFIX
+    if not os.path.exists(sidecar):
+        return
+    try:
+        with open(sidecar, "r", encoding="utf-8") as fh:
+            expected = fh.read().split()[0]
+    except (OSError, IndexError) as exc:
+        raise CheckpointError(
+            f"checksum sidecar {sidecar!r} is unreadable "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    actual = _file_sha256(path)
+    if actual != expected:
+        raise CheckpointError(
+            f"checkpoint {path!r} fails its checksum "
+            f"(sha256 {actual[:12]}… != recorded {expected[:12]}…); "
+            f"the file was corrupted after it was written"
+        )
 
 
 @dataclass
@@ -69,13 +132,22 @@ class TrainingCheckpoint:
         blob = json.dumps(meta).encode("utf-8")
         payload[_META_KEY] = np.frombuffer(blob, dtype=np.uint8)
         atomic_savez(path, payload)
+        _write_checksum(path)
 
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, path: str) -> "TrainingCheckpoint":
-        """Read a checkpoint; raises :class:`CheckpointError` on damage."""
+    def load(cls, path: str, verify: bool = True) -> "TrainingCheckpoint":
+        """Read a checkpoint; raises :class:`CheckpointError` on damage.
+
+        With ``verify`` (the default) the file is first checked against
+        its sha256 sidecar, which catches corruption the archive format
+        cannot — e.g. a torn copy that replaced the file with *valid but
+        wrong* bytes.
+        """
         import zipfile
 
+        if verify:
+            verify_checksum(path)
         try:
             with np.load(path) as archive:
                 if _META_KEY not in archive.files:
@@ -129,6 +201,8 @@ class CheckpointStore:
         self.directory = directory
         self.keep = keep
         self.prefix = prefix
+        #: Checkpoint paths this store quarantined as damaged.
+        self.quarantined: list[str] = []
 
     # ------------------------------------------------------------------
     def _path(self, iteration: int) -> str:
@@ -150,23 +224,41 @@ class CheckpointStore:
         path = self._path(checkpoint.iteration)
         checkpoint.save(path)
         for stale in self.paths()[:-self.keep]:
-            try:
-                os.unlink(stale)
-            except OSError:
-                pass
+            for victim in (stale, stale + CHECKSUM_SUFFIX):
+                try:
+                    os.unlink(victim)
+                except OSError:
+                    pass
         return path
 
     def latest_path(self) -> str | None:
         paths = self.paths()
         return paths[-1] if paths else None
 
+    def _quarantine(self, path: str) -> None:
+        """Move a damaged checkpoint (and its sidecar) out of rotation.
+
+        The renamed ``*.quarantined`` file no longer matches
+        :meth:`paths`, so future loads and retention passes skip it —
+        but the bytes stay on disk for post-mortems.
+        """
+        for victim in (path, path + CHECKSUM_SUFFIX):
+            try:
+                os.replace(victim, victim + QUARANTINE_SUFFIX)
+            except OSError:
+                pass
+        self.quarantined.append(path)
+
     def load_latest(self) -> TrainingCheckpoint | None:
         """Newest readable checkpoint, or ``None`` if none exist.
 
-        A truncated newest file (crash mid-write under a non-atomic
-        editor, disk-full, ...) is skipped with a fallback to the next
-        most recent checkpoint — this is the recovery path the retention
-        of K > 1 files exists for.
+        A damaged newest file — truncated by a crash mid-write under a
+        non-atomic editor, torn by a partial copy, or failing its sha256
+        sidecar — is *quarantined* (renamed ``*.quarantined``) and the
+        next most recent checkpoint is loaded instead; this is the
+        recovery path the retention of K > 1 files exists for.  The
+        paths quarantined by this store instance are listed in
+        :attr:`quarantined`.
         """
         last_error: CheckpointError | None = None
         for path in reversed(self.paths()):
@@ -174,6 +266,7 @@ class CheckpointStore:
                 return TrainingCheckpoint.load(path)
             except CheckpointError as exc:
                 last_error = exc
+                self._quarantine(path)
         if last_error is not None:
             raise CheckpointError(
                 f"no readable checkpoint in {self.directory!r}: {last_error}"

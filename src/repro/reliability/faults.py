@@ -11,7 +11,16 @@ Production code never imports this module; tests hand a
   ``on_cell`` hook after each completed cell, so
   :meth:`FaultInjector.cell_hook` can simulate a kill between cells;
 * :meth:`FaultInjector.truncate_file` damages a checkpoint on disk the
-  way a crash mid-write (pre-atomic-rename) or a torn copy would.
+  way a crash mid-write (pre-atomic-rename) or a torn copy would;
+* the supervised executor (:mod:`repro.perf.executor`) consults
+  :meth:`FaultInjector.worker_fault` and
+  :meth:`FaultInjector.corrupt_result` inside each forked worker, so a
+  test can crash (``os._exit``), hang, fail or corrupt exactly the
+  episodes it chooses — deterministically per index, independent of
+  scheduling;
+* :class:`~repro.serving.TaggingService` consults
+  :meth:`FaultInjector.before_batch` once per micro-batch, simulating a
+  whole-batch encode failure.
 
 Two exception types keep fault semantics honest: :class:`InjectedFault`
 is an ordinary ``RuntimeError`` that recovery code is *supposed* to
@@ -46,7 +55,11 @@ class FaultInjector:
 
     def __init__(self, nan_grad_at=(), raise_at=(), raise_after_calls=None,
                  decode_raise_at=(), slow_decode_s=None, slow_decode_for=None,
-                 clock=None):
+                 clock=None, batch_raise_at=(),
+                 worker_crash_at=(), worker_hang_at=(), worker_corrupt_at=(),
+                 worker_raise_at=(), worker_crash_p=0.0, worker_hang_p=0.0,
+                 worker_seed=0, worker_fault_attempts=(0,),
+                 worker_hang_s=30.0):
         self.nan_grad_at = frozenset(int(i) for i in nan_grad_at)
         self.raise_at = frozenset(int(i) for i in raise_at)
         #: Raise once the injector has been consulted this many times in
@@ -67,6 +80,29 @@ class FaultInjector:
         self.slow_decode_for = slow_decode_for
         self.clock = clock
         self.decode_calls = 0
+        # -- whole-batch serving faults (see before_batch) -------------
+        self.batch_raise_at = frozenset(int(i) for i in batch_raise_at)
+        self.batch_calls = 0
+        # -- executor worker faults (see worker_fault) -----------------
+        self.worker_crash_at = frozenset(int(i) for i in worker_crash_at)
+        self.worker_hang_at = frozenset(int(i) for i in worker_hang_at)
+        self.worker_corrupt_at = frozenset(int(i) for i in worker_corrupt_at)
+        self.worker_raise_at = frozenset(int(i) for i in worker_raise_at)
+        #: Probabilities of a crash / hang per index, rolled from a
+        #: deterministic per-``(worker_seed, index)`` stream — the same
+        #: index always draws the same fault regardless of scheduling.
+        self.worker_crash_p = float(worker_crash_p)
+        self.worker_hang_p = float(worker_hang_p)
+        self.worker_seed = int(worker_seed)
+        #: Attempt numbers (0-based) on which worker faults fire; the
+        #: default ``(0,)`` makes every fault transient, so a retry of
+        #: the same index succeeds.
+        self.worker_fault_attempts = frozenset(
+            int(a) for a in worker_fault_attempts
+        )
+        #: How long a hung worker sleeps (real seconds); the supervisor
+        #: should detect the hang via its task deadline long before this.
+        self.worker_hang_s = float(worker_hang_s)
 
     # ------------------------------------------------------------------
     # GuardedStep hook
@@ -116,6 +152,85 @@ class FaultInjector:
                 time.sleep(self.slow_decode_s)
         if i in self.decode_raise_at:
             raise InjectedFault(f"injected decode failure at attempt {i}")
+
+    def before_batch(self) -> None:
+        """Fail a whole micro-batch; consulted once per batch.
+
+        Wired into :meth:`TaggingService._process_batch`: consultation
+        ``i`` in ``batch_raise_at`` raises an :class:`InjectedFault`
+        before the batch is encoded, exercising the service's
+        whole-batch degradation path (every member gets a degraded,
+        span-less answer — never a hang or a traceback).
+        """
+        i = self.batch_calls
+        self.batch_calls += 1
+        if i in self.batch_raise_at:
+            raise InjectedFault(f"injected batch failure at batch {i}")
+
+    # ------------------------------------------------------------------
+    # Executor worker hooks
+    # ------------------------------------------------------------------
+    def _roll(self, index: int, channel: int) -> float:
+        """Deterministic uniform draw for ``(seed, index, channel)``."""
+        rng = np.random.default_rng(
+            (self.worker_seed, 104729, int(index), int(channel))
+        )
+        return float(rng.random())
+
+    def planned_worker_fault(self, index: int) -> str | None:
+        """The fault this injector will deal to ``index`` on a fault
+        attempt: ``"crash"`` | ``"hang"`` | ``"raise"`` | ``"corrupt"``
+        | ``None``.  Pure — usable from tests and chaos invariants to
+        predict exactly which indices must show retries."""
+        if index in self.worker_crash_at or (
+                self.worker_crash_p > 0.0
+                and self._roll(index, 1) < self.worker_crash_p):
+            return "crash"
+        if index in self.worker_hang_at or (
+                self.worker_hang_p > 0.0
+                and self._roll(index, 2) < self.worker_hang_p):
+            return "hang"
+        if index in self.worker_raise_at:
+            return "raise"
+        if index in self.worker_corrupt_at:
+            return "corrupt"
+        return None
+
+    def worker_fault(self, index: int, attempt: int) -> None:
+        """Kill, hang or fail a pool worker; consulted inside the worker.
+
+        Wired into the supervised executor's worker entry point
+        (:func:`repro.perf.executor._run_index`) before the work
+        function runs.  A *crash* is ``os._exit`` — the hard worker
+        death no ``except`` can absorb; a *hang* sleeps far past any
+        sane task deadline; a *raise* is an ordinary
+        :class:`InjectedFault` delivered through the result channel.
+        """
+        if attempt not in self.worker_fault_attempts:
+            return
+        fault = self.planned_worker_fault(index)
+        if fault == "crash":
+            os._exit(23)
+        if fault == "hang":
+            import time
+
+            time.sleep(self.worker_hang_s)
+        elif fault == "raise":
+            raise InjectedFault(
+                f"injected worker failure at index {index} "
+                f"(attempt {attempt})"
+            )
+
+    def corrupt_result(self, index: int, attempt: int, value):
+        """Return a corrupted stand-in for ``value`` on scheduled faults.
+
+        The executor's ``validate_fn`` must reject the NaN and charge
+        the attempt, so the retry (fault-free) restores the true value.
+        """
+        if (attempt in self.worker_fault_attempts
+                and self.planned_worker_fault(index) == "corrupt"):
+            return float("nan")
+        return value
 
     @staticmethod
     def malformed_token_sequences() -> list[list]:

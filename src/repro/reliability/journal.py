@@ -13,7 +13,11 @@ are single JSON objects, one per line:
   "eval_seconds": ..., "reused_training": ...}`` — one completed cell;
 * ``{"kind": "failure", "method": ..., "setting": ..., "k_shot": ...,
   "error": ...}`` — a cell abandoned after retries (informational;
-  failed cells are re-attempted on resume).
+  failed cells are re-attempted on resume);
+* ``{"kind": "note", "note": ..., ...}`` — free-form operational
+  annotations (e.g. self-healing execution summaries: retried or
+  quarantined episodes, pool restarts).  Notes never affect resume
+  decisions; they exist for post-mortems.
 
 Each record is flushed and fsynced as it is written, and a torn final
 line (the process died mid-write) is ignored when the file is read
@@ -37,6 +41,7 @@ class RunJournal:
         self.path = path
         self._cells: dict[tuple[str, str, int], dict] = {}
         self._failures: list[dict] = []
+        self._notes: list[dict] = []
         self._header: dict | None = None
         self._load()
         self._fh = None
@@ -65,6 +70,8 @@ class RunJournal:
                     self._cells[key] = record
                 elif kind == "failure":
                     self._failures.append(record)
+                elif kind == "note":
+                    self._notes.append(record)
 
     def _append(self, kind: str, record: dict) -> None:
         if self._fh is None:
@@ -122,3 +129,13 @@ class RunJournal:
                   "k_shot": int(k_shot), "error": error}
         self._failures.append(record)
         self._append("failure", record)
+
+    # ------------------------------------------------------------------
+    def notes(self) -> list[dict]:
+        return list(self._notes)
+
+    def record_note(self, note: str, payload: dict | None = None) -> None:
+        """Append an operational annotation (never consulted on resume)."""
+        record = {"note": note, **(payload or {})}
+        self._notes.append(record)
+        self._append("note", record)

@@ -350,6 +350,10 @@ class TaggingService:
         sentences = [p.sentence for p in batch]
         deadline = self._batch_deadline(batch)
         try:
+            if self._injector is not None:
+                before_batch = getattr(self._injector, "before_batch", None)
+                if before_batch is not None:
+                    before_batch()  # whole-batch worker-style fault
             # No injector → no per-sentence hook, which lets the decoder
             # take its batched bulk path when the deadline allows.
             on_sentence = self._on_decode if self._injector is not None else None

@@ -57,7 +57,8 @@ class TestEpisodeExecutor:
             raise OSError("no processes for you")
 
         monkeypatch.setattr(multiprocessing, "get_context", boom)
-        assert ex.map(lambda item, i: item * 2, [1, 2]) == [2, 4]
+        with pytest.warns(UserWarning, match="degraded to serial"):
+            assert ex.map(lambda item, i: item * 2, [1, 2]) == [2, 4]
 
     def test_daemon_process_degrades_gracefully(self, monkeypatch):
         class FakeDaemon:

@@ -1,0 +1,168 @@
+"""Chaos scenarios, the soak harness and the ``repro chaos soak`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.reliability.chaos import (
+    SCENARIOS,
+    ChaosScenario,
+    ScenarioResult,
+    run_scenario,
+    run_soak,
+)
+
+#: Cheap scenarios used where the suite is looped several times.
+FAST = ["executor-corrupt", "checkpoint-corruption", "serving-burst"]
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_passes(self, name):
+        result = run_scenario(name, seed=0)
+        assert result.passed, result.render()
+        assert result.invariants  # every scenario checks something
+        # The cross-cutting invariant is always appended last.
+        assert result.invariants[-1].name == "fastpath-defaults-intact"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown chaos scenario"):
+            run_scenario("does-not-exist")
+
+    def test_scenario_exception_is_captured_not_raised(self, monkeypatch):
+        def explode(seed, check):
+            check("pre-crash-invariant", True)
+            raise RuntimeError("scenario body blew up")
+
+        monkeypatch.setitem(
+            SCENARIOS, "exploding",
+            ChaosScenario("exploding", "always raises", explode),
+        )
+        result = run_scenario("exploding", seed=0)
+        assert not result.passed
+        assert "scenario body blew up" in result.error
+        # Invariants recorded before the crash are preserved.
+        assert result.invariants[0].name == "pre-crash-invariant"
+        assert "FAIL" in result.render()
+
+    def test_failed_invariant_fails_scenario(self, monkeypatch):
+        def failing(seed, check):
+            check("always-false", False, "expected 1, got 2")
+            return {"seen": True}
+
+        monkeypatch.setitem(
+            SCENARIOS, "failing",
+            ChaosScenario("failing", "one broken invariant", failing),
+        )
+        result = run_scenario("failing", seed=0)
+        assert not result.passed
+        assert [inv.name for inv in result.failures()] == ["always-false"]
+        assert "expected 1, got 2" in result.render()
+        assert result.details == {"seen": True}
+
+    def test_summary_is_json_ready(self):
+        result = run_scenario("checkpoint-corruption", seed=3)
+        summary = result.summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["scenario"] == "checkpoint-corruption"
+        assert summary["passed"] is True
+
+    def test_scenarios_deterministic_per_seed(self):
+        a = run_scenario("executor-corrupt", seed=5)
+        b = run_scenario("executor-corrupt", seed=5)
+        assert a.details == b.details
+        assert [i.ok for i in a.invariants] == [i.ok for i in b.invariants]
+
+
+class TestSoak:
+    def test_round_limit_runs_each_scenario_once_per_round(self):
+        report = run_soak(scenarios=FAST, max_rounds=2, time_budget_s=None,
+                          seed=0)
+        assert report.passed
+        assert report.rounds == 2
+        assert len(report.results) == 2 * len(FAST)
+        assert [r.scenario for r in report.results] == FAST * 2
+        # Successive rounds use fresh fault schedules.
+        assert (report.results[0].seed
+                != report.results[len(FAST)].seed)
+
+    def test_time_budget_still_completes_one_full_round(self):
+        report = run_soak(scenarios=FAST, time_budget_s=0.0, seed=0)
+        assert report.rounds == 1
+        assert len(report.results) == len(FAST)
+        assert report.budget_exhausted
+        assert report.passed
+
+    def test_unbounded_soak_rejected(self):
+        with pytest.raises(ValueError, match="time budget or a round limit"):
+            run_soak(scenarios=FAST, time_budget_s=None, max_rounds=None)
+
+    def test_unknown_scenario_listed_in_error(self):
+        with pytest.raises(KeyError, match="bogus"):
+            run_soak(scenarios=["bogus"], max_rounds=1)
+
+    def test_soak_summary_and_render(self):
+        report = run_soak(scenarios=["checkpoint-corruption"], max_rounds=1,
+                          time_budget_s=None, seed=1)
+        summary = report.summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["runs"] == 1
+        assert "PASS" in report.render()
+
+    def test_failures_surface_in_report(self, monkeypatch):
+        def failing(seed, check):
+            check("broken", False)
+
+        monkeypatch.setitem(
+            SCENARIOS, "failing",
+            ChaosScenario("failing", "fails", failing),
+        )
+        report = run_soak(scenarios=["failing"], max_rounds=1,
+                         time_budget_s=None)
+        assert not report.passed
+        assert [r.scenario for r in report.failures()] == ["failing"]
+        assert "FAIL" in report.render()
+
+
+class TestChaosCLI:
+    def test_list_exits_zero(self, capsys):
+        assert main(["chaos", "soak", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_smoke_soak_passes(self, capsys):
+        code = main(["chaos", "soak", "--max-rounds", "1", "--seed", "0",
+                     "--scenario", "checkpoint-corruption",
+                     "--scenario", "serving-burst"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "checkpoint-corruption" in out
+
+    def test_json_output_parses(self, capsys):
+        code = main(["chaos", "soak", "--max-rounds", "1",
+                     "--scenario", "checkpoint-corruption", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["rounds"] == 1
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        code = main(["chaos", "soak", "--scenario", "nope",
+                     "--max-rounds", "1"])
+        assert code == 2
+        assert "unknown chaos scenario" in capsys.readouterr().err
+
+    def test_failing_soak_exits_one(self, capsys, monkeypatch):
+        def failing(seed, check):
+            check("broken", False)
+
+        monkeypatch.setitem(
+            SCENARIOS, "failing",
+            ChaosScenario("failing", "fails", failing),
+        )
+        code = main(["chaos", "soak", "--scenario", "failing",
+                     "--max-rounds", "1"])
+        assert code == 1

@@ -1,0 +1,149 @@
+"""Serving under injected faults: mid-batch deadlines, batch failures,
+breaker recovery after bursts."""
+
+import numpy as np
+import pytest
+
+from repro.data.tags import TagScheme
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+from repro.reliability import FaultInjector
+from repro.serving import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    ManualClock,
+    ServiceConfig,
+    TaggingService,
+)
+
+TOKENS = ["the", "Kavox", "visited", "Zuqev", "today", "reports", "arrived"]
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(7)
+    scheme = TagScheme(("0", "1"))
+    return CNNBiGRUCRF(Vocabulary(TOKENS), CharVocabulary(TOKENS),
+                       scheme.num_tags, BackboneConfig(), rng,
+                       tag_names=scheme.tags)
+
+
+@pytest.fixture
+def scheme():
+    return TagScheme(("0", "1"))
+
+
+def make_service(model, scheme, clock=None, injector=None, **config_kwargs):
+    clock = clock or ManualClock()
+    return TaggingService(
+        model, scheme, ServiceConfig(**config_kwargs),
+        clock=clock, fault_injector=injector,
+    )
+
+
+class TestDeadlineMidBatch:
+    def test_expiry_mid_batch_degrades_rest_and_never_hangs(self, model,
+                                                            scheme):
+        """A deadline that expires while a micro-batch is mid-decode must
+        answer every member — early ones fully, late ones degraded —
+        instead of hanging on the slow decoder."""
+        clock = ManualClock()
+        injector = FaultInjector(slow_decode_s=0.06, clock=clock)
+        service = make_service(
+            model, scheme, clock=clock, injector=injector,
+            default_deadline_ms=150, breaker_threshold=100,
+        )
+        results = service.tag_many(
+            [["Kavox"], ["Zuqev"], ["today"], ["reports"]]
+        )
+        # Everyone is answered: no request is dropped or left pending.
+        assert len(results) == 4
+        assert all(r.ok for r in results)
+        assert not service.drain()
+        # 150ms budget, 60ms per Viterbi: 0-1 in time, 2 overruns (full
+        # answer, late), 3 has no budget left and degrades to greedy.
+        assert not results[0].degraded and results[0].note is None
+        assert not results[1].degraded and results[1].note is None
+        assert "overran" in results[2].note
+        assert results[3].degraded and "deadline" in results[3].note
+        assert service.stats["degraded"] == 1
+
+    def test_degraded_answer_arrives_within_its_own_deadline(self, model,
+                                                             scheme):
+        clock = ManualClock()
+        injector = FaultInjector(slow_decode_s=10.0, clock=clock)
+        service = make_service(
+            model, scheme, clock=clock, injector=injector,
+            default_deadline_ms=50, breaker_threshold=1,
+        )
+        service.tag(["Kavox", "visited"])  # eats the fault, trips breaker
+        before = clock()
+        result = service.tag(["Zuqev", "today"])
+        assert result.ok and result.degraded
+        assert clock() - before < 0.05  # greedy path, inside the budget
+
+
+class TestWholeBatchFaults:
+    def test_batch_fault_degrades_every_member(self, model, scheme):
+        """An injected whole-batch failure (before_batch hook) yields a
+        degraded, span-less answer for each member — no traceback."""
+        injector = FaultInjector(batch_raise_at=(0,))
+        service = make_service(model, scheme, injector=injector,
+                               breaker_threshold=100)
+        results = service.tag_many([["Kavox"], ["Zuqev"]])
+        assert injector.batch_calls == 1
+        assert all(r.ok and r.degraded for r in results)
+        assert all(r.spans == () for r in results)
+        assert all("decode failed" in r.note for r in results)
+        assert service.stats["decode_errors"] == 1
+        # The next batch is healthy again.
+        healthy = service.tag(["visited"])
+        assert not healthy.degraded
+
+    def test_batch_fault_burst_trips_then_half_open_recovers(self, model,
+                                                             scheme):
+        """Consecutive whole-batch failures open the breaker; once the
+        burst ends, the half-open probe re-closes it."""
+        clock = ManualClock()
+        injector = FaultInjector(batch_raise_at=(0, 1), clock=clock)
+        service = make_service(
+            model, scheme, clock=clock, injector=injector,
+            breaker_threshold=2, breaker_cooldown_ms=500,
+        )
+        assert service.tag(["Kavox"]).degraded
+        assert service.tag(["Zuqev"]).degraded
+        assert service.breaker.state == OPEN
+        # While open, requests are shed to greedy with a breaker note.
+        shed = service.tag(["today"])
+        assert shed.degraded and "breaker" in shed.note
+        clock.advance(0.5)
+        assert service.breaker.state == HALF_OPEN
+        recovered = service.tag(["reports"])  # burst over: probe succeeds
+        assert not recovered.degraded
+        assert service.breaker.state == CLOSED
+
+
+class TestSlowDecodeBurstRecovery:
+    def test_half_open_probe_after_slow_burst(self, model, scheme):
+        clock = ManualClock()
+        injector = FaultInjector(slow_decode_s=0.3, slow_decode_for=2,
+                                 clock=clock)
+        service = make_service(
+            model, scheme, clock=clock, injector=injector,
+            default_deadline_ms=100, breaker_threshold=2,
+            breaker_cooldown_ms=1000,
+        )
+        assert "overran" in service.tag(["Kavox"]).note
+        assert "overran" in service.tag(["Zuqev"]).note
+        assert service.breaker.state == OPEN
+        assert service.breaker.trips == 1
+        clock.advance(1.0)
+        assert service.breaker.state == HALF_OPEN
+        recovered = service.tag(["reports"])
+        assert not recovered.degraded
+        assert service.breaker.state == CLOSED
+        # A healthy service stays closed under further traffic.
+        assert all(not service.tag([t]).degraded
+                   for t in ("today", "arrived"))
+        assert service.breaker.state == CLOSED
