@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-chaos
+.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-chaos verify-obs
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,16 @@ verify-serving:
 
 verify-chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos soak --max-rounds 1 --seed 0
+
+verify-obs:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_obs_trace.py \
+	    tests/test_obs_metrics.py \
+	    tests/test_obs_tape.py \
+	    tests/test_obs_report.py \
+	    tests/test_obs_integration.py -q
+	PYTHONPATH=src $(PYTHON) -m repro experiment figure_adaptation \
+	    --preset smoke --telemetry /tmp/verify_obs.jsonl > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro obs report /tmp/verify_obs.jsonl
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -14,7 +14,11 @@ The package implements, from scratch over numpy:
 * ``repro.reliability`` -- fault-tolerant training runtime;
 * ``repro.serving`` -- hardened inference: validated ingestion,
   deadline-bounded tagging with graceful degradation, circuit-breaker
-  serving.
+  serving;
+* ``repro.perf`` -- batched fast-path kernels, the episode-parallel
+  executor, and the benchmark regression harness;
+* ``repro.obs`` -- zero-dependency telemetry: tracing spans, metrics,
+  the autodiff tape profiler, and the ``repro obs report`` aggregator.
 """
 
 __version__ = "1.0.0"

@@ -19,6 +19,22 @@ DEFAULT_DTYPE = np.float64
 
 _state = threading.local()
 
+# Optional tape profiler (repro.obs.tapeprof).  A module-global slot
+# instead of a thread-local keeps the disabled cost at one global load +
+# ``is None`` check on the recording path only.
+_tape_profiler = None
+
+
+def set_tape_profiler(profiler) -> None:
+    """Install (or clear, with ``None``) the active tape profiler.
+
+    The profiler receives ``_record(tensor)`` for every graph node
+    created by :func:`_make` and ``_record_backward(n_nodes)`` for every
+    backward traversal.  Used by ``repro.obs.tapeprof.profile_tape``.
+    """
+    global _tape_profiler
+    _tape_profiler = profiler
+
 
 def is_grad_enabled() -> bool:
     """Return whether new operations are currently recorded on the tape."""
@@ -68,7 +84,7 @@ class _Node:
 class Tensor:
     """A numpy-backed array that supports reverse-mode differentiation."""
 
-    __slots__ = ("data", "requires_grad", "grad", "_node")
+    __slots__ = ("data", "requires_grad", "grad", "_node", "__weakref__")
 
     def __init__(self, data, requires_grad: bool = False, dtype=None):
         if isinstance(data, Tensor):
@@ -298,6 +314,8 @@ def _make(
             if p.requires_grad:
                 out.requires_grad = True
                 out._node = _Node(parents, vjps)
+                if _tape_profiler is not None:
+                    _tape_profiler._record(out)
                 break
     return out
 
@@ -731,6 +749,8 @@ def _backprop(
     # second traversal.
     if order is None:
         order = _topo_order(list(outputs))
+    if _tape_profiler is not None:
+        _tape_profiler._record_backward(len(order))
     needed = {id(t) for t in inputs}
     # Mark every ancestor of an input so we do not waste VJPs elsewhere.
     reachable: set[int] = set()

@@ -18,7 +18,16 @@ Commands:
   against a committed baseline (``--check``);
 * ``chaos soak`` — loop the cross-layer chaos scenarios (worker
   crashes/hangs, NaN gradients, checkpoint corruption, serving fault
-  bursts) under a time/round budget and fail on any broken invariant.
+  bursts) under a time/round budget and fail on any broken invariant;
+* ``obs report`` — aggregate a ``--telemetry`` JSONL stream into a
+  run report (per-phase time breakdown, executor retry/quarantine
+  counts, adaptation-cache hit rate, notable events).
+
+The ``train``, ``evaluate``, ``experiment``, ``tag`` and ``perf
+bench`` commands accept ``--telemetry PATH``: the whole command runs
+inside a :mod:`repro.obs` telemetry session and appends spans, events
+and a final metrics snapshot to ``PATH`` as JSON lines.  Telemetry
+never changes results — scores are bit-identical with it on or off.
 
 Examples::
 
@@ -27,6 +36,8 @@ Examples::
     repro validate corpus.conll --scheme bio
     repro perf bench --preset smoke --check benchmarks/BENCH_baseline.json
     repro chaos soak --max-rounds 1 --seed 0
+    repro experiment table2 --preset smoke --telemetry run.jsonl
+    repro obs report run.jsonl
 """
 
 from __future__ import annotations
@@ -48,6 +59,13 @@ def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05,
                         help="fraction of the paper's sentence count")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="append tracing spans, events and metrics "
+                             "to this JSONL file (inspect with "
+                             "'repro obs report PATH')")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -223,12 +241,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_result(args.name, result))
+    from repro.obs import render_event
+
     for note in getattr(result, "execution_notes", ()) or ():
-        print(f"self-healing: {note['method']}/{note['setting']}/"
-              f"{note['k_shot']}-shot — retried {len(note['retried'])}, "
-              f"quarantined {len(note['quarantined'])}, "
-              f"errors {len(note['errors'])}, "
-              f"pool restarts {note['pool_restarts']}", file=sys.stderr)
+        print(render_event({"kind": "event", "name": "execution", **note}),
+              file=sys.stderr)
     return 0
 
 
@@ -379,6 +396,25 @@ def cmd_perf_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import build_report, load_events, render_report
+
+    if not os.path.exists(args.telemetry_file):
+        print(f"error: telemetry file {args.telemetry_file!r} does not "
+              f"exist", file=sys.stderr)
+        return 2
+    report = build_report(load_events(args.telemetry_file))
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.data.lint import CorpusLintError, CorpusValidator
 
@@ -439,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-every", type=int, default=5,
                    help="iterations between training checkpoints "
                         "(with --resume)")
+    _add_telemetry_arg(p)
     p.add_argument("output")
     p.set_defaults(func=cmd_train)
 
@@ -456,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-timeout-s", type=float, default=None,
                    help="per-episode deadline under --workers; a hung "
                         "episode is retried on a fresh worker")
+    _add_telemetry_arg(p)
     p.add_argument("checkpoint")
     p.set_defaults(func=cmd_evaluate)
 
@@ -478,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-timeout-s", type=float, default=None,
                    help="per-episode deadline under --workers (see "
                         "repro evaluate --task-timeout-s)")
+    _add_telemetry_arg(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -501,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on any invalid or quarantined "
                         "input instead of skipping it")
+    _add_telemetry_arg(p)
     p.set_defaults(func=cmd_tag)
 
     p = sub.add_parser("perf", help="performance tools")
@@ -526,6 +566,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4,
                    help="worker count for the episode_eval workload")
     p.add_argument("--seed", type=int, default=0)
+    _add_telemetry_arg(p)
     p.set_defaults(func=cmd_perf_bench)
 
     p = sub.add_parser("chaos", help="chaos/soak testing tools")
@@ -552,6 +593,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the machine-readable soak summary")
     p.set_defaults(func=cmd_chaos_soak)
 
+    p = sub.add_parser("obs", help="telemetry tools")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "report",
+        help="aggregate a --telemetry JSONL stream into a run report",
+    )
+    p.add_argument("telemetry_file",
+                   help="JSONL file written by a --telemetry run")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable report instead of "
+                        "the rendered breakdown")
+    p.set_defaults(func=cmd_obs_report)
+
     p = sub.add_parser("validate",
                        help="lint a CoNLL corpus; non-zero exit on defects")
     p.add_argument("input")
@@ -566,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry:
+        from repro.obs import telemetry_session
+
+        with telemetry_session(telemetry):
+            return args.func(args)
     return args.func(args)
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.data.episodes import EpisodeSampler
 from repro.data.sentence import Dataset
 from repro.data.vocab import CharVocabulary, Vocabulary
@@ -222,7 +223,9 @@ def _train_method(method_name: str, setting: AdaptationSetting,
             seed=setting.train_seed + seed_offset,
         )
         t0 = time.perf_counter()
-        adapter.fit(sampler, scale.iterations_for(method_name))
+        with obs.span("train", method=method_name, setting=setting.name,
+                      k_shot=k_train):
+            adapter.fit(sampler, scale.iterations_for(method_name))
         trained[k_train] = (adapter, time.perf_counter() - t0)
     return trained
 
@@ -332,6 +335,10 @@ def run_adaptation(
                     )
                     result.cells.append(cell)
                     pending.remove(k_eval)
+                    obs.emit("cell", method=method_name,
+                             setting=setting.name, k_shot=k_eval,
+                             f1=cell.ci.mean, half_width=cell.ci.half_width,
+                             reused_training=reused)
                     if execution is not None and not execution.clean:
                         note = {
                             "method": method_name,
@@ -358,6 +365,8 @@ def run_adaptation(
                     result.failures.append(
                         FailedCell(method_name, setting.name, k, error)
                     )
+                    obs.emit("cell_failure", method=method_name,
+                             setting=setting.name, k_shot=k, error=error)
                     if journal is not None:
                         journal.record_failure(
                             method_name, setting.name, k, error

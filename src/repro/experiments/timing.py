@@ -11,11 +11,15 @@ The paper reports 0.04 s / inner step and 2.19 s (1-shot) / 3.44 s
 absolute numbers differ; the *relationships* the paper highlights — inner
 steps are cheap and constant across shot counts, adaptation touches only
 φ, cost grows linearly with data size — are asserted by the benchmark.
+
+Timers route through :func:`repro.obs.measure`, so every number is a
+median with inter-quartile range (the same convention as
+``repro perf bench``) rather than a best-case minimum, and each timed
+repetition shows up as a span when a telemetry session is active.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.autodiff.tensor import Tensor, grad
@@ -25,13 +29,26 @@ from repro.data.synthetic import generate_dataset
 from repro.data.vocab import CharVocabulary, Vocabulary
 from repro.experiments.table2 import TYPE_SPLITS, _fit_counts
 from repro.meta.fewner import FewNER
+from repro.obs import measure
 
 import numpy as np
 
 
+def _fmt(value: float) -> str:
+    """``median`` or ``median±iqr`` seconds, for plain floats too."""
+    iqr = getattr(value, "iqr", 0.0)
+    if iqr:
+        return f"{float(value):.4f}±{iqr:.4f}"
+    return f"{float(value):.4f}"
+
+
 @dataclass(frozen=True)
 class TimingReport:
-    """Measured step costs, in seconds."""
+    """Measured step costs, in seconds (median; IQR when measured).
+
+    Fields are plain floats or :class:`repro.obs.TimingStat` (a float
+    subclass carrying ``.iqr``/``.reps``); either renders.
+    """
 
     inner_step_1shot: float
     inner_step_5shot: float
@@ -45,15 +62,15 @@ class TimingReport:
     def render(self) -> str:
         return "\n".join(
             [
-                "Timing analysis (FEWNER on NNE, seconds):",
-                f"  inner step:        1-shot {self.inner_step_1shot:.4f}   "
-                f"5-shot {self.inner_step_5shot:.4f}   (paper: 0.04 / 0.04 on V100)",
-                f"  outer meta-batch:  1-shot {self.outer_batch_1shot:.4f}   "
-                f"5-shot {self.outer_batch_5shot:.4f}   (paper: 2.19 / 3.44)",
-                f"  adapt per task:    1-shot {self.adapt_task_1shot:.4f}   "
-                f"5-shot {self.adapt_task_5shot:.4f}",
-                f"  evaluate per task: 1-shot {self.evaluate_task_1shot:.4f}   "
-                f"5-shot {self.evaluate_task_5shot:.4f}   (paper: 0.36 / 0.51)",
+                "Timing analysis (FEWNER on NNE, median seconds):",
+                f"  inner step:        1-shot {_fmt(self.inner_step_1shot)}   "
+                f"5-shot {_fmt(self.inner_step_5shot)}   (paper: 0.04 / 0.04 on V100)",
+                f"  outer meta-batch:  1-shot {_fmt(self.outer_batch_1shot)}   "
+                f"5-shot {_fmt(self.outer_batch_5shot)}   (paper: 2.19 / 3.44)",
+                f"  adapt per task:    1-shot {_fmt(self.adapt_task_1shot)}   "
+                f"5-shot {_fmt(self.adapt_task_5shot)}",
+                f"  evaluate per task: 1-shot {_fmt(self.evaluate_task_1shot)}   "
+                f"5-shot {_fmt(self.evaluate_task_5shot)}   (paper: 0.36 / 0.51)",
             ]
         )
 
@@ -62,39 +79,31 @@ def _measure_inner_step(adapter: FewNER, episode, repeats: int = 3) -> float:
     model = adapter.model
     batch = model.encode(list(episode.support), episode.scheme)
     alpha = Tensor(np.array(adapter.config.inner_lr))
-    timings = []
-    for _r in range(repeats):
+
+    def one_step():
         phi = model.new_context()
-        start = time.perf_counter()
         loss = model.loss(batch, phi)
         (g_phi,) = grad(loss, [phi], create_graph=True)
         _phi1 = phi - alpha * g_phi
-        timings.append(time.perf_counter() - start)
-    return min(timings)
+
+    return measure(one_step, reps=repeats, label="timing.inner_step")
 
 
 def _measure_outer_batch(adapter: FewNER, sampler: EpisodeSampler) -> float:
-    start = time.perf_counter()
-    adapter.fit(sampler, 1)
-    return time.perf_counter() - start
+    # A single un-warmed measurement: ``fit`` advances the model and the
+    # sampler, so repeats would time different (and non-first) batches.
+    return measure(lambda: adapter.fit(sampler, 1), reps=1,
+                   label="timing.outer_batch")
 
 
 def _measure_adapt(adapter: FewNER, episode, repeats: int = 3) -> float:
-    timings = []
-    for _r in range(repeats):
-        start = time.perf_counter()
-        adapter.adapt_context(episode)
-        timings.append(time.perf_counter() - start)
-    return min(timings)
+    return measure(lambda: adapter.adapt_context(episode), reps=repeats,
+                   label="timing.adapt_task")
 
 
 def _measure_evaluate(adapter: FewNER, episode, repeats: int = 3) -> float:
-    timings = []
-    for _r in range(repeats):
-        start = time.perf_counter()
-        adapter.predict_episode(episode)
-        timings.append(time.perf_counter() - start)
-    return min(timings)
+    return measure(lambda: adapter.predict_episode(episode), reps=repeats,
+                   label="timing.evaluate_task")
 
 
 def run(scale, seed: int = 0) -> TimingReport:

@@ -155,6 +155,7 @@ def evaluate_method(adapter: Adapter, episodes: list[Episode],
     import contextlib
     import time
 
+    from repro import obs
     from repro.perf.executor import ExecutionReport, EpisodeExecutor
     from repro.perf.fastpath import fastpath
 
@@ -183,11 +184,14 @@ def evaluate_method(adapter: Adapter, episodes: list[Episode],
         # Legacy serial stream: episodes share the adapter's RNG
         # sequentially; any exception propagates to the caller.
         scores: list[float] = []
-        for i, episode in enumerate(episodes):
-            if expired(len(scores)):
-                truncated = True
-                break
-            scores.append(score_episode(episode, i))
+        with obs.span("evaluate", method=adapter.name,
+                      episodes=len(episodes), workers=workers):
+            for i, episode in enumerate(episodes):
+                if expired(len(scores)):
+                    truncated = True
+                    break
+                with obs.span("episode", index=i):
+                    scores.append(score_episode(episode, i))
         return EvaluationResult(
             method=adapter.name,
             ci=aggregate_f1(scores),
@@ -202,28 +206,41 @@ def evaluate_method(adapter: Adapter, episodes: list[Episode],
         max_attempts=max_attempts, fault_injector=fault_injector,
         validate_fn=_validate_score,
     )
+
+    def work(episode: Episode, index: int) -> float:
+        # Telemetry is muted on the supervisor-side legs (workers=1
+        # serial, quarantine, degraded fallback) so the event stream is
+        # identical for any worker count: forked children are blocked by
+        # the pid guard, and this mirrors that in-process.
+        with obs.suspended():
+            return score_episode(episode, index)
+
     chunk = max(int(workers), 1)
     t0 = time.perf_counter()
     tasks, results, modes = [], [], set()
     pool_restarts = 0
+    refunds = 0
     fallback_reason = None
     base = 0
-    while base < len(episodes):
-        if expired(len(results)):
-            truncated = True
-            break
-        part = episodes[base : base + chunk]
-        report = executor.run(
-            lambda ep, j, _base=base: score_episode(ep, _base + j), part
-        )
-        for record in report.tasks:
-            record.index += base  # chunk-local -> episode index
-        tasks.extend(report.tasks)
-        results.extend(report.results)
-        modes.add(report.mode)
-        pool_restarts += report.pool_restarts
-        fallback_reason = fallback_reason or report.fallback_reason
-        base += chunk
+    with obs.span("evaluate", method=adapter.name,
+                  episodes=len(episodes), workers=workers):
+        while base < len(episodes):
+            if expired(len(results)):
+                truncated = True
+                break
+            part = episodes[base : base + chunk]
+            report = executor.run(
+                lambda ep, j, _base=base: work(ep, _base + j), part
+            )
+            for record in report.tasks:
+                record.index += base  # chunk-local -> episode index
+            tasks.extend(report.tasks)
+            results.extend(report.results)
+            modes.add(report.mode)
+            pool_restarts += report.pool_restarts
+            refunds += report.refunds
+            fallback_reason = fallback_reason or report.fallback_reason
+            base += chunk
     failed = tuple(t.index for t in tasks if t.outcome == "error")
     failed_set = set(failed)
     scores = [value for i, value in enumerate(results)
@@ -239,8 +256,24 @@ def evaluate_method(adapter: Adapter, episodes: list[Episode],
               else "parallel" if "parallel" in modes else "serial"),
         workers=workers, tasks=tasks, results=results,
         fallback_reason=fallback_reason, pool_restarts=pool_restarts,
-        wall_time_s=time.perf_counter() - t0,
+        refunds=refunds, wall_time_s=time.perf_counter() - t0,
     )
+    if obs.enabled():
+        # Per-episode telemetry on the parallel path comes from the
+        # supervisor-side task records (deterministic modulo wall_s),
+        # never from inside workers.
+        for record in tasks:
+            obs.emit("episode", index=record.index, outcome=record.outcome,
+                     attempts=record.attempts,
+                     wall_s=round(record.wall_time_s, 9))
+        obs.count("executor.episodes", len(tasks))
+        obs.count("executor.retries", len(execution.retried_indices))
+        obs.count("executor.quarantined", len(execution.quarantined_indices))
+        obs.count("executor.errors", len(failed))
+        obs.count("executor.pool_restarts", pool_restarts)
+        obs.count("executor.refunds", refunds)
+        if not execution.clean:
+            obs.emit("execution", method=adapter.name, **execution.summary())
     return EvaluationResult(
         method=adapter.name,
         ci=aggregate_f1(scores),

@@ -54,9 +54,11 @@ class FewNER(Adapter):
     def _inner_adapt(self, episode: Episode, steps: int,
                      create_graph: bool) -> Tensor:
         """Run the inner loop on the support set; returns adapted φ_k."""
+        from repro import obs
         from repro.perf.fastpath import adaptation_cache_enabled
 
-        batch = self.model.encode(list(episode.support), episode.scheme)
+        with obs.span("encode"):
+            batch = self.model.encode(list(episode.support), episode.scheme)
         phi = self.model.new_context()
         alpha = Tensor(np.array(self.config.inner_lr))
         was_training = self.model.training
@@ -75,11 +77,20 @@ class FewNER(Adapter):
             # inner steps: compute it once and replay it as a leaf.
             with no_grad():
                 base = Tensor(self.model.encoder_features(batch).data)
+        # With the cache: one miss for the encoder pass above, then one
+        # hit per replaying inner step.  Without it every step recomputes
+        # the encoder features — one miss per step.
+        if base is not None:
+            obs.count("adaptation_cache.miss")
+            obs.count("adaptation_cache.hit", steps)
+        else:
+            obs.count("adaptation_cache.miss", steps)
         try:
-            for _k in range(steps):
-                loss = inner_loss(batch, phi, base=base)
-                (g_phi,) = grad(loss, [phi], create_graph=create_graph)
-                phi = phi - alpha * g_phi
+            with obs.span("inner_loop", steps=steps):
+                for _k in range(steps):
+                    loss = inner_loss(batch, phi, base=base)
+                    (g_phi,) = grad(loss, [phi], create_graph=create_graph)
+                    phi = phi - alpha * g_phi
         finally:
             self.model.train(was_training)
         return phi
@@ -102,38 +113,43 @@ class FewNER(Adapter):
                     guard=lambda opt: self._make_guard(opt, sampler),
                 )
             )
+        from repro import obs
+
         guard = self._make_guard(self.optimizer, sampler)
         self.model.train()
         for _it in range(iterations):
-            tasks = sampler.sample_many(config.meta_batch)
-            self.model.zero_grad()
-            total = 0.0
-            for episode in tasks:
-                phi_k = self._inner_adapt(
-                    episode, config.inner_steps_train,
-                    create_graph=config.second_order,
-                )
-                if not config.second_order:
-                    phi_k = phi_k.detach()
-                q_batch = self.model.encode(list(episode.query), episode.scheme)
-                q_loss = self.model.loss(q_batch, phi_k)
-                scale = Tensor(np.array(1.0 / config.meta_batch))
-                (q_loss * scale).backward()
-                total += q_loss.item()
-                self.schedule.step()
-            guard.step(total / config.meta_batch)
-            losses.append(total / config.meta_batch)
+            with obs.span("outer_step", iteration=_it):
+                tasks = sampler.sample_many(config.meta_batch)
+                self.model.zero_grad()
+                total = 0.0
+                for episode in tasks:
+                    phi_k = self._inner_adapt(
+                        episode, config.inner_steps_train,
+                        create_graph=config.second_order,
+                    )
+                    if not config.second_order:
+                        phi_k = phi_k.detach()
+                    q_batch = self.model.encode(list(episode.query), episode.scheme)
+                    q_loss = self.model.loss(q_batch, phi_k)
+                    scale = Tensor(np.array(1.0 / config.meta_batch))
+                    (q_loss * scale).backward()
+                    total += q_loss.item()
+                    self.schedule.step()
+                guard.step(total / config.meta_batch)
+                losses.append(total / config.meta_batch)
         return losses
 
     # ------------------------------------------------------------------
     def predict_episode(self, episode: Episode) -> list[list[SpanTuple]]:
         """Algorithm 1, adapting procedure: θ fixed, φ learned."""
+        from repro import obs
+
         self._check_episode(episode)
         self.model.eval()
         phi = self._inner_adapt(
             episode, self.config.inner_steps_test, create_graph=False
         )
-        with no_grad():
+        with obs.span("decode"), no_grad():
             return self.model.predict_spans(
                 list(episode.query), episode.scheme, phi=phi.detach()
             )

@@ -50,25 +50,29 @@ class MAML(Adapter):
     def _inner_adapt(self, episode: Episode, steps: int,
                      create_graph: bool) -> dict[str, Tensor]:
         """Fast weights after ``steps`` inner updates on the support set."""
-        batch = self.model.encode(list(episode.support), episode.scheme)
+        from repro import obs
+
+        with obs.span("encode"):
+            batch = self.model.encode(list(episode.support), episode.scheme)
         alpha = Tensor(np.array(self.config.inner_lr))
         fast: dict[str, Tensor] = dict(self.model.named_parameters())
         was_training = self.model.training
         if not self.config.inner_dropout:
             self.model.eval()
         try:
-            for _k in range(steps):
-                with override_params(self.model, fast):
-                    loss = self.model.loss(batch)
-                names = list(fast)
-                grads = grad(
-                    loss, [fast[n] for n in names],
-                    create_graph=create_graph, allow_unused=True,
-                )
-                fast = {
-                    n: (fast[n] if g is None else fast[n] - alpha * g)
-                    for n, g in zip(names, grads)
-                }
+            with obs.span("inner_loop", steps=steps):
+                for _k in range(steps):
+                    with override_params(self.model, fast):
+                        loss = self.model.loss(batch)
+                    names = list(fast)
+                    grads = grad(
+                        loss, [fast[n] for n in names],
+                        create_graph=create_graph, allow_unused=True,
+                    )
+                    fast = {
+                        n: (fast[n] if g is None else fast[n] - alpha * g)
+                        for n, g in zip(names, grads)
+                    }
         finally:
             self.model.train(was_training)
         return fast
@@ -93,74 +97,82 @@ class MAML(Adapter):
         if self.first_order or not config.second_order:
             losses.extend(self._fit_first_order(sampler, iterations))
             return losses
+        from repro import obs
+
         guard = self._make_guard(self.optimizer, sampler)
         self.model.train()
         for _it in range(iterations):
-            tasks = sampler.sample_many(config.meta_batch)
-            self.model.zero_grad()
-            total = 0.0
-            for episode in tasks:
-                fast = self._inner_adapt(
-                    episode, config.inner_steps_train, create_graph=True,
-                )
-                q_batch = self.model.encode(list(episode.query), episode.scheme)
-                with override_params(self.model, fast):
-                    q_loss = self.model.loss(q_batch)
-                scale = Tensor(np.array(1.0 / config.meta_batch))
-                (q_loss * scale).backward()
-                total += q_loss.item()
-                self.schedule.step()
-            guard.step(total / config.meta_batch)
-            losses.append(total / config.meta_batch)
+            with obs.span("outer_step", iteration=_it):
+                tasks = sampler.sample_many(config.meta_batch)
+                self.model.zero_grad()
+                total = 0.0
+                for episode in tasks:
+                    fast = self._inner_adapt(
+                        episode, config.inner_steps_train, create_graph=True,
+                    )
+                    q_batch = self.model.encode(list(episode.query), episode.scheme)
+                    with override_params(self.model, fast):
+                        q_loss = self.model.loss(q_batch)
+                    scale = Tensor(np.array(1.0 / config.meta_batch))
+                    (q_loss * scale).backward()
+                    total += q_loss.item()
+                    self.schedule.step()
+                guard.step(total / config.meta_batch)
+                losses.append(total / config.meta_batch)
         return losses
 
     def _fit_first_order(self, sampler: EpisodeSampler,
                          iterations: int) -> list[float]:
         """FOMAML update: apply the query gradient taken at the adapted
         fast weights directly to θ."""
+        from repro import obs
+
         config = self.config
         losses = []
         guard = self._make_guard(self.optimizer, sampler)
         self.model.train()
         params = self.model.parameters()
         for _it in range(iterations):
-            tasks = sampler.sample_many(config.meta_batch)
-            self.model.zero_grad()
-            total = 0.0
-            for episode in tasks:
-                fast = self._inner_adapt(
-                    episode, config.inner_steps_train, create_graph=False
-                )
-                fast = {n: t.detach() for n, t in fast.items()}
-                for t in fast.values():
-                    t.requires_grad = True
-                q_batch = self.model.encode(list(episode.query), episode.scheme)
-                names = list(fast)
-                with override_params(self.model, fast):
-                    q_loss = self.model.loss(q_batch)
-                fast_grads = grad(
-                    q_loss, [fast[n] for n in names], allow_unused=True
-                )
-                for p, g in zip(params, fast_grads):
-                    if g is None:
-                        continue
-                    contribution = Tensor(g.data / config.meta_batch)
-                    p.grad = contribution if p.grad is None else p.grad + contribution
-                total += q_loss.item()
-                self.schedule.step()
-            guard.step(total / config.meta_batch)
-            losses.append(total / config.meta_batch)
+            with obs.span("outer_step", iteration=_it):
+                tasks = sampler.sample_many(config.meta_batch)
+                self.model.zero_grad()
+                total = 0.0
+                for episode in tasks:
+                    fast = self._inner_adapt(
+                        episode, config.inner_steps_train, create_graph=False
+                    )
+                    fast = {n: t.detach() for n, t in fast.items()}
+                    for t in fast.values():
+                        t.requires_grad = True
+                    q_batch = self.model.encode(list(episode.query), episode.scheme)
+                    names = list(fast)
+                    with override_params(self.model, fast):
+                        q_loss = self.model.loss(q_batch)
+                    fast_grads = grad(
+                        q_loss, [fast[n] for n in names], allow_unused=True
+                    )
+                    for p, g in zip(params, fast_grads):
+                        if g is None:
+                            continue
+                        contribution = Tensor(g.data / config.meta_batch)
+                        p.grad = contribution if p.grad is None else p.grad + contribution
+                    total += q_loss.item()
+                    self.schedule.step()
+                guard.step(total / config.meta_batch)
+                losses.append(total / config.meta_batch)
         return losses
 
     # ------------------------------------------------------------------
     def predict_episode(self, episode: Episode) -> list[list[SpanTuple]]:
+        from repro import obs
+
         self._check_episode(episode)
         self.model.eval()
         fast = self._inner_adapt(
             episode, self.config.inner_steps_test, create_graph=False
         )
         fast = {n: t.detach() for n, t in fast.items()}
-        with override_params(self.model, fast), no_grad():
+        with obs.span("decode"), override_params(self.model, fast), no_grad():
             return self.model.predict_spans(list(episode.query), episode.scheme)
 
 

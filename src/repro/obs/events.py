@@ -1,0 +1,102 @@
+"""Event sinks and the single human-readable formatting path.
+
+Two sinks implement the same tiny protocol (``write(record)``,
+``close()``):
+
+* :class:`JsonlSink` — appends one JSON object per line, flushing each
+  write so a crashed run still leaves a readable (at worst torn-tail)
+  stream.  Fork-safe: a child process inheriting the sink silently
+  drops writes instead of interleaving bytes with the parent.
+* :class:`BufferSink` — keeps records in a list; used by tests and the
+  overhead bench.
+
+:func:`render_event` is the *one* place structured records become
+human-readable lines.  The CLI's self-healing output, ``repro obs
+report`` and journal note rendering all call it, so wording never
+drifts between the stderr path and the report path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+class JsonlSink:
+    """Append-only JSONL event stream with per-record flush."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._pid = os.getpid()
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        if os.getpid() != self._pid:
+            return  # forked child: parent owns the file handle
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if os.getpid() == self._pid and not self._fh.closed:
+            self._fh.close()
+
+
+class BufferSink:
+    """In-memory sink for tests and overhead measurement."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+def render_event(record: dict) -> str:
+    """Format one structured record as a human-readable line.
+
+    Unknown kinds/names fall back to a compact key=value dump so new
+    event types are never invisible.
+    """
+    kind = record.get("kind", "event")
+    name = record.get("name", "")
+    if kind == "span":
+        status = "" if record.get("status") == "ok" else f" [{record.get('error', 'error')}]"
+        return (f"span {record.get('name')}: {record.get('dur_s', 0.0) * 1000.0:.3f} ms"
+                f" (depth {record.get('depth', 0)}){status}")
+    if name == "execution":
+        def n(key):  # summaries carry index lists, counters carry ints
+            value = record.get(key, 0)
+            return len(value) if isinstance(value, (list, tuple)) else value
+
+        where = "/".join(
+            str(record[k]) for k in ("method", "setting") if k in record
+        ) or "?"
+        if "k_shot" in record:
+            where += f"/{record['k_shot']}-shot"
+        return (f"self-healing: {where} — retried {n('retried')}, "
+                f"quarantined {n('quarantined')}, errors {n('errors')}, "
+                f"pool restarts {n('pool_restarts')}, "
+                f"refunds {n('refunds')}")
+    if name == "breaker":
+        return (f"breaker: {record.get('old', '?')} -> {record.get('new', '?')}"
+                f" (failures {record.get('failures', 0)}, trips {record.get('trips', 0)})")
+    if name and name.startswith("checkpoint."):
+        action = name.split(".", 1)[1]
+        return f"checkpoint {action}: {record.get('path', '?')}"
+    if name == "guard.anomaly":
+        actions = ",".join(record.get("actions", ())) or "none"
+        return (f"guard anomaly at iteration {record.get('iteration', '?')}: "
+                f"{record.get('reason', '?')} -> {actions}")
+    if name == "episode":
+        return (f"episode {record.get('index', '?')}: {record.get('outcome', '?')}"
+                f" (attempts {record.get('attempts', 1)})")
+    skip = {"kind", "name", "t"}
+    body = " ".join(f"{k}={record[k]}" for k in sorted(record) if k not in skip)
+    label = name or kind
+    return f"{label}: {body}" if body else str(label)

@@ -1,0 +1,167 @@
+"""Deterministic metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a named collection of instruments.  There
+is one process-wide :data:`DEFAULT_REGISTRY` (used when no telemetry
+session is active), each :class:`~repro.obs.Telemetry` session owns its
+own registry, and components that want isolated accounting (e.g. one
+:class:`~repro.serving.TaggingService` instance among several) create
+per-component instances.
+
+Everything here is deterministic by construction:
+
+* counters and gauges hold exact Python numbers, never sampled;
+* histograms use *fixed* bucket boundaries chosen at creation time, so
+  two runs observing the same values produce identical bucket counts —
+  there is no adaptive resizing to make snapshots run-order dependent;
+* :meth:`MetricsRegistry.snapshot` emits keys in sorted order, so the
+  JSONL representation of the same measurements is byte-identical.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default latency buckets in milliseconds (sub-ms to 10 s, roughly
+#: 1-2.5-5 per decade) — shared by the serving histograms so queue-wait
+#: and decode latency are directly comparable.
+LATENCY_MS_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {n}")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache size, LR)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with deterministic bucket assignment.
+
+    ``buckets`` are the *upper* bounds (inclusive) of each bucket; one
+    implicit overflow bucket catches everything beyond the last bound.
+    An observation lands in the first bucket whose bound is ``>=`` the
+    value, via :func:`bisect.bisect_left` — exact boundary values always
+    land in the bounded bucket, never the next one, on every platform.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = LATENCY_MS_BUCKETS):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": round(self.total, 6),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """A named set of counters, gauges and histograms.
+
+    Instruments are created on first use and shared on later lookups;
+    asking for an existing histogram with *different* buckets is an
+    error (silently changing buckets would corrupt determinism).
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] | None = None) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else LATENCY_MS_BUCKETS
+            )
+        elif buckets is not None and tuple(buckets) != instrument.buckets:
+            raise ValueError(
+                f"histogram {name!r} already exists with buckets "
+                f"{instrument.buckets}, requested {tuple(buckets)}"
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready digest with deterministically ordered keys."""
+        return {
+            "counters": {n: self._counters[n].value
+                         for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value
+                       for n in sorted(self._gauges)},
+            "histograms": {n: self._histograms[n].snapshot()
+                           for n in sorted(self._histograms)},
+        }
+
+
+#: Process-wide fallback registry for direct (sessionless) use.
+DEFAULT_REGISTRY = MetricsRegistry()

@@ -1,0 +1,206 @@
+"""Aggregate a telemetry JSONL stream into a run report.
+
+:func:`load_events` reads a stream written by :class:`~repro.obs.Telemetry`
+(tolerating a torn final line from a crashed run), :func:`build_report`
+folds it into a JSON-ready dict, and :func:`render_report` formats that
+dict for terminals.  This backs the ``repro obs report`` CLI verb.
+
+The report sections:
+
+* **phases** — wall-time totals per span name, with the paper-relevant
+  trio (encode / inner_loop / decode) broken out as percentages of
+  their combined time;
+* **executor** — retry/quarantine/error/pool-restart/refund counters
+  from ``evaluate_method``'s parallel path;
+* **cache** — adaptation-cache hit rate;
+* **metrics** — the final merged counter/gauge/histogram snapshot;
+* **events** — non-span events (breaker transitions, guard anomalies,
+  checkpoint activity) rendered through the one formatting path.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import render_event
+
+#: Span names that make up the per-episode adaptation pipeline.
+PHASE_NAMES = ("encode", "inner_loop", "decode")
+
+
+def load_events(path: str) -> list[dict]:
+    """Read a telemetry JSONL file, skipping torn/blank lines."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crashed writer
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def _merge_metrics(records: list[dict]) -> dict:
+    merged = {"counters": {}, "gauges": {}, "histograms": {}}
+    for record in records:
+        if record.get("kind") != "metrics":
+            continue
+        for section in merged:
+            merged[section].update(record.get(section, {}))
+    return merged
+
+
+def build_report(records: list[dict]) -> dict:
+    """Fold a list of telemetry records into an aggregated report dict."""
+    spans: dict[str, dict] = {}
+    events: list[dict] = []
+    sessions = 0
+    for record in records:
+        kind = record.get("kind")
+        if kind == "span":
+            name = record.get("name", "?")
+            agg = spans.setdefault(
+                name, {"count": 0, "total_s": 0.0, "max_s": 0.0, "errors": 0}
+            )
+            dur = float(record.get("dur_s", 0.0))
+            agg["count"] += 1
+            agg["total_s"] += dur
+            if dur > agg["max_s"]:
+                agg["max_s"] = dur
+            if record.get("status") == "error":
+                agg["errors"] += 1
+        elif kind == "event":
+            events.append(record)
+        elif kind == "session":
+            sessions += 1
+
+    for agg in spans.values():
+        agg["total_s"] = round(agg["total_s"], 9)
+        agg["max_s"] = round(agg["max_s"], 9)
+
+    phase_total = sum(spans[p]["total_s"] for p in PHASE_NAMES if p in spans)
+    phases = {}
+    for name in PHASE_NAMES:
+        if name not in spans:
+            continue
+        total = spans[name]["total_s"]
+        phases[name] = {
+            "total_s": total,
+            "count": spans[name]["count"],
+            "share_pct": round(100.0 * total / phase_total, 1) if phase_total else 0.0,
+        }
+
+    metrics = _merge_metrics(records)
+    counters = metrics["counters"]
+    executor = {
+        "episodes": counters.get("executor.episodes", 0),
+        "retried": counters.get("executor.retries", 0),
+        "quarantined": counters.get("executor.quarantined", 0),
+        "errors": counters.get("executor.errors", 0),
+        "pool_restarts": counters.get("executor.pool_restarts", 0),
+        "refunds": counters.get("executor.refunds", 0),
+    }
+    hits = counters.get("adaptation_cache.hit", 0)
+    misses = counters.get("adaptation_cache.miss", 0)
+    cache = {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / (hits + misses), 4) if hits + misses else None,
+    }
+    return {
+        "sessions": sessions,
+        "spans": {name: spans[name] for name in sorted(spans)},
+        "phases": phases,
+        "executor": executor,
+        "cache": cache,
+        "metrics": metrics,
+        "events": events,
+    }
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000.0:.2f} ms"
+
+
+def render_report(report: dict) -> str:
+    """Format a :func:`build_report` dict for a terminal."""
+    lines: list[str] = ["run report"]
+
+    phases = report.get("phases", {})
+    if phases:
+        lines.append("  phase breakdown (encode / inner-loop / decode):")
+        for name in PHASE_NAMES:
+            if name not in phases:
+                continue
+            p = phases[name]
+            lines.append(
+                f"    {name:<11} {_fmt_seconds(p['total_s']):>10}"
+                f"  {p['share_pct']:5.1f}%  ({p['count']} spans)"
+            )
+
+    other = {n: s for n, s in report.get("spans", {}).items()
+             if n not in phases}
+    if other:
+        lines.append("  other spans:")
+        for name in sorted(other):
+            s = other[name]
+            err = f", {s['errors']} errors" if s.get("errors") else ""
+            lines.append(
+                f"    {name:<16} {_fmt_seconds(s['total_s']):>10}"
+                f"  ({s['count']} spans{err})"
+            )
+
+    executor = report.get("executor", {})
+    if executor.get("episodes"):
+        lines.append(
+            "  executor: {episodes} episodes — retried {retried}, "
+            "quarantined {quarantined}, errors {errors}, "
+            "pool restarts {pool_restarts}, refunds {refunds}".format(**executor)
+        )
+
+    cache = report.get("cache", {})
+    if cache.get("hit_rate") is not None:
+        lines.append(
+            f"  adaptation cache: {cache['hits']} hits / {cache['misses']} misses"
+            f" (hit rate {100.0 * cache['hit_rate']:.1f}%)"
+        )
+
+    gauges = report.get("metrics", {}).get("gauges", {})
+    if "tape.max_nodes_per_backward" in gauges:
+        lines.append(
+            f"  tape: max {int(gauges['tape.max_nodes_per_backward'])} nodes/backward"
+            f", peak live {int(gauges.get('tape.peak_live_bytes', 0))} bytes"
+        )
+
+    histograms = report.get("metrics", {}).get("histograms", {})
+    for name in sorted(histograms):
+        h = histograms[name]
+        if not h.get("count"):
+            continue
+        mean = h["sum"] / h["count"]
+        lines.append(f"  {name}: n={h['count']}, mean={mean:.3f}")
+
+    # Healthy per-episode events are already aggregated into the
+    # executor counters; rendering them individually would drown the
+    # report, so only eventful ones (retries, failures) are listed.
+    def notable(record: dict) -> bool:
+        if record.get("name") != "episode":
+            return True
+        return record.get("outcome") != "ok" or record.get("attempts", 1) > 1
+
+    events = [r for r in report.get("events", []) if notable(r)]
+    if events:
+        lines.append("  events:")
+        for record in events:
+            lines.append(f"    {render_event(record)}")
+
+    if len(lines) == 1:
+        lines.append("  (no telemetry records)")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Thread-local tracing spans with monotonic wall-time.
+
+``Tracer.span(name, attrs)`` is a context manager.  Spans nest through a
+per-thread stack, so concurrently tracing threads never corrupt each
+other's parent/depth bookkeeping.  Each span emits exactly one record
+when it *closes* (children therefore appear before their parents in the
+JSONL stream — a post-order traversal of the span tree):
+
+    {"kind": "span", "name": ..., "depth": ..., "parent": ...,
+     "t_start": ..., "dur_s": ..., "status": "ok"|"error", ...}
+
+The clock is injectable for deterministic tests; the default is
+:func:`time.perf_counter` (monotonic).  Exceptions unwind the stack
+correctly: the span is closed with ``status="error"`` and the exception
+propagates unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Tracer:
+    """Produces nested span records through an injectable clock."""
+
+    def __init__(self, emit, clock=time.perf_counter, t0: float | None = None):
+        self._emit = emit
+        self._clock = clock
+        self._t0 = clock() if t0 is None else t0
+        self._local = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack())
+
+    def span(self, name: str, attrs: dict | None = None) -> "_Span":
+        return _Span(self, name, attrs or {})
+
+
+class _Span:
+    """A single span; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_parent", "_depth")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._parent = stack[-1] if stack else None
+        self._depth = len(stack)
+        stack.append(self.name)
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = self._tracer._clock()
+        stack = self._tracer._stack()
+        # Unwind to this span even if an inner span leaked (defensive:
+        # a generator-held span collected late must not poison parents).
+        while stack and stack[-1] != self.name:
+            stack.pop()
+        if stack:
+            stack.pop()
+        record = {
+            "kind": "span",
+            "name": self.name,
+            "depth": self._depth,
+            "parent": self._parent,
+            "t_start": round(self._start - self._tracer._t0, 9),
+            "dur_s": round(end - self._start, 9),
+            "status": "error" if exc_type is not None else "ok",
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self._tracer._emit(record)
+        return False  # never swallow exceptions

@@ -127,6 +127,8 @@ class ExecutionReport:
     fallback_reason: str | None = None
     #: Times the pool was torn down and rebuilt (hangs, stalls).
     pool_restarts: int = 0
+    #: In-flight attempts refunded to innocents during pool rebuilds.
+    refunds: int = 0
     wall_time_s: float = 0.0
 
     # ------------------------------------------------------------------
@@ -163,6 +165,7 @@ class ExecutionReport:
             "quarantined": list(self.quarantined_indices),
             "errors": list(self.failed_indices),
             "pool_restarts": self.pool_restarts,
+            "refunds": self.refunds,
             "fallback_reason": self.fallback_reason,
         }
 
@@ -173,7 +176,8 @@ class ExecutionReport:
                 f"retried={len(s['retried'])} "
                 f"quarantined={len(s['quarantined'])} "
                 f"errors={len(s['errors'])} "
-                f"pool_restarts={s['pool_restarts']}")
+                f"pool_restarts={s['pool_restarts']} "
+                f"refunds={s['refunds']}")
         if self.fallback_reason:
             line += f" fallback={self.fallback_reason!r}"
         return line
@@ -288,9 +292,10 @@ class EpisodeExecutor:
         mode = "parallel"
         fallback_reason = None
         pool_restarts = 0
+        refunds = 0
         quarantine: list[int] = []
         try:
-            pool_restarts = self._supervise(
+            pool_restarts, refunds = self._supervise(
                 work_fn, items, records, results, quarantine
             )
         except Exception as exc:
@@ -312,7 +317,7 @@ class EpisodeExecutor:
         report = ExecutionReport(
             mode=mode, workers=self.workers, tasks=records, results=results,
             fallback_reason=fallback_reason, pool_restarts=pool_restarts,
-            wall_time_s=time.perf_counter() - t_run,
+            refunds=refunds, wall_time_s=time.perf_counter() - t_run,
         )
         self.last_report = report
         return report
@@ -361,16 +366,18 @@ class EpisodeExecutor:
             todo.append(record.index)
 
     def _supervise(self, work_fn, items, records, results,
-                   quarantine: list[int]) -> int:
+                   quarantine: list[int]) -> tuple[int, int]:
         """Run the pool until every index succeeded or was quarantined.
 
-        Returns the number of pool rebuilds.  Raises on unrecoverable
-        supervision failures (the caller then degrades to serial).
+        Returns ``(pool_rebuilds, refunded_attempts)``.  Raises on
+        unrecoverable supervision failures (the caller then degrades to
+        serial).
         """
         global _PAYLOAD
         context = multiprocessing.get_context(self.start_method)
         n = len(items)
         restarts = 0
+        refunds = 0
         stall_rebuilds = 0
         todo = collections.deque(range(n))
         inflight: dict[int, object] = {}      # index -> AsyncResult
@@ -395,11 +402,12 @@ class EpisodeExecutor:
         def rebuild_pool(refund_inflight: bool):
             # Requeue in-flight innocents; with ``refund_inflight`` they
             # are not charged an attempt (the pool died, not them).
-            nonlocal restarts
+            nonlocal restarts, refunds
             for j in list(inflight):
                 inflight.pop(j)
                 if refund_inflight:
                     records[j].attempts -= 1
+                    refunds += 1
                 todo.appendleft(j)
             started.clear()
             current.clear()
@@ -523,7 +531,7 @@ class EpisodeExecutor:
                         last_progress = time.perf_counter()
                         continue
                     time.sleep(self.poll_interval_s)
-                return restarts
+                return restarts, refunds
             finally:
                 _PAYLOAD = None
                 if pool is not None:

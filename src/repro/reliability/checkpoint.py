@@ -133,6 +133,10 @@ class TrainingCheckpoint:
         payload[_META_KEY] = np.frombuffer(blob, dtype=np.uint8)
         atomic_savez(path, payload)
         _write_checksum(path)
+        from repro import obs
+
+        obs.count("checkpoint.saves")
+        obs.emit("checkpoint.saved", path=str(path), iteration=self.iteration)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -182,6 +186,11 @@ class TrainingCheckpoint:
                 f"training checkpoint {path!r} is corrupt or truncated "
                 f"({type(exc).__name__}: {exc})"
             ) from exc
+        from repro import obs
+
+        obs.count("checkpoint.loads")
+        obs.emit("checkpoint.loaded", path=str(path),
+                 iteration=int(meta["iteration"]))
         return cls(
             iteration=int(meta["iteration"]),
             module_state=module_state,
@@ -248,6 +257,10 @@ class CheckpointStore:
             except OSError:
                 pass
         self.quarantined.append(path)
+        from repro import obs
+
+        obs.count("checkpoint.quarantined")
+        obs.emit("checkpoint.quarantined", path=str(path))
 
     def load_latest(self) -> TrainingCheckpoint | None:
         """Newest readable checkpoint, or ``None`` if none exist.

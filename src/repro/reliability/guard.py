@@ -189,6 +189,8 @@ class GuardedStep:
     # ------------------------------------------------------------------
     def step(self, loss: float) -> bool:
         """Validate gradients for ``loss``'s backward pass, then update."""
+        from repro import obs
+
         iteration = self.iteration
         self.iteration += 1
         if self.injector is not None:
@@ -202,6 +204,7 @@ class GuardedStep:
             clip_grad_norm(self.params, self.policy.grad_clip)
             self.optimizer.step()
             self.report.steps_taken += 1
+            obs.count("guard.steps_taken")
             self._consecutive = 0
             self._since_snapshot += 1
             if self._since_snapshot >= self.policy.snapshot_every:
@@ -212,6 +215,8 @@ class GuardedStep:
         for p in self.params:
             p.grad = None
         self.report.steps_skipped += 1
+        obs.count("guard.anomalies")
+        obs.count("guard.steps_skipped")
         self._consecutive += 1
         actions = ["skip"]
         policy = self.policy
@@ -232,6 +237,8 @@ class GuardedStep:
                 grad_norm=norm, actions=tuple(actions),
             )
         )
+        obs.emit("guard.anomaly", iteration=iteration, reason=reason,
+                 loss=loss, grad_norm=norm, actions=list(actions))
         if abort:
             raise TrainingDiverged(
                 f"training diverged: {self._consecutive} consecutive "

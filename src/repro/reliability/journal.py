@@ -19,6 +19,13 @@ are single JSON objects, one per line:
   quarantined episodes, pool restarts).  Notes never affect resume
   decisions; they exist for post-mortems.
 
+Every written record additionally carries run provenance: ``version``
+(the ``repro`` package version) and, once :meth:`RunJournal.begin` has
+run, ``config_hash`` — a short sha256 digest of the run header.  Both
+are stripped on read-back, so resume decisions (header equality, cell
+lookups) are provenance-blind and journals written before this field
+existed still resume cleanly.
+
 Each record is flushed and fsynced as it is written, and a torn final
 line (the process died mid-write) is ignored when the file is read
 back, so the journal is crash-safe by construction.
@@ -26,8 +33,17 @@ back, so the journal is crash-safe by construction.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+
+_PROVENANCE_KEYS = ("config_hash", "version")
+
+
+def config_hash(header: dict) -> str:
+    """Short, stable digest of a run-header dict."""
+    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:12]
 
 
 class JournalMismatch(RuntimeError):
@@ -38,11 +54,16 @@ class RunJournal:
     """Crash-safe progress record keyed by ``(method, setting, k_shot)``."""
 
     def __init__(self, path: str):
+        from repro import __version__
+
         self.path = path
         self._cells: dict[tuple[str, str, int], dict] = {}
         self._failures: list[dict] = []
         self._notes: list[dict] = []
         self._header: dict | None = None
+        #: Provenance merged into every written record (``config_hash``
+        #: joins at :meth:`begin` time, once the header is known).
+        self._meta: dict = {"version": __version__}
         self._load()
         self._fh = None
 
@@ -62,6 +83,8 @@ class RunJournal:
                     # before it is intact, so just stop consuming.
                     break
                 kind = record.pop("kind", None)
+                for key in _PROVENANCE_KEYS:
+                    record.pop(key, None)
                 if kind == "run":
                     self._header = record
                 elif kind == "cell":
@@ -78,7 +101,7 @@ class RunJournal:
             directory = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(directory, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps({"kind": kind, **record}) + "\n")
+        self._fh.write(json.dumps({"kind": kind, **record, **self._meta}) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
@@ -96,6 +119,7 @@ class RunJournal:
             "settings": list(settings),
             "shots": [int(k) for k in shots],
         }
+        self._meta["config_hash"] = config_hash(header)
         if self._header is None:
             self._header = header
             self._append("run", header)

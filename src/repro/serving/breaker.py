@@ -33,7 +33,7 @@ class CircuitBreaker:
     """Trip after consecutive failures; recover through a half-open trial."""
 
     def __init__(self, failure_threshold: int = 3, cooldown_s: float = 1.0,
-                 clock: Clock = time.monotonic):
+                 clock: Clock = time.monotonic, on_transition=None):
         if failure_threshold < 1:
             raise ValueError(
                 f"failure_threshold must be >= 1, got {failure_threshold}"
@@ -48,6 +48,17 @@ class CircuitBreaker:
         self._opened_at = 0.0
         #: Lifetime count of closed→open transitions (for service stats).
         self.trips = 0
+        #: Optional ``on_transition(old_state, new_state, breaker)``
+        #: observer, fired on every state *change* (telemetry hook).
+        self.on_transition = on_transition
+
+    def _set_state(self, new: str) -> None:
+        old = self._state
+        if new == old:
+            return
+        self._state = new
+        if self.on_transition is not None:
+            self.on_transition(old, new, self)
 
     # ------------------------------------------------------------------
     @property
@@ -56,7 +67,7 @@ class CircuitBreaker:
         if self._state == OPEN and (
             self._clock() - self._opened_at >= self.cooldown_s
         ):
-            self._state = HALF_OPEN
+            self._set_state(HALF_OPEN)
         return self._state
 
     def allow(self) -> bool:
@@ -67,7 +78,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """The protected operation completed within budget."""
         self._consecutive_failures = 0
-        self._state = CLOSED
+        self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         """The protected operation raised or blew its deadline."""
@@ -78,7 +89,7 @@ class CircuitBreaker:
         ):
             if state != OPEN:
                 self.trips += 1
-            self._state = OPEN
+            self._set_state(OPEN)
             self._opened_at = self._clock()
             self._consecutive_failures = 0
 

@@ -47,6 +47,8 @@ from repro.models.decoding import (
     FULL,
     OVERRUN,
 )
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.deadline import Clock, Deadline
 from repro.serving.sanitize import InvalidRequest, RequestSanitizer, SanitizerConfig
@@ -78,6 +80,9 @@ class TagResult:
     modified: bool = False
     #: Why the answer is not a full-quality one (``None`` when it is).
     note: str | None = None
+    #: Milliseconds the request waited between admission (:meth:`~TaggingService.submit`)
+    #: and the start of its micro-batch decode.
+    queue_wait_ms: float = 0.0
 
     status: ClassVar[str] = "ok"
 
@@ -157,6 +162,8 @@ class _Pending:
     sentence: Sentence
     deadline: Deadline | None
     modified: bool
+    #: Service-clock time of admission (queue-wait measurement origin).
+    admitted_at: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -187,6 +194,7 @@ class TaggingService:
             failure_threshold=self.config.breaker_threshold,
             cooldown_s=self.config.breaker_cooldown_ms / 1000.0,
             clock=clock,
+            on_transition=self._on_breaker_transition,
         )
         self._pending: list[_Pending] = []
         self._done: dict[int, TagResult | Rejected | Overloaded] = {}
@@ -195,6 +203,24 @@ class TaggingService:
             "served": 0, "degraded": 0, "invalid": 0, "shed": 0,
             "decode_errors": 0, "batches": 0,
         }
+        #: Per-instance metrics (two services never share counters); the
+        #: active telemetry session, when any, gets mirrored updates.
+        self.metrics = MetricsRegistry()
+
+    def _bump(self, name: str, n: int = 1) -> None:
+        self.stats[name] += n
+        self.metrics.counter(f"serving.{name}").inc(n)
+        obs.count(f"serving.{name}", n)
+
+    def _observe_ms(self, name: str, value_ms: float) -> None:
+        self.metrics.histogram(name).observe(value_ms)
+        obs.observe(name, value_ms)
+
+    def _on_breaker_transition(self, old: str, new: str, breaker) -> None:
+        self.metrics.counter("serving.breaker_transitions").inc()
+        obs.count("serving.breaker_transitions")
+        obs.emit("breaker", old=old, new=new,
+                 failures=breaker._consecutive_failures, trips=breaker.trips)
 
     # ------------------------------------------------------------------
     # Checkpoint loading
@@ -268,7 +294,7 @@ class TaggingService:
         ticket = self._next_ticket
         self._next_ticket += 1
         if len(self._pending) >= self.config.max_pending:
-            self.stats["shed"] += 1
+            self._bump("shed")
             self._done[ticket] = Overloaded(
                 f"queue full ({self.config.max_pending} pending requests)"
             )
@@ -276,7 +302,7 @@ class TaggingService:
         try:
             clean = self.sanitizer.sanitize(tokens)
         except InvalidRequest as exc:
-            self.stats["invalid"] += 1
+            self._bump("invalid")
             self._done[ticket] = Rejected.from_error(exc)
             return ticket
         budget = (
@@ -289,12 +315,22 @@ class TaggingService:
         )
         self._pending.append(_Pending(
             ticket, Sentence(clean.tokens), deadline, clean.modified,
+            admitted_at=self.clock(),
         ))
+        self.metrics.gauge("serving.queue_depth").set(len(self._pending))
+        obs.set_gauge("serving.queue_depth", len(self._pending))
         return ticket
 
     def drain(self) -> dict[int, TagResult | Rejected | Overloaded]:
-        """Process all queued work and hand back every finished result."""
+        """Process all queued work and hand back every finished result.
+
+        Each served :class:`TagResult` reports its admission→decode
+        queue wait (``queue_wait_ms``), also folded into the
+        ``serving.queue_wait_ms`` latency histogram.
+        """
         pending, self._pending = self._pending, []
+        self.metrics.gauge("serving.queue_depth").set(0)
+        obs.set_gauge("serving.queue_depth", 0)
         for batch in self._micro_batches(pending):
             self._process_batch(batch)
         done, self._done = self._done, {}
@@ -349,6 +385,13 @@ class TaggingService:
     def _process_batch(self, batch: list[_Pending]) -> None:
         sentences = [p.sentence for p in batch]
         deadline = self._batch_deadline(batch)
+        decode_started = self.clock()
+        waits = {
+            p.key: max(0.0, (decode_started - p.admitted_at) * 1000.0)
+            for p in batch
+        }
+        for wait_ms in waits.values():
+            self._observe_ms("serving.queue_wait_ms", wait_ms)
         try:
             if self._injector is not None:
                 before_batch = getattr(self._injector, "before_batch", None)
@@ -363,31 +406,38 @@ class TaggingService:
                 allow_viterbi=self.breaker.allow(),
             )
         except Exception as exc:  # encoding/emissions failed outright
-            self.stats["decode_errors"] += 1
+            self._observe_ms(
+                "serving.decode_ms", (self.clock() - decode_started) * 1000.0
+            )
+            self._bump("decode_errors")
             self.breaker.record_failure()
             for p in batch:
-                self.stats["served"] += 1
-                self.stats["degraded"] += 1
+                self._bump("served")
+                self._bump("degraded")
                 self._done[p.key] = TagResult(
                     p.sentence.tokens, (), degraded=True,
                     oov_rate=self._oov_rate(p.sentence.tokens),
                     modified=p.modified,
                     note=f"decode failed ({type(exc).__name__}: {exc}); "
                          f"no spans served",
+                    queue_wait_ms=waits[p.key],
                 )
             return
-        self.stats["batches"] += 1
+        self._observe_ms(
+            "serving.decode_ms", (self.clock() - decode_started) * 1000.0
+        )
+        self._bump("batches")
         for p, path, status in zip(batch, paths, statuses):
             if status == FULL:
                 self.breaker.record_success()
             elif status in FAILURE_STATUSES:
                 self.breaker.record_failure()
                 if status == DEGRADED_ERROR:
-                    self.stats["decode_errors"] += 1
+                    self._bump("decode_errors")
             degraded = status in DEGRADED_STATUSES
-            self.stats["served"] += 1
+            self._bump("served")
             if degraded:
-                self.stats["degraded"] += 1
+                self._bump("degraded")
             spans = tuple(
                 (start, end, label)
                 for start, end, label in self.scheme.decode(path)
@@ -396,4 +446,5 @@ class TaggingService:
                 p.sentence.tokens, spans, degraded=degraded,
                 oov_rate=self._oov_rate(p.sentence.tokens),
                 modified=p.modified, note=_STATUS_NOTES.get(status),
+                queue_wait_ms=waits[p.key],
             )

@@ -1,0 +1,113 @@
+"""Metrics primitives: determinism, bucket edges, registry semantics."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    LATENCY_MS_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3)
+        registry.gauge("depth").set(1)
+        assert registry.gauge("depth").value == 1.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.0, 1.0, 1.0001, 10.0, 10.5):
+            h.observe(value)
+        # counts: (-inf,1], (1,10], overflow
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+
+    def test_snapshot_is_deterministic_across_observation_order(self):
+        values = [0.3, 7.2, 150.0, 0.05, 42.0, 9999.0, 0.3]
+        a, b = Histogram("a"), Histogram("b")
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        assert snap_a["counts"] == snap_b["counts"]
+        assert snap_a["sum"] == snap_b["sum"]
+        assert json.dumps(snap_a, sort_keys=True) == json.dumps(
+            snap_b, sort_keys=True)
+
+    def test_default_buckets_cover_sub_ms_to_ten_s(self):
+        assert LATENCY_MS_BUCKETS[0] == 0.1
+        assert LATENCY_MS_BUCKETS[-1] == 10000.0
+        h = Histogram("lat")
+        h.observe(0.001)
+        h.observe(99999.0)
+        assert h.counts[0] == 1      # sub-ms lands in the first bucket
+        assert h.counts[-1] == 1     # beyond 10 s lands in overflow
+
+    def test_mean(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_instruments_are_shared_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_bucket_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        registry.histogram("h")  # bucket-less lookup is fine
+        registry.histogram("h", buckets=(1.0, 2.0))  # same bounds fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_snapshot_keys_are_sorted(self):
+        registry = MetricsRegistry()
+        for name in ("zebra", "alpha", "mid"):
+            registry.counter(name).inc()
+            registry.gauge(name).set(1)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["alpha", "mid", "zebra"]
+        assert list(snap["gauges"]) == ["alpha", "mid", "zebra"]
+
+    def test_snapshot_serializes_byte_identically(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("requests").inc(7)
+            registry.gauge("queue").set(2)
+            h = registry.histogram("lat")
+            for v in (0.2, 3.0, 3.0, 700.0):
+                h.observe(v)
+            return json.dumps(registry.snapshot(), sort_keys=True)
+
+        assert build() == build()

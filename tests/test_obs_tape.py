@@ -1,0 +1,93 @@
+"""Tape profiler: op counts, backward sizes, live-byte tracking."""
+
+import gc
+import importlib
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.autodiff import Tensor, grad
+from repro.nn import GRU
+from repro.obs import profile_tape
+
+_tensor_mod = importlib.import_module("repro.autodiff.tensor")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTinyGraph:
+    def test_counts_ops_nodes_and_backwards(self):
+        with profile_tape() as profile:
+            x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+            y = (x * x).sum()
+            grad(y, [x])
+        assert profile.nodes_created == 2
+        assert profile.op_counts == {"mul": 1, "sum_": 1}
+        assert profile.backwards == 1
+        # The traversal visits the two recorded nodes plus the leaf.
+        assert profile.max_nodes_per_backward == 3
+        summary = profile.summary()
+        assert summary["nodes_created"] == 2
+        assert list(summary["op_counts"]) == sorted(summary["op_counts"])
+
+    def test_profiler_detaches_on_exit(self):
+        with profile_tape():
+            pass
+        assert _tensor_mod._tape_profiler is None
+        # Graph building after exit records nothing anywhere.
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * x).sum()
+
+    def test_nested_restores_outer_profiler(self):
+        with profile_tape() as outer:
+            with profile_tape() as inner:
+                x = Tensor(np.array([1.0]), requires_grad=True)
+                x * x
+            assert _tensor_mod._tape_profiler is outer
+        assert inner.nodes_created == 1
+        assert outer.nodes_created == 0
+
+    def test_live_bytes_peak_and_release(self):
+        with profile_tape() as profile:
+            x = Tensor(np.zeros(1000), requires_grad=True)
+            y = x * 2.0          # 8000 bytes live
+            z = y + 1.0          # 16000 bytes live
+            del y, z
+            gc.collect()
+        assert profile.peak_live_bytes == 16000
+        assert profile.live_bytes == 0
+
+
+class TestGruBudget:
+    """profile_tape sees the same <=24 nodes/step invariant the tape
+    growth test in test_nn_rnn.py pins structurally."""
+
+    def _backward_nodes(self, rng, length):
+        layer = GRU(3, 4, np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, length, 3)), requires_grad=True)
+        with profile_tape() as profile:
+            loss = layer(x).sum()
+            grad(loss, [x])
+        assert profile.backwards == 1
+        return profile.max_nodes_per_backward
+
+    def test_gru_backward_growth_is_bounded(self, rng):
+        short = self._backward_nodes(rng, 4)
+        long = self._backward_nodes(rng, 12)
+        per_step = (long - short) / 8
+        assert per_step <= 24, f"GRU backward grew to {per_step} nodes/step"
+
+    def test_profile_publishes_gauges_under_telemetry(self, rng):
+        with obs.telemetry_session() as session:
+            self._backward_nodes(rng, 4)
+        gauges = session.registry.snapshot()["gauges"]
+        assert gauges["tape.max_nodes_per_backward"] > 0
+        assert gauges["tape.peak_live_bytes"] > 0
+        tape_events = [r for r in session.sink.records
+                       if r.get("name") == "tape"]
+        assert len(tape_events) == 1
+        assert tape_events[0]["backwards"] == 1

@@ -1,0 +1,174 @@
+"""Tracing spans: nesting, exception unwinding, deterministic clocks."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import Tracer
+
+
+class FakeClock:
+    """Monotonic fake clock advancing by a fixed tick per call."""
+
+    def __init__(self, tick=1.0):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        value = self.now
+        self.now += self.tick
+        return value
+
+
+class TestSpanRecords:
+    def test_single_span_record_shape(self):
+        records = []
+        tracer = Tracer(records.append, clock=FakeClock(), t0=0.0)
+        with tracer.span("work", {"k": 1}):
+            pass
+        assert records == [{
+            "kind": "span", "name": "work", "depth": 0, "parent": None,
+            "t_start": 0.0, "dur_s": 1.0, "status": "ok", "attrs": {"k": 1},
+        }]
+
+    def test_nested_spans_emit_post_order_with_parents(self):
+        records = []
+        tracer = Tracer(records.append, clock=FakeClock(), t0=0.0)
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        assert [r["name"] for r in records] == ["inner", "middle", "outer"]
+        assert [r["depth"] for r in records] == [2, 1, 0]
+        assert [r["parent"] for r in records] == ["middle", "outer", None]
+
+    def test_siblings_share_a_parent(self):
+        records = []
+        tracer = Tracer(records.append, clock=FakeClock(), t0=0.0)
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r["name"]: r for r in records}
+        assert by_name["a"]["parent"] == "parent"
+        assert by_name["b"]["parent"] == "parent"
+        assert by_name["a"]["depth"] == by_name["b"]["depth"] == 1
+
+    def test_durations_use_injected_clock(self):
+        records = []
+        clock = FakeClock(tick=0.5)
+        tracer = Tracer(records.append, clock=clock, t0=0.0)
+        with tracer.span("outer"):       # enter at 0.0
+            with tracer.span("inner"):   # enter at 0.5, exit at 1.0
+                pass
+        inner, outer = records
+        assert inner["dur_s"] == 0.5
+        assert outer["dur_s"] == 1.5
+        assert inner["t_start"] == 0.5
+        assert outer["t_start"] == 0.0
+
+
+class TestExceptionUnwinding:
+    def test_exception_marks_error_and_propagates(self):
+        records = []
+        tracer = Tracer(records.append, clock=FakeClock(), t0=0.0)
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (record,) = records
+        assert record["status"] == "error"
+        assert record["error"] == "ValueError"
+
+    def test_exception_unwinds_nested_stack(self):
+        records = []
+        tracer = Tracer(records.append, clock=FakeClock(), t0=0.0)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("die")
+        assert [r["status"] for r in records] == ["error", "error"]
+        assert tracer.depth == 0
+        # The tracer is intact: new spans open at depth 0 again.
+        with tracer.span("after"):
+            pass
+        assert records[-1]["depth"] == 0
+        assert records[-1]["parent"] is None
+
+    def test_leaked_inner_span_does_not_poison_parent(self):
+        records = []
+        tracer = Tracer(records.append, clock=FakeClock(), t0=0.0)
+        with tracer.span("outer"):
+            leaked = tracer.span("leaked")
+            leaked.__enter__()  # never exited
+        outer = records[-1]
+        assert outer["name"] == "outer"
+        assert tracer.depth == 0
+
+
+class TestThreadIsolation:
+    def test_per_thread_stacks(self):
+        records = []
+        lock = threading.Lock()
+
+        def emit(record):
+            with lock:
+                records.append(record)
+
+        tracer = Tracer(emit)
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Both spans overlapped in time yet neither saw the other as a
+        # parent: the stacks are thread-local.
+        assert {r["depth"] for r in records} == {0}
+        assert {r["parent"] for r in records} == {None}
+
+
+class TestModuleHelpers:
+    def test_span_is_noop_without_session(self):
+        ctx = obs.span("anything")
+        assert ctx is obs.span("anything else")  # shared singleton
+        with ctx:
+            pass
+
+    def test_session_spans_reach_the_sink(self):
+        with obs.telemetry_session(clock=FakeClock()) as session:
+            with obs.span("outer", tag="x"):
+                with obs.span("inner"):
+                    pass
+        names = [r["name"] for r in session.sink.records
+                 if r["kind"] == "span"]
+        assert names == ["inner", "outer"]
+
+    def test_suspended_mutes_helpers(self):
+        with obs.telemetry_session() as session:
+            obs.count("kept")
+            with obs.suspended():
+                obs.count("dropped")
+                obs.emit("dropped_event")
+                assert not obs.enabled()
+            assert obs.enabled()
+        counters = session.registry.snapshot()["counters"]
+        assert counters == {"kept": 1}
+        assert not any(r.get("name") == "dropped_event"
+                       for r in session.sink.records)
+
+    def test_sessions_restore_previous(self):
+        assert obs.active() is None
+        with obs.telemetry_session() as outer:
+            assert obs.active() is outer
+            with obs.telemetry_session() as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+        assert obs.active() is None

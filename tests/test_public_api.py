@@ -8,7 +8,7 @@ PACKAGES = (
     "repro.autodiff", "repro.nn", "repro.crf", "repro.data",
     "repro.embeddings", "repro.models", "repro.meta", "repro.eval",
     "repro.experiments", "repro.reliability", "repro.serving",
-    "repro.perf",
+    "repro.perf", "repro.obs",
 )
 
 
