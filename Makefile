@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-chaos verify-obs
+.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-gateway verify-chaos verify-obs
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,16 @@ verify-serving:
 	    tests/test_data_lint.py \
 	    tests/test_crf_greedy.py \
 	    tests/test_cli_serving.py -q
+
+verify-gateway:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_serving_routing.py \
+	    tests/test_serving_gateway.py \
+	    tests/test_serving_gateway_fleet.py \
+	    tests/test_serving_loadgen.py \
+	    tests/test_obs_fleet.py -q
+	PYTHONPATH=src $(PYTHON) -m repro chaos soak \
+	    --scenario gateway-replica-kill --max-rounds 2 \
+	    --time-budget-s 120 --seed 0
 
 verify-chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos soak --max-rounds 1 --seed 0

@@ -358,6 +358,122 @@ def cmd_tag(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gateway_factory(args):
+    """Build the per-replica service factory (and fail fast in the
+    parent if the checkpoint is unusable)."""
+    from repro.serving import ServiceConfig, TaggingService
+
+    config = ServiceConfig(default_deadline_ms=args.deadline_ms)
+    # Load once in the parent: surfaces checkpoint errors before any
+    # replica forks, and the model is inherited copy-on-write.
+    probe = TaggingService.from_checkpoint(args.checkpoint, config=config)
+    model, scheme = probe.model, probe.scheme
+
+    def factory(replica_id: int) -> TaggingService:
+        return TaggingService(model, scheme, config)
+
+    return factory
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.data.sentence import Sentence, Span
+    from repro.nn import CheckpointError
+    from repro.serving.gateway import GatewayConfig, ShardedGateway
+
+    try:
+        factory = _gateway_factory(args)
+    except (CheckpointError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.input in (None, "-"):
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.input, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    requests = [line.split() for line in lines if line.strip()]
+
+    gateway = ShardedGateway(
+        factory,
+        GatewayConfig(replicas=args.replicas,
+                      max_shard_queue=args.max_shard_queue,
+                      hedge_after_ms=args.hedge_after_ms),
+        backend=args.backend,
+        telemetry_path=getattr(args, "telemetry", None),
+    )
+    failures = 0
+    try:
+        if args.rolling_reload:
+            gateway.start_rolling_reload()
+        results = gateway.tag_many(requests, timeout_s=args.timeout_s)
+        if args.rolling_reload:
+            gateway.drain(timeout_s=args.timeout_s, pump_reload=True)
+        for result in results:
+            if result.status == "ok":
+                print(Sentence(
+                    result.tokens,
+                    tuple(Span(s, e, lab) for s, e, lab in result.spans),
+                ).pretty())
+            else:
+                failures += 1
+                print(f"# {result.status}: {result.reason}")
+        report = gateway.report
+        health = gateway.health()
+    finally:
+        gateway.shutdown()
+    print(report.render(), file=sys.stderr)
+    print(f"fleet: {health['healthy']}/{health['replicas']} replicas "
+          f"healthy ({gateway.backend} backend)", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    if args.strict and failures:
+        return 1
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.nn import CheckpointError
+    from repro.serving.gateway import GatewayConfig, ShardedGateway
+    from repro.serving.loadgen import run_load, synthetic_requests
+
+    try:
+        factory = _gateway_factory(args)
+    except (CheckpointError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    models = (("open", "closed") if args.model == "both"
+              else (args.model,))
+    requests = synthetic_requests(args.requests, seed=args.seed)
+    reports = {}
+    for model in models:
+        gateway = ShardedGateway(
+            factory,
+            GatewayConfig(replicas=args.replicas,
+                          max_shard_queue=args.max_shard_queue),
+            backend=args.backend,
+            telemetry_path=getattr(args, "telemetry", None),
+        )
+        try:
+            slo = run_load(
+                gateway, requests, model=model, rate_rps=args.rate,
+                concurrency=args.concurrency, seed=args.seed,
+                timeout_s=args.timeout_s,
+            )
+        finally:
+            gateway.shutdown()
+        reports[model] = slo
+        print(slo.render())
+    if args.json:
+        import json
+
+        print(json.dumps({m: r.summary() for m, r in reports.items()},
+                         indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_perf_bench(args: argparse.Namespace) -> int:
     import os
 
@@ -542,6 +658,71 @@ def build_parser() -> argparse.ArgumentParser:
                         "input instead of skipping it")
     _add_telemetry_arg(p)
     p.set_defaults(func=cmd_tag)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve tag requests through the sharded replica gateway "
+             "(failover, hedging, rolling reload)",
+    )
+    p.add_argument("checkpoint")
+    p.add_argument("--input", default=None,
+                   help="input file ('-' or omitted = stdin); one "
+                        "whitespace-tokenized sentence per line")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="replica count (default 3)")
+    p.add_argument("--backend", choices=("auto", "process", "in-process"),
+                   default="auto",
+                   help="replica backend (auto = forked workers when "
+                        "the platform supports fork)")
+    p.add_argument("--max-shard-queue", type=int, default=64,
+                   help="bounded per-shard queue; admission past it is "
+                        "shed with backpressure (default 64)")
+    p.add_argument("--hedge-after-ms", type=float, default=None,
+                   help="hedge a request to a second replica past this "
+                        "in-flight latency (default: off)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request decode budget in milliseconds")
+    p.add_argument("--rolling-reload", action="store_true",
+                   help="run a rolling drain/swap/readmit reload while "
+                        "serving (demonstrates zero-loss reload)")
+    p.add_argument("--timeout-s", type=float, default=60.0,
+                   help="wall-clock bound on draining (default 60)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero if any request failed")
+    p.add_argument("--json", action="store_true",
+                   help="also print the machine-readable gateway report")
+    _add_telemetry_arg(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive the gateway with seeded open-/closed-loop traffic; "
+             "print a latency SLO report",
+    )
+    p.add_argument("checkpoint")
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of synthetic requests (default 64)")
+    p.add_argument("--model", choices=("open", "closed", "both"),
+                   default="both",
+                   help="arrival model (default: both, one run each)")
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="open-loop arrival rate in req/s (default 200)")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="closed-loop virtual clients (default 8)")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="replica count (default 3)")
+    p.add_argument("--backend", choices=("auto", "process", "in-process"),
+                   default="auto")
+    p.add_argument("--max-shard-queue", type=int, default=64)
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request decode budget in milliseconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout-s", type=float, default=60.0,
+                   help="wall-clock bound per run (default 60)")
+    p.add_argument("--json", action="store_true",
+                   help="also print machine-readable SLO summaries")
+    _add_telemetry_arg(p)
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("perf", help="performance tools")
     perf_sub = p.add_subparsers(dest="perf_command", required=True)

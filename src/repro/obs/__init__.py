@@ -29,7 +29,12 @@ import contextlib
 import os
 import time
 
-from repro.obs.events import BufferSink, JsonlSink, render_event
+from repro.obs.events import (
+    BufferSink,
+    JsonlSink,
+    render_event,
+    sibling_paths,
+)
 from repro.obs.metrics import (
     DEFAULT_REGISTRY,
     LATENCY_MS_BUCKETS,
@@ -64,6 +69,7 @@ __all__ = [
     "JsonlSink",
     "BufferSink",
     "render_event",
+    "sibling_paths",
     "TapeProfile",
     "profile_tape",
     "TimingStat",

@@ -5,8 +5,13 @@ Two sinks implement the same tiny protocol (``write(record)``,
 
 * :class:`JsonlSink` — appends one JSON object per line, flushing each
   write so a crashed run still leaves a readable (at worst torn-tail)
-  stream.  Fork-safe: a child process inheriting the sink silently
-  drops writes instead of interleaving bytes with the parent.
+  stream.  Fork-safe in two modes: ``on_fork="drop"`` (default) makes a
+  child process inheriting the sink silently drop writes instead of
+  interleaving bytes with the parent; ``on_fork="split"`` makes the
+  child transparently reopen its *own* sibling file
+  (``<path>.fork-<pid>``) on first write — nothing is lost, nothing is
+  interleaved, and :func:`sibling_paths` + ``repro obs report`` merge
+  the siblings back into one fleet-wide report.
 * :class:`BufferSink` — keeps records in a list; used by tests and the
   overhead bench.
 
@@ -18,30 +23,82 @@ drifts between the stderr path and the report path.
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 
 
 class JsonlSink:
-    """Append-only JSONL event stream with per-record flush."""
+    """Append-only JSONL event stream with per-record flush.
 
-    def __init__(self, path: str):
+    ``on_fork`` picks the behaviour when a forked child writes through
+    an inherited sink: ``"drop"`` (historical default) silently drops
+    the record — the parent owns the file handle; ``"split"`` lazily
+    reopens a per-child sibling file ``<path>.fork-<pid>`` so fleet
+    worker events survive without ever sharing a file descriptor with
+    the parent.
+    """
+
+    def __init__(self, path: str, on_fork: str = "drop"):
+        if on_fork not in ("drop", "split"):
+            raise ValueError(
+                f"on_fork must be 'drop' or 'split', got {on_fork!r}"
+            )
         self.path = str(path)
+        self.on_fork = on_fork
         self._pid = os.getpid()
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
 
+    def _split_for_fork(self) -> None:
+        """First write after a fork (split mode): take over a sibling.
+
+        The inherited handle is *abandoned*, never closed — closing
+        would flush/close the parent's descriptor state from the child.
+        """
+        pid = os.getpid()
+        self.path = f"{self.path}.fork-{pid}"
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._pid = pid
+
     def write(self, record: dict) -> None:
         if os.getpid() != self._pid:
-            return  # forked child: parent owns the file handle
+            if self.on_fork == "drop":
+                return  # forked child: parent owns the file handle
+            self._split_for_fork()
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
 
     def close(self) -> None:
         if os.getpid() == self._pid and not self._fh.closed:
             self._fh.close()
+
+
+def sibling_paths(path: str) -> list[str]:
+    """Event files belonging to one fleet run, main stream first.
+
+    Siblings are the per-replica streams gateway workers open
+    (``<path>.replica-<id>``) and the per-child streams a split-mode
+    sink creates (``<path>.fork-<pid>``), including nested combinations
+    (a fork under a replica).  Sorted for deterministic merge order.
+    """
+    out = [path] if os.path.exists(path) else []
+    seen = set(out)
+    frontier = [path]
+    while frontier:
+        base = frontier.pop()
+        found = sorted(
+            glob.glob(glob.escape(base) + ".replica-*")
+            + glob.glob(glob.escape(base) + ".fork-*")
+        )
+        for p in found:
+            if p not in seen and os.path.isfile(p):
+                seen.add(p)
+                out.append(p)
+                frontier.append(p)
+    return out
 
 
 class BufferSink:
@@ -86,6 +143,26 @@ def render_event(record: dict) -> str:
     if name == "breaker":
         return (f"breaker: {record.get('old', '?')} -> {record.get('new', '?')}"
                 f" (failures {record.get('failures', 0)}, trips {record.get('trips', 0)})")
+    if name == "gateway.breaker":
+        return (f"gateway breaker[{record.get('replica', '?')}]: "
+                f"{record.get('old', '?')} -> {record.get('new', '?')}")
+    if name == "gateway.replica_down":
+        return (f"gateway replica {record.get('replica', '?')} down "
+                f"({record.get('kind', '?')}): "
+                f"{record.get('inflight', 0)} in-flight refunded, "
+                f"{record.get('queued', 0)} queued rerouted")
+    if name == "gateway.replica_rebuilt":
+        return (f"gateway replica {record.get('replica', '?')} rebuilt "
+                f"(generation {record.get('generation', '?')})")
+    if name == "gateway.replica_draining":
+        return f"gateway replica {record.get('replica', '?')} draining for reload"
+    if name == "gateway.replica_reloaded":
+        return (f"gateway replica {record.get('replica', '?')} reloaded "
+                f"(generation {record.get('generation', '?')})")
+    if name == "gateway.hedge":
+        return (f"gateway hedge: ticket {record.get('ticket', '?')} "
+                f"replica {record.get('primary', '?')} -> "
+                f"{record.get('hedge', '?')}")
     if name and name.startswith("checkpoint."):
         action = name.split(".", 1)[1]
         return f"checkpoint {action}: {record.get('path', '?')}"

@@ -21,15 +21,18 @@ The report sections:
 from __future__ import annotations
 
 import json
+import os
 
-from repro.obs.events import render_event
+from repro.obs.events import render_event, sibling_paths
 
 #: Span names that make up the per-episode adaptation pipeline.
 PHASE_NAMES = ("encode", "inner_loop", "decode")
 
+#: Internal tag marking which sibling file a record came from.
+_SOURCE_KEY = "_source"
 
-def load_events(path: str) -> list[dict]:
-    """Read a telemetry JSONL file, skipping torn/blank lines."""
+
+def _load_one(path: str, source: str | None) -> list[dict]:
     records: list[dict] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
@@ -41,17 +44,72 @@ def load_events(path: str) -> list[dict]:
             except json.JSONDecodeError:
                 continue  # torn tail from a crashed writer
             if isinstance(record, dict):
+                if source is not None:
+                    record[_SOURCE_KEY] = source
                 records.append(record)
     return records
 
 
+def load_events(path: str, include_siblings: bool = True) -> list[dict]:
+    """Read a telemetry JSONL file, skipping torn/blank lines.
+
+    With ``include_siblings`` (the default) the per-replica and
+    per-fork sibling files a fleet run leaves next to ``path``
+    (``<path>.replica-<id>``, ``<path>.fork-<pid>``) are read too, so
+    one ``repro obs report`` aggregates the whole fleet.  Each record
+    is tagged with its source file so metrics snapshots from different
+    processes are *summed*, never overwritten.
+    """
+    paths = sibling_paths(path) if include_siblings else [path]
+    if not paths:
+        paths = [path]  # let open() raise the natural error
+    records: list[dict] = []
+    for p in paths:
+        # Single-stream loads stay byte-for-byte round-trippable; only
+        # a genuine fleet merge tags records with their source file.
+        source = os.path.basename(p) if len(paths) > 1 else None
+        records.extend(_load_one(p, source=source))
+    return records
+
+
 def _merge_metrics(records: list[dict]) -> dict:
-    merged = {"counters": {}, "gauges": {}, "histograms": {}}
+    """Fold metrics snapshots into one fleet-wide view.
+
+    Within one source file, a later snapshot supersedes an earlier one
+    (snapshots are cumulative).  *Across* source files the final
+    snapshots describe different processes, so counters and histogram
+    tallies are summed; gauges are point-in-time values and keep the
+    last writer's reading.
+    """
+    finals: dict[str, dict] = {}
+    order: list[str] = []
     for record in records:
         if record.get("kind") != "metrics":
             continue
-        for section in merged:
-            merged[section].update(record.get(section, {}))
+        source = record.get(_SOURCE_KEY, "")
+        if source not in finals:
+            order.append(source)
+        finals[source] = record
+    merged = {"counters": {}, "gauges": {}, "histograms": {}}
+    for source in order:
+        record = finals[source]
+        for name, value in record.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        merged["gauges"].update(record.get("gauges", {}))
+        for name, snap in record.get("histograms", {}).items():
+            have = merged["histograms"].get(name)
+            if have is None or have.get("buckets") != snap.get("buckets"):
+                merged["histograms"][name] = {
+                    "buckets": list(snap.get("buckets", [])),
+                    "counts": list(snap.get("counts", [])),
+                    "count": snap.get("count", 0),
+                    "sum": snap.get("sum", 0.0),
+                }
+            else:
+                have["counts"] = [a + b for a, b in
+                                  zip(have["counts"], snap.get("counts", []))]
+                have["count"] += snap.get("count", 0)
+                have["sum"] = round(have["sum"] + snap.get("sum", 0.0), 6)
     return merged
 
 
@@ -60,6 +118,7 @@ def build_report(records: list[dict]) -> dict:
     spans: dict[str, dict] = {}
     events: list[dict] = []
     sessions = 0
+    sources = sorted({r[_SOURCE_KEY] for r in records if _SOURCE_KEY in r})
     for record in records:
         kind = record.get("kind")
         if kind == "span":
@@ -75,7 +134,8 @@ def build_report(records: list[dict]) -> dict:
             if record.get("status") == "error":
                 agg["errors"] += 1
         elif kind == "event":
-            events.append(record)
+            events.append({k: v for k, v in record.items()
+                           if k != _SOURCE_KEY})
         elif kind == "session":
             sessions += 1
 
@@ -112,12 +172,20 @@ def build_report(records: list[dict]) -> dict:
         "misses": misses,
         "hit_rate": round(hits / (hits + misses), 4) if hits + misses else None,
     }
+    gateway = {
+        key: counters.get(f"gateway.{key}", 0)
+        for key in ("admitted", "completed", "shed", "refunds", "hedges",
+                    "hedges_won", "deaths", "wedges", "rebuilds", "reloads",
+                    "breaker_transitions")
+    }
     return {
         "sessions": sessions,
+        "sources": sources,
         "spans": {name: spans[name] for name in sorted(spans)},
         "phases": phases,
         "executor": executor,
         "cache": cache,
+        "gateway": gateway,
         "metrics": metrics,
         "events": events,
     }
@@ -132,6 +200,10 @@ def _fmt_seconds(seconds: float) -> str:
 def render_report(report: dict) -> str:
     """Format a :func:`build_report` dict for a terminal."""
     lines: list[str] = ["run report"]
+
+    sources = report.get("sources", [])
+    if len(sources) > 1:
+        lines.append(f"  fleet run: merged {len(sources)} event streams")
 
     phases = report.get("phases", {})
     if phases:
@@ -163,6 +235,16 @@ def render_report(report: dict) -> str:
             "  executor: {episodes} episodes — retried {retried}, "
             "quarantined {quarantined}, errors {errors}, "
             "pool restarts {pool_restarts}, refunds {refunds}".format(**executor)
+        )
+
+    gateway = report.get("gateway", {})
+    if gateway.get("admitted"):
+        lines.append(
+            "  gateway: {admitted} admitted, {completed} completed, "
+            "{shed} shed — hedges {hedges} ({hedges_won} won), "
+            "deaths {deaths}, wedges {wedges}, rebuilds {rebuilds}, "
+            "refunds {refunds}, reloads {reloads}, "
+            "breaker transitions {breaker_transitions}".format(**gateway)
         )
 
     cache = report.get("cache", {})

@@ -46,6 +46,7 @@ can account for exactly what self-healing had to do.
 from __future__ import annotations
 
 import collections
+import heapq
 import multiprocessing
 import os
 import threading
@@ -53,6 +54,8 @@ import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
+
+import numpy as np
 
 #: Fork-inherited payload: ``(work_fn, items, injector, ctrl_queue)``.
 #: Set only while a pool exists, and only under :data:`_PAYLOAD_LOCK` —
@@ -197,6 +200,14 @@ class EpisodeExecutor:
     failed attempt); ``fault_injector`` is the test-only chaos hook
     consulted inside each worker (see
     :meth:`repro.reliability.faults.FaultInjector.worker_fault`).
+
+    ``retry_backoff_s`` > 0 delays each retry by a *jittered exponential*
+    backoff — ``base * 2^(attempt-1) * (0.5 + u)`` with ``u`` drawn from
+    a generator seeded by ``(backoff_seed, attempt, index)``, so the
+    schedule is fully deterministic for a given seed yet retries after a
+    correlated failure (a pool rebuild, a mass crash) fan out instead of
+    retrying in lockstep.  The default ``0.0`` keeps the historical
+    retry-immediately behaviour.
     """
 
     def __init__(self, workers: int = 0, start_method: str = "fork",
@@ -204,6 +215,8 @@ class EpisodeExecutor:
                  max_attempts: int = 3,
                  poll_interval_s: float = 0.02,
                  stall_timeout_s: float = 30.0,
+                 retry_backoff_s: float = 0.0,
+                 backoff_seed: int = 0,
                  fault_injector=None,
                  validate_fn: Callable[[object, int], str | None] | None = None):
         if workers < 0:
@@ -214,12 +227,18 @@ class EpisodeExecutor:
             raise ValueError(
                 f"task_timeout_s must be positive, got {task_timeout_s}"
             )
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self.workers = int(workers)
         self.start_method = start_method
         self.task_timeout_s = task_timeout_s
         self.max_attempts = int(max_attempts)
         self.poll_interval_s = poll_interval_s
         self.stall_timeout_s = stall_timeout_s
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.backoff_seed = int(backoff_seed)
         self.fault_injector = fault_injector
         self.validate_fn = validate_fn
         self.last_report: ExecutionReport | None = None
@@ -356,12 +375,35 @@ class EpisodeExecutor:
     # ------------------------------------------------------------------
     # Supervised parallel execution
     # ------------------------------------------------------------------
+    def retry_delay_s(self, attempt: int, index: int) -> float:
+        """Deterministic jittered exponential backoff before retry N.
+
+        ``attempt`` is the number of attempts already taken (>= 1).
+        Seeded from ``(backoff_seed, attempt, index)`` so the whole
+        schedule is reproducible, while distinct indices (and distinct
+        attempts of one index) land at different offsets — no
+        thundering-herd retry after a correlated failure.
+        """
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        u = np.random.default_rng(
+            (self.backoff_seed, 6271, attempt, index)
+        ).random()
+        return self.retry_backoff_s * (2.0 ** (attempt - 1)) * (0.5 + u)
+
     def _record_failure(self, record: TaskRecord, reason: str,
-                        todo, quarantine: list[int]) -> None:
+                        todo, quarantine: list[int],
+                        delayed: list | None = None) -> None:
         record.errors += (reason,)
         if record.attempts >= self.max_attempts:
             record.quarantined = True
             quarantine.append(record.index)
+            return
+        delay = self.retry_delay_s(record.attempts, record.index)
+        if delay > 0 and delayed is not None:
+            heapq.heappush(
+                delayed, (time.perf_counter() + delay, record.index)
+            )
         else:
             todo.append(record.index)
 
@@ -380,6 +422,7 @@ class EpisodeExecutor:
         refunds = 0
         stall_rebuilds = 0
         todo = collections.deque(range(n))
+        delayed: list[tuple[float, int]] = []  # (ready_at, index) heap
         inflight: dict[int, object] = {}      # index -> AsyncResult
         started: dict[int, float] = {}        # index -> start seen at
         current: dict[int, tuple] = {}        # pid -> (index, attempt)
@@ -420,7 +463,11 @@ class EpisodeExecutor:
             try:
                 build_pool()
                 last_progress = time.perf_counter()
-                while todo or inflight:
+                while todo or inflight or delayed:
+                    # Promote retries whose backoff has elapsed.
+                    now_promote = time.perf_counter()
+                    while delayed and delayed[0][0] <= now_promote:
+                        todo.append(heapq.heappop(delayed)[1])
                     while todo:
                         i = todo.popleft()
                         attempt = records[i].attempts
@@ -454,7 +501,7 @@ class EpisodeExecutor:
                             self._record_failure(
                                 records[i],
                                 f"{type(exc).__name__}: {exc}",
-                                todo, quarantine,
+                                todo, quarantine, delayed,
                             )
                             continue
                         problem = (self.validate_fn(value, i)
@@ -462,7 +509,7 @@ class EpisodeExecutor:
                         if problem is not None:
                             self._record_failure(
                                 records[i], f"invalid result: {problem}",
-                                todo, quarantine,
+                                todo, quarantine, delayed,
                             )
                             continue
                         results[i] = value
@@ -473,6 +520,15 @@ class EpisodeExecutor:
                     if progressed:
                         last_progress = time.perf_counter()
                     if not todo and not inflight:
+                        if delayed:
+                            # Everything pending is a scheduled retry:
+                            # sleep up to its due time, not a stall.
+                            time.sleep(min(
+                                self.poll_interval_s,
+                                max(0.0, delayed[0][0] - time.perf_counter()),
+                            ))
+                            last_progress = time.perf_counter()
+                            continue
                         break
                     # Crashed workers: a pid we attributed a task to has
                     # exited (sentinel/exitcode) without delivering it.
@@ -494,7 +550,7 @@ class EpisodeExecutor:
                                 records[i],
                                 f"worker pid {pid} crashed "
                                 f"(exit {code}) while running index {i}",
-                                todo, quarantine,
+                                todo, quarantine, delayed,
                             )
                             last_progress = time.perf_counter()
                     # Hung workers: past the per-task deadline.  The hung
@@ -512,7 +568,7 @@ class EpisodeExecutor:
                                     records[i],
                                     f"task exceeded its "
                                     f"{self.task_timeout_s:g}s deadline",
-                                    todo, quarantine,
+                                    todo, quarantine, delayed,
                                 )
                             rebuild_pool(refund_inflight=True)
                             last_progress = time.perf_counter()

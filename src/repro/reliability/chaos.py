@@ -542,12 +542,125 @@ def _run_serving_burst(seed, check):
     return {"trips": service.breaker.trips, "stats": dict(service.stats)}
 
 
+@_scenario(
+    "gateway-replica-kill",
+    "SIGKILL gateway replicas under live traffic: every admitted request "
+    "is answered bit-identically to a single-process oracle, none lost "
+    "or duplicated, and the gateway report accounts every kill",
+)
+def _run_gateway_replica_kill(seed, check):
+    import numpy as np
+
+    from repro.data.tags import TagScheme
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+    from repro.serving import ServiceConfig, TaggingService
+    from repro.serving.gateway import GatewayConfig, ShardedGateway
+    from repro.serving.loadgen import synthetic_requests
+    from repro.serving.replica import fork_available
+
+    pool = ("the", "visited", "today", "reports", "arrived",
+            "Kavox", "Zuqev", "Mirelle")
+    scheme = TagScheme(("0", "1"))
+    model = CNNBiGRUCRF(Vocabulary(pool), CharVocabulary(pool),
+                        scheme.num_tags, BackboneConfig(),
+                        np.random.default_rng(seed), tag_names=scheme.tags)
+
+    def factory(replica_id):
+        return TaggingService(model, scheme, ServiceConfig(max_pending=512))
+
+    # Replicas are clones of one fork-inherited model, so any replica's
+    # answer must match this single-process oracle bit for bit.
+    oracle = factory(-1)
+    requests = synthetic_requests(48, seed=seed, pool=pool)
+    chaos_rng = np.random.default_rng((seed, 8317))
+    kill_at = set(int(i) for i in
+                  chaos_rng.choice(np.arange(6, 42), size=3, replace=False))
+    backend = "process" if fork_available() else "in-process"
+    gateway = ShardedGateway(
+        factory,
+        GatewayConfig(replicas=3, max_shard_queue=256,
+                      breaker_cooldown_ms=50.0),
+        backend=backend,
+    )
+    kills = 0
+    tickets: list[int] = []
+    results: dict[int, object] = {}
+    deliveries: dict[int, int] = {}
+
+    def absorb(batch: dict) -> None:
+        for ticket, routed in batch.items():
+            results[ticket] = routed
+            deliveries[ticket] = deliveries.get(ticket, 0) + 1
+
+    try:
+        for i, toks in enumerate(requests):
+            tickets.append(gateway.submit(toks))
+            gateway.pump()
+            absorb(gateway.collect())
+            if i in kill_at:
+                # Only a live, ready replica is a meaningful target.
+                live = [s["replica"] for s in gateway.health()["per_replica"]
+                        if s["alive"] and s["state"] == "ready"]
+                if live:
+                    victim = live[int(chaos_rng.integers(len(live)))]
+                    gateway.kill_replica(victim)
+                    kills += 1
+        absorb(gateway.drain(timeout_s=60.0))
+        report = gateway.report
+    finally:
+        gateway.shutdown()
+
+    check("kills-actually-injected", kills >= 2, f"only {kills} kill(s)")
+    check("no-request-lost",
+          set(tickets) == set(results),
+          f"{len(tickets) - len(results)} ticket(s) unanswered")
+    check("no-duplicate-deliveries",
+          all(count == 1 for count in deliveries.values()),
+          f"duplicated: {[t for t, c in deliveries.items() if c != 1]}")
+    check("every-admitted-request-completed",
+          report.completed == report.admitted,
+          f"admitted={report.admitted} completed={report.completed}")
+    served = [(t, r) for t, r in results.items() if r.replica is not None]
+    mismatched = [
+        t for t, r in served
+        if not r.result.ok
+        or r.result.spans != oracle.tag(list(requests[t])).spans
+    ]
+    check("bit-identical-to-oracle",
+          served and not mismatched,
+          f"{len(mismatched)} of {len(served)} served differ: "
+          f"{mismatched[:5]}")
+    check("report-accounts-every-kill",
+          report.deaths == kills and report.rebuilds == kills,
+          f"kills={kills} deaths={report.deaths} "
+          f"rebuilds={report.rebuilds}")
+    # A kill against a freshly rebuilt replica whose breaker is still
+    # open from the previous kill re-records the failure without a new
+    # transition, so transitions need not reach ``kills`` — but a kill
+    # storm must leave *some* breaker activity behind.
+    check("breaker-transitions-recorded",
+          kills == 0 or report.breaker_transitions >= 1,
+          f"transitions={report.breaker_transitions} after {kills} kills")
+    check("sheds-answered-not-dropped",
+          all(not r.result.ok for t, r in results.items()
+              if r.replica is None),
+          "a shed ticket carried a served result")
+    return {"backend": backend, "kills": kills, **report.summary()}
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 
 def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
-    """Run one named scenario; never raises for scenario failures."""
+    """Run one named scenario; never raises for scenario failures.
+
+    Underscores in ``name`` are treated as dashes, so
+    ``gateway_replica_kill`` and ``gateway-replica-kill`` are the same
+    scenario.
+    """
+    name = name.replace("_", "-")
     if name not in SCENARIOS:
         raise KeyError(
             f"unknown chaos scenario {name!r}; "
@@ -589,7 +702,8 @@ def run_soak(scenarios=None, time_budget_s: float | None = 60.0,
     seeds are derived from ``seed`` and the round index so successive
     rounds exercise different fault schedules.
     """
-    names = list(scenarios) if scenarios else list(SCENARIOS)
+    names = ([n.replace("_", "-") for n in scenarios] if scenarios
+             else list(SCENARIOS))
     unknown = [n for n in names if n not in SCENARIOS]
     if unknown:
         raise KeyError(

@@ -17,12 +17,41 @@ package.  Five cooperating pieces (see ``docs/serving.md``):
   deadline-bounded decode with greedy degradation, quality-flagged
   :class:`TagResult` / :class:`Rejected` / :class:`Overloaded` results.
 
-The CLI front-ends are ``repro tag`` and ``repro validate``; the
-corpus-side counterpart is :mod:`repro.data.lint`.
+Above the single service sits the sharded fleet tier:
+
+* :mod:`~repro.serving.routing` — :class:`HashRing` consistent-hash
+  request routing with a deterministic fallback order;
+* :mod:`~repro.serving.replica` — replica handles (forked worker
+  process, or in-process on a virtual clock for deterministic tests);
+* :mod:`~repro.serving.gateway` — :class:`ShardedGateway`: supervised
+  replica fleet with per-replica circuit breakers, hedged retries,
+  bounded shard queues, zero-loss failover and rolling reload, all
+  accounted in a :class:`GatewayReport`;
+* :mod:`~repro.serving.loadgen` — seeded open-/closed-loop load
+  generation with a histogram-backed :class:`SLOReport`.
+
+The CLI front-ends are ``repro tag``, ``repro serve``,
+``repro loadgen`` and ``repro validate``; the corpus-side counterpart
+is :mod:`repro.data.lint`.
 """
 
-from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.breaker import (
+    BREAKER_STATE_CODES,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
 from repro.serving.deadline import Deadline, DeadlineExceeded, ManualClock
+from repro.serving.gateway import (
+    GatewayConfig,
+    GatewayReport,
+    GatewayStalled,
+    RoutedResult,
+    ShardedGateway,
+)
+from repro.serving.loadgen import SLOReport, run_load, synthetic_requests
+from repro.serving.routing import HashRing, request_key
 from repro.serving.sanitize import (
     InvalidRequest,
     RequestSanitizer,
@@ -39,9 +68,20 @@ from repro.serving.service import (
 
 __all__ = [
     "CircuitBreaker",
+    "BREAKER_STATE_CODES",
     "CLOSED",
     "OPEN",
     "HALF_OPEN",
+    "HashRing",
+    "request_key",
+    "ShardedGateway",
+    "GatewayConfig",
+    "GatewayReport",
+    "GatewayStalled",
+    "RoutedResult",
+    "SLOReport",
+    "run_load",
+    "synthetic_requests",
     "Deadline",
     "DeadlineExceeded",
     "ManualClock",

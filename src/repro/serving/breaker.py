@@ -9,24 +9,36 @@ injectable monotonic clock as :mod:`repro.serving.deadline`:
   breaker trips: callers skip Viterbi entirely and go straight to the
   greedy fallback until ``cooldown_s`` has elapsed.  A struggling
   decoder gets no further traffic to drown in.
-* **half-open** — after the cool-down one trial request is let through;
-  success re-closes the breaker, failure re-opens it (and restarts the
-  cool-down).
+* **half-open** — after the cool-down *exactly one* trial request is
+  let through (:meth:`CircuitBreaker.allow` hands out the probe under a
+  lock; concurrent callers are shed, not queued); success re-closes the
+  breaker, failure re-opens it (and restarts the cool-down).
 
-The breaker is deliberately synchronous and unlocked: the serving layer
-processes one micro-batch at a time, and tests drive it with a
+State transitions fire the optional ``on_transition`` observer.
+Observer calls are exception-safe: a raising observer is reported via
+``warnings.warn`` and never wedges the state machine — telemetry must
+not be able to take the breaker down with it.
+
+Tests drive the breaker with a
 :class:`~repro.serving.deadline.ManualClock` for exact state assertions.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import warnings
 
 from repro.serving.deadline import Clock
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+#: Numeric encoding of breaker states for gauges/dashboards
+#: (0 = healthy … 2 = tripped); used by the gateway's per-replica
+#: ``gateway.replica.<i>.breaker_state`` gauge.
+BREAKER_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
 
 
 class CircuitBreaker:
@@ -51,14 +63,30 @@ class CircuitBreaker:
         #: Optional ``on_transition(old_state, new_state, breaker)``
         #: observer, fired on every state *change* (telemetry hook).
         self.on_transition = on_transition
+        #: Half-open probe accounting: exactly one caller may hold the
+        #: probe at a time; ``record_success``/``record_failure``
+        #: release it.
+        self._probe_lock = threading.Lock()
+        self._probe_inflight = False
 
     def _set_state(self, new: str) -> None:
         old = self._state
         if new == old:
             return
         self._state = new
+        if new == HALF_OPEN:
+            self._probe_inflight = False  # fresh probe each half-open
         if self.on_transition is not None:
-            self.on_transition(old, new, self)
+            try:
+                self.on_transition(old, new, self)
+            except Exception as exc:
+                # Telemetry observers must never wedge the breaker.
+                warnings.warn(
+                    f"CircuitBreaker on_transition observer raised "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -71,18 +99,34 @@ class CircuitBreaker:
         return self._state
 
     def allow(self) -> bool:
-        """May the protected operation be attempted right now?"""
-        return self.state != OPEN
+        """May the protected operation be attempted right now?
+
+        Closed: always.  Open: never.  Half-open: exactly one caller
+        wins the probe; until its ``record_success`` /
+        ``record_failure`` lands, every other caller is shed (``False``)
+        rather than queued behind a decoder of unknown health.
+        """
+        state = self.state
+        if state == OPEN:
+            return False
+        if state == HALF_OPEN:
+            with self._probe_lock:
+                if self._probe_inflight:
+                    return False
+                self._probe_inflight = True
+        return True
 
     # ------------------------------------------------------------------
     def record_success(self) -> None:
         """The protected operation completed within budget."""
         self._consecutive_failures = 0
+        self._probe_inflight = False
         self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         """The protected operation raised or blew its deadline."""
         state = self.state  # promote open → half-open first
+        self._probe_inflight = False
         self._consecutive_failures += 1
         if state == HALF_OPEN or (
             self._consecutive_failures >= self.failure_threshold

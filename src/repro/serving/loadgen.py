@@ -1,0 +1,240 @@
+"""Load generation and latency SLO reporting for the serving gateway.
+
+Two textbook arrival models, both fully seeded:
+
+* **open** — requests arrive on a Poisson process at ``rate_rps``
+  (exponential inter-arrivals), independent of how fast the system
+  answers.  This is what real user traffic looks like: a slow fleet
+  does not slow the arrivals down, it grows the queues — so open-loop
+  numbers expose queueing collapse that closed-loop runs hide
+  (coordinated omission).
+* **closed** — a fixed population of ``concurrency`` virtual clients,
+  each submitting its next request only after its previous one
+  completed.  This is the classic benchmark loop; throughput is
+  self-clocked by the system under test.
+
+Latency is accounted through a :class:`repro.obs.metrics.Histogram`
+with the shared fixed :data:`~repro.obs.metrics.LATENCY_MS_BUCKETS`
+bounds, and the p50/p95/p99 in the :class:`SLOReport` are read from the
+histogram's cumulative bucket counts (Prometheus-style upper-bound
+quantiles) — deterministic for a given run, byte-identical across
+re-runs of the same seed on the in-process backend.
+
+The CLI front-end is ``repro loadgen`` (see ``docs/cli.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.obs.metrics import LATENCY_MS_BUCKETS, Histogram
+
+#: Default token pool for synthetic traffic: common-ish words plus
+#: novel-entity-shaped tokens, so requests mix in-vocabulary and OOV.
+_DEFAULT_POOL = (
+    "the", "a", "of", "in", "visited", "reports", "arrived", "today",
+    "yesterday", "company", "river", "city", "Kavox", "Zuqev", "Mirelle",
+    "Tordan", "Quibex", "Halvern",
+)
+
+
+def synthetic_requests(n: int, seed: int = 0,
+                       pool: tuple[str, ...] = _DEFAULT_POOL,
+                       min_len: int = 2, max_len: int = 9) -> list[list[str]]:
+    """``n`` seeded synthetic token sequences drawn from ``pool``."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = np.random.default_rng((seed, 9341))
+    out = []
+    for _ in range(n):
+        length = int(rng.integers(min_len, max_len + 1))
+        out.append([pool[int(i)] for i in rng.integers(0, len(pool), length)])
+    return out
+
+
+def histogram_quantile(hist: Histogram, q: float) -> float:
+    """Upper-bound quantile from fixed bucket counts (Prometheus-style).
+
+    Returns the smallest bucket upper bound covering fraction ``q`` of
+    observations; observations past the last bound report ``inf`` (the
+    histogram cannot see above its top bucket).  Zero observations
+    report 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if hist.count == 0:
+        return 0.0
+    target = q * hist.count
+    cumulative = 0
+    for bound, count in zip(hist.buckets, hist.counts):
+        cumulative += count
+        if cumulative >= target:
+            return bound
+    return float("inf")  # lives in the overflow bucket
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Latency/throughput digest of one load-generation run."""
+
+    model: str                 #: "open" or "closed"
+    offered: int               #: requests the generator submitted
+    completed: int             #: answered with a served result
+    shed: int                  #: backpressured at gateway admission
+    rejected: int              #: invalid input (sanitizer)
+    degraded: int              #: served by the greedy fallback
+    duration_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    #: Raw bucket snapshot backing the quantiles.
+    histogram: dict
+
+    def summary(self) -> dict:
+        return {
+            "model": self.model,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "degraded": self.degraded,
+            "duration_s": round(self.duration_s, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": round(self.mean_ms, 3),
+        }
+
+    def render(self) -> str:
+        def ms(v: float) -> str:
+            return "inf" if v == float("inf") else f"{v:g}"
+
+        lines = [
+            f"load report ({self.model} loop)",
+            f"  offered {self.offered}, completed {self.completed}, "
+            f"shed {self.shed}, rejected {self.rejected}, "
+            f"degraded {self.degraded}",
+            f"  duration {self.duration_s:.3f} s, "
+            f"throughput {self.throughput_rps:.1f} req/s",
+            f"  latency p50 <= {ms(self.p50_ms)} ms, "
+            f"p95 <= {ms(self.p95_ms)} ms, p99 <= {ms(self.p99_ms)} ms "
+            f"(mean {self.mean_ms:.3f} ms)",
+        ]
+        return "\n".join(lines)
+
+
+def _classify(result) -> str:
+    status = getattr(result, "status", "?")
+    if status == "ok":
+        return "degraded" if getattr(result, "degraded", False) else "ok"
+    if status == "rejected":
+        return "rejected"
+    return "shed"  # Overloaded: gateway admission or replica queue
+
+
+def run_load(gateway, requests, model: str = "open",
+             rate_rps: float = 200.0, concurrency: int = 8,
+             seed: int = 0, timeout_s: float | None = 60.0) -> SLOReport:
+    """Drive ``gateway`` with ``requests`` under one arrival model.
+
+    ``gateway`` needs the :class:`~repro.serving.gateway.ShardedGateway`
+    surface (``submit`` / ``pump`` / ``collect`` / ``clock`` /
+    ``outstanding``).  On a manual clock the generator *advances* time
+    instead of sleeping, so open-loop schedules are exact and tests are
+    instant.  Returns the :class:`SLOReport`; per-request latencies are
+    also mirrored into the active telemetry session as the
+    ``loadgen.latency_ms`` histogram.
+    """
+    if model not in ("open", "closed"):
+        raise ValueError(f"model must be 'open' or 'closed', got {model!r}")
+    if model == "open" and rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if model == "closed" and concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    requests = [list(r) for r in requests]
+    n = len(requests)
+    clock = gateway.clock
+    manual = hasattr(clock, "advance")
+    poll_s = getattr(gateway.config, "poll_interval_s", 0.002)
+    hist = Histogram("loadgen.latency_ms", LATENCY_MS_BUCKETS)
+    outcomes = {"ok": 0, "degraded": 0, "rejected": 0, "shed": 0}
+    t_wall0 = time.monotonic()
+    t0 = clock()
+
+    def wait(dt: float) -> None:
+        if dt <= 0:
+            return
+        if manual:
+            clock.advance(dt)
+        else:
+            time.sleep(dt)
+
+    def absorb() -> int:
+        got = 0
+        for routed in gateway.collect().values():
+            got += 1
+            outcomes[_classify(routed.result)] += 1
+            if routed.replica is not None:
+                hist.observe(routed.latency_ms)
+                obs.observe("loadgen.latency_ms", routed.latency_ms)
+        return got
+
+    submitted = 0
+    done = 0
+    if model == "open":
+        rng = np.random.default_rng((seed, 4721))
+        arrivals = t0 + np.cumsum(rng.exponential(1.0 / rate_rps, size=n))
+        while done < n:
+            now = clock()
+            while submitted < n and arrivals[submitted] <= now:
+                gateway.submit(requests[submitted])
+                submitted += 1
+            gateway.pump()
+            done += absorb()
+            if done >= n:
+                break
+            if timeout_s is not None and time.monotonic() - t_wall0 > timeout_s:
+                break
+            if submitted < n:
+                wait(min(poll_s, max(0.0, arrivals[submitted] - clock())))
+            else:
+                wait(poll_s)
+    else:
+        while done < n:
+            while submitted < n and (submitted - done) < concurrency:
+                gateway.submit(requests[submitted])
+                submitted += 1
+            gateway.pump()
+            delivered = absorb()
+            done += delivered
+            if done >= n:
+                break
+            if timeout_s is not None and time.monotonic() - t_wall0 > timeout_s:
+                break
+            if not delivered:
+                wait(poll_s)
+
+    duration = max(clock() - t0, 1e-9)
+    completed = outcomes["ok"] + outcomes["degraded"]
+    return SLOReport(
+        model=model,
+        offered=submitted,
+        completed=completed,
+        shed=outcomes["shed"],
+        rejected=outcomes["rejected"],
+        degraded=outcomes["degraded"],
+        duration_s=duration,
+        throughput_rps=done / duration,
+        p50_ms=histogram_quantile(hist, 0.50),
+        p95_ms=histogram_quantile(hist, 0.95),
+        p99_ms=histogram_quantile(hist, 0.99),
+        mean_ms=hist.mean,
+        histogram=hist.snapshot(),
+    )

@@ -1,0 +1,95 @@
+"""Consistent-hash request routing for the sharded gateway.
+
+A :class:`HashRing` places ``virtual_nodes`` points per shard on a
+2^64 ring, each derived from a keyed blake2b digest — fully
+deterministic across processes and Python builds (no reliance on
+``hash()`` randomisation).  :meth:`HashRing.preference` walks the ring
+clockwise from a request key's position and yields every shard once, in
+ring order: element 0 is the shard consistent hashing *wants* for the
+key, the rest are the deterministic fallback order the gateway uses
+when that shard is draining, dead, or breaker-open.
+
+Consistent hashing gives the gateway two properties a modulo hash does
+not:
+
+* **Stability** — the same request key routes to the same replica run
+  after run, which keeps replica-local caches (adaptation caches,
+  OOV statistics) warm for repeat traffic;
+* **Minimal disruption** — removing one shard only remaps the keys that
+  shard owned; every other key keeps its replica.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+#: Unit separator: joins request tokens into one hash key without
+#: colliding "ab"+"c" with "a"+"bc" (tokens never contain controls —
+#: the sanitizer strips them — but routing must not assume that).
+_SEP = "\x1f"
+
+
+def request_key(tokens: Sequence[str]) -> str:
+    """The routing key of a request: its tokens, order-sensitive."""
+    return _SEP.join(str(t) for t in tokens)
+
+
+def _point(label: str) -> int:
+    """Deterministic 64-bit ring position for ``label``."""
+    digest = hashlib.blake2b(label.encode("utf-8", "surrogatepass"),
+                             digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class HashRing:
+    """A consistent-hash ring over ``shards`` integer shard ids."""
+
+    def __init__(self, shards: Iterable[int], virtual_nodes: int = 16):
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.shards = tuple(sorted(int(s) for s in shards))
+        if not self.shards:
+            raise ValueError("a hash ring needs at least one shard")
+        if len(set(self.shards)) != len(self.shards):
+            raise ValueError(f"duplicate shard ids: {self.shards}")
+        self.virtual_nodes = int(virtual_nodes)
+        points: list[tuple[int, int]] = []
+        for shard in self.shards:
+            for v in range(self.virtual_nodes):
+                points.append((_point(f"shard-{shard}-vn-{v}"), shard))
+        points.sort()
+        self._points = points
+        self._positions = [p for p, _s in points]
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> int:
+        """The shard owning ``key``: first ring point at or after it."""
+        return self.preference(key)[0]
+
+    def preference(self, key: str) -> tuple[int, ...]:
+        """Every shard once, in clockwise ring order from ``key``.
+
+        The fixed fallback sequence for one key: ``preference(key)[0]``
+        is the consistent-hash owner; when the gateway must fail over,
+        it takes the *next distinct* shard along the ring, so fallback
+        assignments are as stable as primary ones.
+        """
+        start = bisect_right(self._positions, _point(key))
+        n = len(self._points)
+        seen: list[int] = []
+        for i in range(n):
+            shard = self._points[(start + i) % n][1]
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) == len(self.shards):
+                    break
+        return tuple(seen)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        return (f"HashRing(shards={self.shards}, "
+                f"virtual_nodes={self.virtual_nodes})")

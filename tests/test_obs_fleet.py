@@ -1,0 +1,194 @@
+"""Fleet-aware telemetry: fork-split sinks and multi-stream merging."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.events import JsonlSink, render_event, sibling_paths
+from repro.obs.report import build_report, load_events, render_report
+
+
+def read_jsonl(path):
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestJsonlSinkForkModes:
+    def test_on_fork_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="on_fork"):
+            JsonlSink(str(tmp_path / "ev.jsonl"), on_fork="merge")
+
+    def test_drop_mode_discards_child_writes(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        sink = JsonlSink(path, on_fork="drop")
+        sink.write({"kind": "event", "name": "parent"})
+        sink._pid = os.getpid() + 1  # simulate being in a forked child
+        sink.write({"kind": "event", "name": "child"})
+        sink._pid = os.getpid()
+        sink.close()
+        assert [r["name"] for r in read_jsonl(path)] == ["parent"]
+
+    def test_split_mode_reopens_sibling(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        sink = JsonlSink(path, on_fork="split")
+        sink.write({"kind": "event", "name": "parent"})
+        sink._pid = os.getpid() + 1  # simulate being in a forked child
+        sink.write({"kind": "event", "name": "child"})
+        sink.close()
+        assert [r["name"] for r in read_jsonl(path)] == ["parent"]
+        sibling = f"{path}.fork-{os.getpid()}"
+        assert [r["name"] for r in read_jsonl(sibling)] == ["child"]
+        assert sink.path == sibling  # the child owns its own stream now
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork unavailable")
+    def test_split_mode_across_a_real_fork(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        sink = JsonlSink(path, on_fork="split")
+        sink.write({"kind": "event", "name": "parent"})
+        pid = os.fork()
+        if pid == 0:  # child
+            try:
+                sink.write({"kind": "event", "name": "child"})
+            finally:
+                os._exit(0)
+        os.waitpid(pid, 0)
+        sink.write({"kind": "event", "name": "parent-again"})
+        sink.close()
+        assert [r["name"] for r in read_jsonl(path)] == [
+            "parent", "parent-again",
+        ]
+        forks = [p for p in sibling_paths(path) if ".fork-" in p]
+        assert len(forks) == 1
+        assert [r["name"] for r in read_jsonl(forks[0])] == ["child"]
+
+
+class TestSiblingPaths:
+    def test_main_stream_first_then_sorted_siblings(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        for suffix in ("", ".replica-2", ".replica-0", ".fork-123"):
+            with open(path + suffix, "w", encoding="utf-8") as fh:
+                fh.write("{}\n")
+        assert sibling_paths(path) == [
+            path, f"{path}.fork-123", f"{path}.replica-0",
+            f"{path}.replica-2",
+        ]
+
+    def test_nested_fork_under_replica_found(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        nested = f"{path}.replica-1.fork-99"
+        for p in (path, f"{path}.replica-1", nested):
+            with open(p, "w", encoding="utf-8") as fh:
+                fh.write("{}\n")
+        assert nested in sibling_paths(path)
+
+    def test_missing_main_stream_still_finds_replicas(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        with open(f"{path}.replica-0", "w", encoding="utf-8") as fh:
+            fh.write("{}\n")
+        assert sibling_paths(path) == [f"{path}.replica-0"]
+
+
+def write_jsonl(path, records):
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+def metrics_record(counters=None, gauges=None, histograms=None):
+    return {
+        "kind": "metrics",
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    }
+
+
+class TestFleetMerge:
+    def test_counters_summed_across_streams(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        write_jsonl(path, [
+            metrics_record(counters={"gateway.admitted": 5}),
+        ])
+        write_jsonl(f"{path}.replica-0", [
+            metrics_record(counters={"serving.served": 3}),
+        ])
+        write_jsonl(f"{path}.replica-1", [
+            metrics_record(counters={"serving.served": 4}),
+        ])
+        report = build_report(load_events(path))
+        assert report["metrics"]["counters"]["serving.served"] == 7
+        assert report["metrics"]["counters"]["gateway.admitted"] == 5
+        assert len(report["sources"]) == 3
+
+    def test_last_snapshot_wins_within_one_stream(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        write_jsonl(path, [
+            metrics_record(counters={"serving.served": 1}),
+            metrics_record(counters={"serving.served": 9}),  # cumulative
+        ])
+        write_jsonl(f"{path}.replica-0", [
+            metrics_record(counters={"serving.served": 2}),
+        ])
+        report = build_report(load_events(path))
+        assert report["metrics"]["counters"]["serving.served"] == 11
+
+    def test_histograms_summed_when_buckets_match(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        hist_a = {"buckets": [1.0, 2.0], "counts": [1, 2, 0],
+                  "count": 3, "sum": 3.5}
+        hist_b = {"buckets": [1.0, 2.0], "counts": [0, 1, 1],
+                  "count": 2, "sum": 4.0}
+        write_jsonl(path, [metrics_record(histograms={"lat": hist_a})])
+        write_jsonl(f"{path}.replica-0",
+                    [metrics_record(histograms={"lat": hist_b})])
+        merged = build_report(load_events(path))["metrics"]["histograms"]
+        assert merged["lat"]["counts"] == [1, 3, 1]
+        assert merged["lat"]["count"] == 5
+        assert merged["lat"]["sum"] == 7.5
+
+    def test_single_stream_load_is_untagged(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        records = [{"kind": "event", "name": "x", "t": 1.0}]
+        write_jsonl(path, records)
+        assert load_events(path) == records  # byte-identical round trip
+
+    def test_gateway_section_and_fleet_banner(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        write_jsonl(path, [metrics_record(counters={
+            "gateway.admitted": 10, "gateway.completed": 10,
+            "gateway.deaths": 2, "gateway.rebuilds": 2,
+        })])
+        write_jsonl(f"{path}.replica-0",
+                    [metrics_record(counters={"serving.served": 10})])
+        report = build_report(load_events(path))
+        assert report["gateway"]["admitted"] == 10
+        assert report["gateway"]["deaths"] == 2
+        text = render_report(report)
+        assert "fleet run: merged 2 event streams" in text
+        assert "gateway: 10 admitted" in text
+
+
+class TestRenderGatewayEvents:
+    @pytest.mark.parametrize("record,needle", [
+        ({"kind": "event", "name": "gateway.breaker", "replica": 1,
+          "old": "closed", "new": "open"},
+         "gateway breaker[1]: closed -> open"),
+        ({"kind": "event", "name": "gateway.replica_down", "replica": 0,
+          "kind_": "death", "kind": "event", "inflight": 2, "queued": 1},
+         "in-flight refunded"),
+        ({"kind": "event", "name": "gateway.replica_rebuilt",
+          "replica": 2, "generation": 3},
+         "replica 2 rebuilt (generation 3)"),
+        ({"kind": "event", "name": "gateway.replica_draining",
+          "replica": 1},
+         "draining for reload"),
+        ({"kind": "event", "name": "gateway.replica_reloaded",
+          "replica": 1, "generation": 1},
+         "replica 1 reloaded (generation 1)"),
+        ({"kind": "event", "name": "gateway.hedge", "ticket": 7,
+          "primary": 0, "hedge": 2},
+         "hedge: ticket 7 replica 0 -> 2"),
+    ])
+    def test_each_gateway_event_renders(self, record, needle):
+        assert needle in render_event(record)

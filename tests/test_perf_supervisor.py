@@ -81,6 +81,60 @@ class TestHangRecovery:
             [(t.index, t.attempts) for t in innocents]
 
 
+class TestRetryBackoff:
+    """Jittered exponential retry delays, seeded and deterministic."""
+
+    def test_delay_schedule_is_deterministic(self):
+        a = EpisodeExecutor(workers=2, retry_backoff_s=0.1, backoff_seed=7)
+        b = EpisodeExecutor(workers=2, retry_backoff_s=0.1, backoff_seed=7)
+        schedule = [(attempt, index) for attempt in (1, 2, 3)
+                    for index in range(6)]
+        assert [a.retry_delay_s(*s) for s in schedule] \
+            == [b.retry_delay_s(*s) for s in schedule]
+
+    def test_delay_bounds_double_per_attempt(self):
+        ex = EpisodeExecutor(workers=2, retry_backoff_s=0.1, backoff_seed=0)
+        for attempt in (1, 2, 3):
+            lo = 0.1 * (2.0 ** (attempt - 1)) * 0.5
+            hi = 0.1 * (2.0 ** (attempt - 1)) * 1.5
+            for index in range(8):
+                assert lo <= ex.retry_delay_s(attempt, index) < hi
+
+    def test_indices_fan_out_not_lockstep(self):
+        ex = EpisodeExecutor(workers=2, retry_backoff_s=0.1, backoff_seed=0)
+        delays = {ex.retry_delay_s(1, i) for i in range(8)}
+        assert len(delays) == 8  # every index gets its own jitter
+
+    def test_different_seeds_differ(self):
+        a = EpisodeExecutor(workers=2, retry_backoff_s=0.1, backoff_seed=0)
+        b = EpisodeExecutor(workers=2, retry_backoff_s=0.1, backoff_seed=1)
+        assert a.retry_delay_s(1, 0) != b.retry_delay_s(1, 0)
+
+    def test_zero_backoff_keeps_immediate_retries(self):
+        ex = EpisodeExecutor(workers=2)  # historical default
+        assert ex.retry_backoff_s == 0.0
+        assert ex.retry_delay_s(1, 0) == 0.0
+        assert ex.retry_delay_s(5, 3) == 0.0
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError, match="retry_backoff_s"):
+            EpisodeExecutor(workers=2, retry_backoff_s=-0.5)
+
+    def test_delayed_retries_still_recover(self):
+        injector = FaultInjector(worker_raise_at=(1, 4))
+        ex = EpisodeExecutor(workers=2, fault_injector=injector,
+                             retry_backoff_s=0.02, backoff_seed=3,
+                             stall_timeout_s=10.0)
+        _require_fork(ex)
+        items = list(range(6))
+        report = ex.run(_work, items)
+        assert report.results == _expected(items)
+        assert not report.failed_indices
+        for i in (1, 4):
+            assert report.tasks[i].outcome == "recovered"
+            assert report.tasks[i].attempts == 2
+
+
 class TestCorruptionAndValidation:
     def test_corrupt_result_rejected_and_retried(self):
         def reject_non_finite(value, index):

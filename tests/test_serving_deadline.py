@@ -1,8 +1,11 @@
 """Deadlines, the manual clock, and the circuit breaker."""
 
+import threading
+
 import pytest
 
 from repro.serving import (
+    BREAKER_STATE_CODES,
     CLOSED,
     HALF_OPEN,
     OPEN,
@@ -118,3 +121,88 @@ class TestCircuitBreaker:
             CircuitBreaker(failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(cooldown_s=-1.0)
+
+
+class TestHalfOpenProbe:
+    """Exactly one caller wins the half-open probe; losers are shed."""
+
+    def make(self, cooldown=1.0):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=cooldown,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(cooldown)
+        assert breaker.state == HALF_OPEN
+        return clock, breaker
+
+    def test_second_caller_is_shed_until_probe_resolves(self):
+        _clock, breaker = self.make()
+        assert breaker.allow()        # wins the probe
+        assert not breaker.allow()    # shed, not queued
+        assert not breaker.allow()
+        breaker.record_success()      # probe resolves
+        assert breaker.state == CLOSED
+        assert breaker.allow()        # closed again: everyone through
+
+    def test_probe_failure_reopens_and_next_cooldown_reprobes(self):
+        clock, breaker = self.make()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        clock.advance(1.0)            # fresh half-open, fresh probe
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_concurrent_probes_admit_exactly_one(self):
+        _clock, breaker = self.make()
+        outcomes = []
+        barrier = threading.Barrier(8)
+
+        def contender():
+            barrier.wait()
+            outcomes.append(breaker.allow())
+
+        threads = [threading.Thread(target=contender) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count(True) == 1
+        assert outcomes.count(False) == 7
+
+
+class TestTransitionObserver:
+    def test_observer_sees_every_transition(self):
+        clock = ManualClock()
+        seen = []
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock,
+            on_transition=lambda old, new, b: seen.append((old, new)),
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert seen == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                        (HALF_OPEN, CLOSED)]
+
+    def test_raising_observer_warns_but_never_wedges(self):
+        clock = ManualClock()
+
+        def bomb(old, new, breaker):
+            raise RuntimeError("telemetry exploded")
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0,
+                                 clock=clock, on_transition=bomb)
+        with pytest.warns(RuntimeWarning, match="telemetry exploded"):
+            breaker.record_failure()
+        assert breaker.state == OPEN  # the transition still happened
+        clock.advance(1.0)
+        with pytest.warns(RuntimeWarning):
+            assert breaker.state == HALF_OPEN
+        assert breaker.allow()        # probe machinery intact
+
+    def test_state_codes_cover_every_state(self):
+        assert set(BREAKER_STATE_CODES) == {CLOSED, HALF_OPEN, OPEN}
+        assert sorted(BREAKER_STATE_CODES.values()) == [0, 1, 2]

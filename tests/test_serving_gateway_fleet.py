@@ -1,0 +1,133 @@
+"""The gateway on forked worker processes: real kills, real pipes."""
+
+import numpy as np
+import pytest
+
+from repro.data.tags import TagScheme
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+from repro.reliability.chaos import run_scenario
+from repro.serving import (
+    GatewayConfig,
+    ServiceConfig,
+    ShardedGateway,
+    TaggingService,
+)
+from repro.serving.replica import ProcessReplica, fork_available
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fork-backed replicas unavailable here"
+)
+
+TOKENS = ("the", "Kavox", "visited", "Zuqev", "today", "reports", "arrived")
+
+
+@pytest.fixture(scope="module")
+def factory():
+    scheme = TagScheme(("0", "1"))
+    model = CNNBiGRUCRF(
+        Vocabulary(TOKENS), CharVocabulary(TOKENS), scheme.num_tags,
+        BackboneConfig(), np.random.default_rng(0), tag_names=scheme.tags,
+    )
+
+    def build(replica_id):
+        return TaggingService(model, scheme, ServiceConfig(max_pending=256))
+
+    return build
+
+
+class TestProcessReplica:
+    def test_round_trip_and_ready(self, factory):
+        replica = ProcessReplica(0, factory)
+        replica.start()
+        try:
+            replica.send(7, ["the", "Kavox"], "__unset__")
+            out = {}
+            deadline = 200
+            while 7 not in out and deadline:
+                out.update(dict(replica.poll()))
+                deadline -= 1
+                if 7 not in out:
+                    import time
+                    time.sleep(0.02)
+            assert out[7].ok
+            assert replica.ready()
+        finally:
+            replica.stop(timeout_s=5.0)
+        assert not replica.alive()
+
+    def test_kill_then_restart_gets_fresh_queues(self, factory):
+        replica = ProcessReplica(1, factory)
+        replica.start()
+        try:
+            old_q = replica._request_q
+            replica.kill()
+            assert not replica.alive()
+            replica.restart()
+            assert replica._request_q is not old_q
+            assert replica.generation == 1
+            assert replica.alive()
+        finally:
+            replica.stop(timeout_s=5.0)
+
+
+class TestProcessGateway:
+    def test_sigkill_mid_traffic_loses_nothing(self, factory):
+        oracle = factory(-1)
+        config = GatewayConfig(replicas=3, max_shard_queue=256,
+                               breaker_cooldown_ms=50.0)
+        with ShardedGateway(factory, config, backend="process") as gateway:
+            requests = [[TOKENS[i % 7], TOKENS[(i + 3) % 7]]
+                        for i in range(24)]
+            tickets = [gateway.submit(toks) for toks in requests]
+            gateway.pump()
+            live = [s["replica"] for s in gateway.health()["per_replica"]
+                    if s["alive"]]
+            gateway.kill_replica(live[0])
+            done = gateway.drain(timeout_s=60.0)
+            for ticket, toks in zip(tickets, requests):
+                routed = done[ticket]
+                if routed.replica is None:
+                    continue  # shed at admission, still answered
+                assert routed.result.ok
+                assert routed.result.spans == oracle.tag(toks).spans
+        report = gateway.report
+        assert report.deaths == 1
+        assert report.rebuilds == 1
+        assert report.completed == report.admitted
+
+    def test_rolling_reload_under_load_zero_failures(self, factory):
+        config = GatewayConfig(replicas=3, max_shard_queue=256)
+        with ShardedGateway(factory, config, backend="process") as gateway:
+            gateway.start_rolling_reload()
+            tickets = []
+            inflight_cap = 6
+            i = 0
+            while gateway.reloading or gateway.outstanding:
+                if (gateway.outstanding < inflight_cap
+                        and len(tickets) < 120):
+                    tickets.append(gateway.submit([TOKENS[i % 7]]))
+                    i += 1
+                gateway.pump()
+                if not gateway.reloading and len(tickets) >= 12:
+                    break
+            done = gateway.drain(timeout_s=60.0)
+            assert all(done[t].result.ok for t in tickets if t in done)
+        report = gateway.report
+        assert report.reloads == 3
+        assert report.max_concurrent_draining == 1
+        assert report.deaths == 0
+        assert report.shed == 0
+
+
+class TestChaosScenario:
+    def test_gateway_replica_kill_scenario_passes(self):
+        result = run_scenario("gateway-replica-kill", seed=0)
+        assert result.passed, result.failures()
+        assert result.details["kills"] >= 2
+        assert result.details["completed"] == result.details["admitted"]
+
+    def test_underscore_alias_resolves(self):
+        result = run_scenario("gateway_replica_kill", seed=3)
+        assert result.scenario == "gateway-replica-kill"
+        assert result.passed, result.failures()

@@ -1,0 +1,184 @@
+"""Seeded load generation and SLO reporting against the gateway."""
+
+import numpy as np
+import pytest
+
+from repro.data.tags import TagScheme
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+from repro.obs.metrics import Histogram
+from repro.serving import (
+    GatewayConfig,
+    ManualClock,
+    ServiceConfig,
+    ShardedGateway,
+    TaggingService,
+)
+from repro.serving.loadgen import (
+    histogram_quantile,
+    run_load,
+    synthetic_requests,
+)
+
+TOKENS = ["the", "Kavox", "visited", "Zuqev", "today", "reports", "arrived"]
+
+
+@pytest.fixture(scope="module")
+def model():
+    scheme = TagScheme(("0", "1"))
+    return CNNBiGRUCRF(
+        Vocabulary(TOKENS), CharVocabulary(TOKENS), scheme.num_tags,
+        BackboneConfig(), np.random.default_rng(0), tag_names=scheme.tags,
+    ), scheme
+
+
+def make_gateway(model, config=None, service_time_s=None):
+    backbone, scheme = model
+    clock = ManualClock()
+
+    def factory(replica_id):
+        return TaggingService(backbone, scheme,
+                              ServiceConfig(max_pending=512), clock=clock)
+
+    return ShardedGateway(factory, config or GatewayConfig(replicas=2),
+                          backend="in-process", clock=clock,
+                          service_time_s=service_time_s)
+
+
+class TestSyntheticRequests:
+    def test_deterministic_per_seed(self):
+        assert synthetic_requests(16, seed=4) == synthetic_requests(16, seed=4)
+        assert synthetic_requests(16, seed=4) != synthetic_requests(16, seed=5)
+
+    def test_lengths_bounded_and_pool_respected(self):
+        pool = ("alpha", "beta")
+        for tokens in synthetic_requests(50, seed=0, pool=pool,
+                                         min_len=3, max_len=5):
+            assert 3 <= len(tokens) <= 5
+            assert set(tokens) <= set(pool)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_requests(-1)
+
+
+class TestHistogramQuantile:
+    def test_exact_upper_bounds(self):
+        hist = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.9, 1.5, 1.7, 3.0):
+            hist.observe(value)
+        # cumulative counts: <=1.0 → 2, <=2.0 → 4, <=4.0 → 5
+        assert histogram_quantile(hist, 0.25) == 1.0
+        assert histogram_quantile(hist, 0.4) == 1.0
+        assert histogram_quantile(hist, 0.5) == 2.0
+        assert histogram_quantile(hist, 0.8) == 2.0
+        assert histogram_quantile(hist, 1.0) == 4.0
+
+    def test_overflow_reports_inf(self):
+        hist = Histogram("t", buckets=(1.0,))
+        hist.observe(50.0)
+        assert histogram_quantile(hist, 0.99) == float("inf")
+
+    def test_empty_histogram_is_zero(self):
+        assert histogram_quantile(Histogram("t", buckets=(1.0,)), 0.5) == 0.0
+
+    def test_quantile_domain_checked(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(Histogram("t", buckets=(1.0,)), 1.5)
+
+
+class TestRunLoad:
+    def test_open_loop_completes_and_reports(self, model):
+        with make_gateway(model) as gateway:
+            requests = synthetic_requests(32, seed=1, pool=tuple(TOKENS))
+            slo = run_load(gateway, requests, model="open",
+                           rate_rps=500.0, seed=1, timeout_s=30.0)
+        assert slo.model == "open"
+        assert slo.offered == 32
+        assert slo.completed == 32
+        assert slo.shed == 0
+        assert slo.p50_ms <= slo.p95_ms <= slo.p99_ms
+        assert slo.histogram["count"] == 32
+
+    def test_open_loop_latency_tracks_service_time(self, model):
+        # 40 ms of modelled service time must surface in the quantiles.
+        with make_gateway(model,
+                          service_time_s=lambda t, k: 0.040) as gateway:
+            slo = run_load(gateway, synthetic_requests(16, seed=2),
+                           model="open", rate_rps=100.0, seed=2,
+                           timeout_s=30.0)
+        assert slo.p50_ms >= 50.0  # 40 ms lands in the (25, 50] bucket
+
+    def test_closed_loop_bounds_concurrency(self, model):
+        seen = []
+
+        class Spy:
+            def __init__(self, gateway):
+                self._g = gateway
+                self.clock = gateway.clock
+                self.config = gateway.config
+
+            def submit(self, tokens):
+                return self._g.submit(tokens)
+
+            def pump(self):
+                seen.append(self._g.outstanding)
+                return self._g.pump()
+
+            def collect(self):
+                return self._g.collect()
+
+            @property
+            def outstanding(self):
+                return self._g.outstanding
+
+        with make_gateway(model,
+                          service_time_s=lambda t, k: 0.01) as gateway:
+            slo = run_load(Spy(gateway), synthetic_requests(24, seed=3),
+                           model="closed", concurrency=4, timeout_s=30.0)
+        assert slo.completed == 24
+        assert max(seen) <= 4
+
+    def test_deterministic_on_manual_clock(self, model):
+        def once():
+            with make_gateway(model,
+                              service_time_s=lambda t, k: 0.005) as gateway:
+                return run_load(gateway, synthetic_requests(20, seed=7),
+                                model="open", rate_rps=300.0, seed=7,
+                                timeout_s=30.0).summary()
+
+        first, second = once(), once()
+        # Wall-clock duration differs run to run; everything latency-
+        # and outcome-shaped must not.
+        for key in ("offered", "completed", "shed", "p50_ms", "p95_ms",
+                    "p99_ms", "mean_ms"):
+            assert first[key] == second[key]
+
+    def test_sheds_counted_not_lost(self, model):
+        config = GatewayConfig(replicas=2, max_shard_queue=2)
+        with make_gateway(model, config,
+                          service_time_s=lambda t, k: 50.0) as gateway:
+            slo = run_load(gateway, synthetic_requests(30, seed=4),
+                           model="open", rate_rps=10000.0, seed=4,
+                           timeout_s=5.0)
+        assert slo.shed > 0
+        assert slo.offered == slo.completed + slo.shed + slo.rejected \
+            + (gateway.outstanding)
+
+    def test_validation(self, model):
+        with make_gateway(model) as gateway:
+            with pytest.raises(ValueError, match="model"):
+                run_load(gateway, [], model="bursty")
+            with pytest.raises(ValueError, match="rate_rps"):
+                run_load(gateway, [], model="open", rate_rps=0.0)
+            with pytest.raises(ValueError, match="concurrency"):
+                run_load(gateway, [], model="closed", concurrency=0)
+
+    def test_render_and_summary(self, model):
+        with make_gateway(model) as gateway:
+            slo = run_load(gateway, synthetic_requests(8, seed=5),
+                           model="closed", concurrency=2, timeout_s=30.0)
+        text = slo.render()
+        assert "closed loop" in text and "p95" in text
+        summary = slo.summary()
+        assert summary["offered"] == 8 and summary["model"] == "closed"

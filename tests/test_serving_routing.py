@@ -1,0 +1,67 @@
+"""Consistent-hash routing for the sharded gateway."""
+
+import pytest
+
+from repro.serving.routing import HashRing, request_key
+
+
+class TestRequestKey:
+    def test_order_sensitive(self):
+        assert request_key(["a", "b"]) != request_key(["b", "a"])
+
+    def test_concatenation_cannot_collide(self):
+        assert request_key(["ab", "c"]) != request_key(["a", "bc"])
+
+    def test_deterministic(self):
+        assert request_key(["x", "y"]) == request_key(["x", "y"])
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        keys = [request_key([f"tok{i}", "x"]) for i in range(64)]
+        assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+    def test_preference_covers_every_shard_once(self):
+        ring = HashRing(range(5))
+        pref = ring.preference(request_key(["hello", "world"]))
+        assert sorted(pref) == list(range(5))
+        assert pref[0] == ring.lookup(request_key(["hello", "world"]))
+
+    def test_removing_a_shard_only_remaps_its_own_keys(self):
+        full = HashRing(range(4))
+        reduced = HashRing([0, 1, 2])  # shard 3 removed
+        keys = [request_key([f"w{i}"]) for i in range(200)]
+        moved = 0
+        for key in keys:
+            owner = full.lookup(key)
+            new_owner = reduced.lookup(key)
+            if owner == 3:
+                assert new_owner != 3
+            else:
+                if new_owner != owner:
+                    moved += 1
+        assert moved == 0  # consistent hashing: survivors keep their keys
+
+    def test_distribution_roughly_balanced(self):
+        ring = HashRing(range(4), virtual_nodes=64)
+        keys = [request_key([f"req{i}", "body"]) for i in range(2000)]
+        counts = {s: 0 for s in range(4)}
+        for key in keys:
+            counts[ring.lookup(key)] += 1
+        for shard, count in counts.items():
+            assert count > 150, f"shard {shard} starved: {counts}"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([1, 1])
+        with pytest.raises(ValueError):
+            HashRing([0], virtual_nodes=0)
+
+    def test_len_and_repr(self):
+        ring = HashRing(range(3))
+        assert len(ring) == 3
+        assert "virtual_nodes" in repr(ring)
