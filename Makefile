@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-gateway verify-chaos verify-obs
+.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-gateway verify-chaos verify-obs verify-store
 
 install:
 	$(PYTHON) setup.py develop
@@ -35,6 +35,16 @@ verify-gateway:
 verify-chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos soak --max-rounds 1 --seed 0
 
+verify-store:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_store.py \
+	    tests/test_store_recovery.py \
+	    tests/test_store_cache.py \
+	    tests/test_store_integration.py \
+	    tests/test_reliability_integrity.py -q
+	PYTHONPATH=src $(PYTHON) -m repro chaos soak \
+	    --scenario store-corruption --scenario store-crash-mid-write \
+	    --max-rounds 2 --time-budget-s 120 --seed 0
+
 verify-obs:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_obs_trace.py \
 	    tests/test_obs_metrics.py \
@@ -50,7 +60,7 @@ bench:
 
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro perf bench --preset smoke \
-	    --workloads crf_nll crf_decode rnn_forward \
+	    --workloads crf_nll crf_decode rnn_forward store_roundtrip \
 	    --check benchmarks/BENCH_baseline.json --threshold 1.0 \
 	    --output /tmp/bench_smoke.json
 

@@ -21,13 +21,25 @@ Commands:
   bursts) under a time/round budget and fail on any broken invariant;
 * ``obs report`` — aggregate a ``--telemetry`` JSONL stream into a
   run report (per-phase time breakdown, executor retry/quarantine
-  counts, adaptation-cache hit rate, notable events).
+  counts, adaptation-cache and persistent-store hit rates, notable
+  events);
+* ``store``      — inspect/maintain a persistent store directory
+  (``stats``, ``verify``, ``compact``).
 
 The ``train``, ``evaluate``, ``experiment``, ``tag`` and ``perf
 bench`` commands accept ``--telemetry PATH``: the whole command runs
 inside a :mod:`repro.obs` telemetry session and appends spans, events
 and a final metrics snapshot to ``PATH`` as JSON lines.  Telemetry
 never changes results — scores are bit-identical with it on or off.
+
+The ``train``, ``evaluate``, ``tag``, ``serve``, ``loadgen`` and
+``perf bench`` commands accept ``--store-dir DIR``: expensive frozen
+computations (embedding matrices, contextual features, adaptation
+encoder passes, decoded paths) are persisted in a crash-safe
+content-addressed store and reused across runs.  Like telemetry, the
+store never changes results — cache hits are bit-identical to
+recomputing, and any store fault degrades to recompute
+(``docs/store.md``).
 
 Examples::
 
@@ -66,6 +78,15 @@ def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
                         help="append tracing spans, events and metrics "
                              "to this JSONL file (inspect with "
                              "'repro obs report PATH')")
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store-dir", default=None, metavar="DIR",
+                        help="persistent embedding/adaptation store "
+                             "directory; cached computations are reused "
+                             "across runs, bit-identically, and any "
+                             "store fault degrades to recompute "
+                             "(inspect with 'repro store stats DIR')")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -531,6 +552,59 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.store import ContentStore, StoreError
+
+    if not os.path.isdir(args.directory):
+        print(f"error: store directory {args.directory!r} does not exist",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.store_command == "compact":
+            with ContentStore(args.directory, writer=True) as store:
+                if not store.writer:
+                    print(f"error: store {args.directory!r} is locked by "
+                          f"another writer; cannot compact", file=sys.stderr)
+                    return 1
+                out = store.compact()
+            print(f"compacted {out['records']} record(s): "
+                  f"{out['before_bytes']} -> {out['after_bytes']} bytes, "
+                  f"{out['segments_removed']} segment(s) removed")
+            return 0
+        # stats/verify open read-only: no lock taken, no repair performed.
+        with ContentStore(args.directory, writer=False) as store:
+            if args.store_command == "verify":
+                out = store.verify()
+                if args.json:
+                    print(json.dumps(out, indent=2, sort_keys=True))
+                else:
+                    print(f"{out['segments']} segment(s), "
+                          f"{out['records']} record(s), "
+                          f"{out['bytes']} payload byte(s)")
+                    for bad in out["bad"]:
+                        print(f"  [{bad['damage']}] {bad['segment']}: "
+                              f"{bad['detail']}")
+                return 1 if out["bad"] else 0
+            out = store.stats()
+            if args.json:
+                print(json.dumps(out, indent=2, sort_keys=True))
+            else:
+                print(f"store {out['directory']}: {out['records']} "
+                      f"record(s) in {out['segments']} segment(s), "
+                      f"{out['file_bytes']} bytes on disk "
+                      f"({out['live_bytes']} live)")
+                if out["quarantined_files"]:
+                    print(f"  quarantined: "
+                          f"{', '.join(out['quarantined_files'])}")
+            return 0
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from repro.data.lint import CorpusLintError, CorpusValidator
 
@@ -592,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="iterations between training checkpoints "
                         "(with --resume)")
     _add_telemetry_arg(p)
+    _add_store_arg(p)
     p.add_argument("output")
     p.set_defaults(func=cmd_train)
 
@@ -610,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-episode deadline under --workers; a hung "
                         "episode is retried on a fresh worker")
     _add_telemetry_arg(p)
+    _add_store_arg(p)
     p.add_argument("checkpoint")
     p.set_defaults(func=cmd_evaluate)
 
@@ -657,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero on any invalid or quarantined "
                         "input instead of skipping it")
     _add_telemetry_arg(p)
+    _add_store_arg(p)
     p.set_defaults(func=cmd_tag)
 
     p = sub.add_parser(
@@ -692,6 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="also print the machine-readable gateway report")
     _add_telemetry_arg(p)
+    _add_store_arg(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -722,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="also print machine-readable SLO summaries")
     _add_telemetry_arg(p)
+    _add_store_arg(p)
     p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("perf", help="performance tools")
@@ -748,6 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker count for the episode_eval workload")
     p.add_argument("--seed", type=int, default=0)
     _add_telemetry_arg(p)
+    _add_store_arg(p)
     p.set_defaults(func=cmd_perf_bench)
 
     p = sub.add_parser("chaos", help="chaos/soak testing tools")
@@ -787,6 +867,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "the rendered breakdown")
     p.set_defaults(func=cmd_obs_report)
 
+    p = sub.add_parser("store", help="persistent-store tools")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    p = store_sub.add_parser(
+        "stats",
+        help="record/segment counts, bytes and quarantined files",
+    )
+    p.add_argument("directory")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable snapshot")
+    p.set_defaults(func=cmd_store)
+    p = store_sub.add_parser(
+        "verify",
+        help="full integrity scan of every segment; exit 1 on damage "
+             "(read-only: repairs happen at the next writer open)",
+    )
+    p.add_argument("directory")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable scan result")
+    p.set_defaults(func=cmd_store)
+    p = store_sub.add_parser(
+        "compact",
+        help="rewrite live records into one fresh segment, atomically",
+    )
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_store)
+
     p = sub.add_parser("validate",
                        help="lint a CoNLL corpus; non-zero exit on defects")
     p.add_argument("input")
@@ -799,15 +905,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    import contextlib
+
     parser = build_parser()
     args = parser.parse_args(argv)
     telemetry = getattr(args, "telemetry", None)
-    if telemetry:
-        from repro.obs import telemetry_session
+    store_dir = getattr(args, "store_dir", None)
+    with contextlib.ExitStack() as stack:
+        if telemetry:
+            from repro.obs import telemetry_session
 
-        with telemetry_session(telemetry):
-            return args.func(args)
-    return args.func(args)
+            stack.enter_context(telemetry_session(telemetry))
+        if store_dir:
+            # Entered after telemetry so store open/degrade events land
+            # in the JSONL stream and the final metrics snapshot.
+            from repro.store import store_session
+
+            stack.enter_context(store_session(store_dir))
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -55,6 +55,7 @@ class SimulatedContextualEmbedder:
         self.dim = dim
         self.bidirectional = bidirectional
         self.depth = depth
+        self.seed = seed
         self._static = StaticEmbeddings(dim=dim, seed=seed)
         rng = np.random.default_rng(seed)
         scale = 1.0 / np.sqrt(dim)
@@ -78,16 +79,38 @@ class SimulatedContextualEmbedder:
         return x[::-1] if reverse else x
 
     def encode(self, tokens) -> np.ndarray:
-        """Contextual features for a token sequence: ``(L, output_dim)``."""
+        """Contextual features for a token sequence: ``(L, output_dim)``.
+
+        The encoder is frozen, so the output is a pure function of its
+        construction arguments and the tokens; with a persistent store
+        active (``--store-dir``), per-sentence features are reused
+        across runs and processes, bit-identically.
+        """
+        from repro import store as pstore
+
         tokens = list(tokens)
         if not tokens:
             raise ValueError("cannot encode an empty sentence")
+        store = pstore.active()
+        key = None
+        if store is not None:
+            key = pstore.make_key(
+                "ctx_encode", self.name, self.dim, self.bidirectional,
+                self.depth, self.seed, *tokens,
+            )
+            cached = store.get_array(key)
+            if cached is not None:
+                return cached
         features = np.stack([self._static.vector(t) for t in tokens])
         fwd = self._run_direction(features, reverse=False)
-        if not self.bidirectional:
-            return fwd
-        bwd = self._run_direction(features, reverse=True)
-        return np.concatenate([fwd, bwd], axis=-1)
+        if self.bidirectional:
+            bwd = self._run_direction(features, reverse=True)
+            out = np.concatenate([fwd, bwd], axis=-1)
+        else:
+            out = fwd
+        if key is not None:
+            store.put_array(key, out)
+        return out
 
 
 def make_embedder(name: str) -> SimulatedContextualEmbedder:

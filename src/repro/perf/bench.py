@@ -23,6 +23,12 @@ inputs:
   The disabled-mode cost (one global load + ``is None`` check per call
   site) is measured separately by :func:`telemetry_overhead_pct`, which
   backs the < 2 % gate in the observability test suite.
+* ``store_roundtrip`` — serving a fixed request batch with no
+  persistent store (baseline: every request runs encode + Viterbi) vs
+  against a pre-warmed :mod:`repro.store` session (fast: decoded paths
+  come back as content-addressed hits, and the timing includes the
+  session open — lock, recovery scan, mmap).  Its extra ``warm_hits`` /
+  ``warm_misses`` keys record the hit traffic of one warm pass.
 
 Timing goes through :func:`repro.obs.measure`, so medians and IQRs here
 and in ``repro.experiments.timing`` follow one convention.  Results are
@@ -51,6 +57,7 @@ WORKLOADS = (
     "fewner_inner",
     "episode_eval",
     "telemetry_overhead",
+    "store_roundtrip",
 )
 
 #: Repetition counts per preset: (kernel workloads, end-to-end workloads).
@@ -285,6 +292,51 @@ def _bench_telemetry_overhead(reps: int, workers: int, seed: int) -> dict:
     return result
 
 
+def _bench_store_roundtrip(reps: int, workers: int, seed: int) -> dict:
+    import shutil
+    import tempfile
+
+    from repro.data.tags import TagScheme
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+    from repro.serving import TaggingService
+    from repro.serving.loadgen import synthetic_requests
+    from repro.store import store_session
+
+    pool = ("the", "visited", "today", "reports", "arrived",
+            "Kavox", "Zuqev", "Mirelle", "when", "council", "met", "river")
+    scheme = TagScheme(("0", "1"))
+    model = CNNBiGRUCRF(
+        Vocabulary(pool), CharVocabulary(pool), scheme.num_tags,
+        BackboneConfig(), np.random.default_rng(seed),
+        tag_names=scheme.tags,
+    )
+    requests = synthetic_requests(64, seed=seed, pool=pool)
+
+    def serve_all():
+        service = TaggingService(model, scheme)
+        for tokens in requests:
+            service.tag(list(tokens))
+
+    directory = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        with store_session(directory):
+            serve_all()  # populate the store outside the timed region
+
+        def warm():
+            with store_session(directory) as store:
+                serve_all()
+                warm.snapshot = store.snapshot()
+
+        result = _paired(serve_all, warm, reps)
+        snapshot = warm.snapshot
+        result["warm_hits"] = snapshot["hits"]
+        result["warm_misses"] = snapshot["misses"]
+        return result
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 def telemetry_overhead_pct(seed: int = 0, rounds: int = 3,
                            n_episodes: int = 2) -> dict:
     """Disabled-telemetry cost on ``episode_eval`` — the < 2 % gate.
@@ -365,10 +417,12 @@ _RUNNERS = {
     "fewner_inner": _bench_fewner_inner,
     "episode_eval": _bench_episode_eval,
     "telemetry_overhead": _bench_telemetry_overhead,
+    "store_roundtrip": _bench_store_roundtrip,
 }
 
 #: Workloads timed with the end-to-end repetition count.
-_HEAVY = frozenset({"fewner_inner", "episode_eval", "telemetry_overhead"})
+_HEAVY = frozenset({"fewner_inner", "episode_eval", "telemetry_overhead",
+                    "store_roundtrip"})
 
 
 # ----------------------------------------------------------------------
@@ -483,6 +537,9 @@ def render(document: dict) -> str:
         )
         if "overhead_pct" in result:
             line += f"  (telemetry overhead {result['overhead_pct']:+.2f}%)"
+        if "warm_hits" in result:
+            line += (f"  ({result['warm_hits']} warm hits, "
+                     f"{result['warm_misses']} misses)")
         lines.append(line)
     combined = document.get("crf_nll_decode_speedup")
     if combined is not None:

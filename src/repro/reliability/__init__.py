@@ -15,6 +15,10 @@ Four cooperating pieces make long experiment sweeps survivable:
   append-only JSONL record of completed table cells keyed by
   ``(method, setting, k_shot)``; :func:`~repro.experiments.harness.run_adaptation`
   skips completed cells on resume and isolates per-method failures;
+* :mod:`~repro.reliability.integrity` — the shared SHA-256 digest,
+  atomic ``.sha256`` sidecar and ``*.quarantined`` rename primitives
+  that both :class:`CheckpointStore` and the persistent
+  embedding/adaptation store (:mod:`repro.store`) build on;
 * :mod:`~repro.reliability.faults` — a deterministic, test-only
   :class:`FaultInjector` that corrupts gradients, raises mid-``fit``,
   crashes/hangs/corrupts executor workers, simulates crashes between
@@ -40,6 +44,16 @@ from repro.reliability.checkpoint import (
     CheckpointStore,
     TrainingCheckpoint,
 )
+from repro.reliability.integrity import (
+    CHECKSUM_SUFFIX,
+    QUARANTINE_SUFFIX,
+    IntegrityError,
+    bytes_sha256,
+    file_sha256,
+    quarantine_file,
+    verify_checksum_sidecar,
+    write_checksum_sidecar,
+)
 from repro.reliability.journal import RunJournal
 from repro.reliability.policy import CellPolicy
 from repro.reliability.faults import FaultInjector, InjectedFault, SimulatedCrash
@@ -63,6 +77,14 @@ __all__ = [
     "TrainingCheckpoint",
     "RunJournal",
     "CellPolicy",
+    "CHECKSUM_SUFFIX",
+    "QUARANTINE_SUFFIX",
+    "IntegrityError",
+    "bytes_sha256",
+    "file_sha256",
+    "quarantine_file",
+    "verify_checksum_sidecar",
+    "write_checksum_sidecar",
     "FaultInjector",
     "InjectedFault",
     "SimulatedCrash",

@@ -18,50 +18,22 @@ a crash.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.nn.serialization import CheckpointError, atomic_savez
+from repro.reliability.integrity import (
+    CHECKSUM_SUFFIX,
+    QUARANTINE_SUFFIX,
+    verify_checksum_sidecar,
+    write_checksum_sidecar as _write_checksum,
+)
 
 _META_KEY = "__repro_meta__"
 _FORMAT = 1
-
-#: Integrity sidecar written next to every checkpoint (sha256sum format).
-CHECKSUM_SUFFIX = ".sha256"
-#: Suffix a damaged checkpoint is renamed to when quarantined.
-QUARANTINE_SUFFIX = ".quarantined"
-
-
-def _file_sha256(path: str) -> str:
-    digest = hashlib.sha256()
-    with open(path, "rb") as fh:
-        for block in iter(lambda: fh.read(1 << 20), b""):
-            digest.update(block)
-    return digest.hexdigest()
-
-
-def _write_checksum(path: str) -> None:
-    """Write ``path``'s sha256 sidecar atomically (sha256sum format)."""
-    line = f"{_file_sha256(path)}  {os.path.basename(path)}\n"
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-sha256-")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(line)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path + CHECKSUM_SUFFIX)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
 
 
 def verify_checksum(path: str) -> None:
@@ -71,26 +43,11 @@ def verify_checksum(path: str) -> None:
     sidecar.  A *missing* sidecar is accepted silently — checkpoints
     written before the sidecar existed (or whose sidecar write was cut
     short by a crash) still load; the archive-level damage checks in
-    :meth:`TrainingCheckpoint.load` remain the floor.
+    :meth:`TrainingCheckpoint.load` remain the floor.  The heavy lifting
+    lives in :mod:`repro.reliability.integrity`, which the persistent
+    store (:mod:`repro.store`) shares.
     """
-    sidecar = path + CHECKSUM_SUFFIX
-    if not os.path.exists(sidecar):
-        return
-    try:
-        with open(sidecar, "r", encoding="utf-8") as fh:
-            expected = fh.read().split()[0]
-    except (OSError, IndexError) as exc:
-        raise CheckpointError(
-            f"checksum sidecar {sidecar!r} is unreadable "
-            f"({type(exc).__name__}: {exc})"
-        ) from exc
-    actual = _file_sha256(path)
-    if actual != expected:
-        raise CheckpointError(
-            f"checkpoint {path!r} fails its checksum "
-            f"(sha256 {actual[:12]}… != recorded {expected[:12]}…); "
-            f"the file was corrupted after it was written"
-        )
+    verify_checksum_sidecar(path, error=CheckpointError, kind="checkpoint")
 
 
 @dataclass
@@ -251,11 +208,9 @@ class CheckpointStore:
         :meth:`paths`, so future loads and retention passes skip it —
         but the bytes stay on disk for post-mortems.
         """
-        for victim in (path, path + CHECKSUM_SUFFIX):
-            try:
-                os.replace(victim, victim + QUARANTINE_SUFFIX)
-            except OSError:
-                pass
+        from repro.reliability.integrity import quarantine_file
+
+        quarantine_file(path)
         self.quarantined.append(path)
         from repro import obs
 

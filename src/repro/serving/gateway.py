@@ -183,6 +183,10 @@ class GatewayReport:
     #: Highest number of simultaneously draining replicas ever seen
     #: (rolling reload must keep this at 1).
     max_concurrent_draining: int = 0
+    #: Persistent content-store traffic seen by this process (empty
+    #: when no ``--store-dir`` session is active; forked replicas
+    #: count store hits in their own telemetry streams).
+    store: dict = field(default_factory=dict)
     per_replica: list[dict] = field(default_factory=list)
 
     @property
@@ -363,8 +367,16 @@ class ShardedGateway:
         if self._closed:
             return
         self._closed = True
+        self.report.store = self._store_snapshot()
         for shard in self._shards:
             shard.handle.stop()
+
+    @staticmethod
+    def _store_snapshot() -> dict:
+        from repro import store as pstore
+
+        active = pstore.active()
+        return active.snapshot() if active is not None else {}
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -809,5 +821,6 @@ class ShardedGateway:
             "healthy": healthy,
             "reloading": self.reloading,
             "outstanding": self.outstanding,
+            "store": self._store_snapshot(),
             "per_replica": statuses,
         }

@@ -1,0 +1,73 @@
+"""Crash-safe persistent embedding & adaptation store.
+
+A zero-dependency, on-disk, memory-mapped, content-addressed cache that
+survives crashes, corruption and concurrent use:
+
+* :mod:`~repro.store.segment` — the append-only record format
+  (per-record SHA-256 checksums) and the damage-classifying scanner;
+* :mod:`~repro.store.core` — :class:`ContentStore`: segment directory +
+  in-memory index, advisory writer lock with read-only fallback,
+  open-time torn-tail truncation and corrupt-segment quarantine, mmap
+  sharing across forked replicas/workers, ``verify``/``compact``;
+* :mod:`~repro.store.cache` — :class:`ArrayStore`, the facade the
+  runtime uses: bit-exact array/JSON codecs, content-fingerprint keys,
+  and the *degrade-never-fail* contract (every store fault becomes a
+  cache miss; results stay identical to running with no store).
+
+Enabled via ``--store-dir`` on the CLI (train/evaluate/serve/perf) and
+inspected with ``repro store stats|verify|compact``.  Format, recovery
+semantics and the degradation contract are documented in
+``docs/store.md``.
+"""
+
+from repro.store.segment import (
+    RECORD_HEADER_SIZE,
+    SEGMENT_MAGIC,
+    RecordRef,
+    SegmentScan,
+    pack_record,
+    scan_segment,
+)
+from repro.store.core import (
+    ContentStore,
+    StoreClosedError,
+    StoreError,
+    key_digest,
+)
+from repro.store.cache import (
+    ArrayStore,
+    active,
+    decode_array,
+    decode_json,
+    encode_array,
+    encode_json,
+    make_key,
+    model_fingerprint,
+    sentences_fingerprint,
+    store_session,
+    vocab_fingerprint,
+)
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "RECORD_HEADER_SIZE",
+    "RecordRef",
+    "SegmentScan",
+    "pack_record",
+    "scan_segment",
+    "ContentStore",
+    "StoreError",
+    "StoreClosedError",
+    "key_digest",
+    "ArrayStore",
+    "active",
+    "store_session",
+    "make_key",
+    "encode_array",
+    "decode_array",
+    "encode_json",
+    "decode_json",
+    "model_fingerprint",
+    "vocab_fingerprint",
+    "sentences_fingerprint",
+]

@@ -1,0 +1,328 @@
+"""The degrade-never-fail cache layer over :class:`ContentStore`.
+
+:class:`ArrayStore` is what the runtime actually talks to.  It wraps a
+:class:`~repro.store.core.ContentStore` behind a strict contract:
+
+* **no store exception ever escapes** — every fault (corrupt segment,
+  full disk, poisoned writer, anything) is swallowed, counted
+  (``store.errors``) and turned into a cache miss, so the caller falls
+  back to recomputing exactly what it would have computed with no store
+  at all;
+* **payloads are bit-exact** — arrays round-trip through a raw
+  ``dtype|shape + tobytes`` codec and JSON values through canonical
+  ``sort_keys`` encoding, so a cache hit reproduces the cached
+  computation to the last bit (parity tests enforce this);
+* **a faulting store disables itself** — after ``max_errors`` swallowed
+  exceptions the wrapper stops touching the store entirely
+  (``store.disabled`` event), bounding the cost of a badly broken disk
+  to a constant number of failed syscalls per process.
+
+Cache keys are built by :func:`make_key` from *content fingerprints*
+(:func:`model_fingerprint`, :func:`vocab_fingerprint`,
+:func:`sentences_fingerprint`): two runs that would compute the same
+value map to the same key, and anything that could change the value —
+θ, the vocabulary, the config, the episode text — changes the key.
+
+One store session may be active per process (:func:`store_session`,
+installed by the CLI's ``--store-dir`` flag), mirroring
+:func:`repro.obs.telemetry_session`.  Forked gateway replicas and
+executor workers inherit the session and may *read* it (mmap/pread are
+fork-safe); writes from children are silently skipped — the parent is
+the only writer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from repro.store.core import ContentStore
+
+#: Bump when any cached payload's semantics change; part of every key.
+KEY_FORMAT = "v1"
+
+
+# ----------------------------------------------------------------------
+# Bit-exact payload codecs
+# ----------------------------------------------------------------------
+
+def encode_array(array: np.ndarray) -> bytes:
+    """Serialise an array losslessly: ``dtype|shape`` header + raw bytes."""
+    array = np.asarray(array)
+    shape = array.shape  # before ascontiguousarray, which promotes 0-d
+    array = np.ascontiguousarray(array)
+    header = f"{array.dtype.str}|{','.join(map(str, shape))}\n"
+    return header.encode("ascii") + array.tobytes()
+
+
+def decode_array(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_array`; bit-identical round-trip."""
+    newline = payload.index(b"\n")
+    # rsplit: byte-order-free dtypes spell themselves "|b1", "|u1", ...
+    dtype_str, shape_str = payload[:newline].decode("ascii").rsplit("|", 1)
+    shape = tuple(int(d) for d in shape_str.split(",")) if shape_str else ()
+    array = np.frombuffer(payload[newline + 1:], dtype=np.dtype(dtype_str))
+    return array.reshape(shape).copy()
+
+
+def encode_json(value) -> bytes:
+    """Canonical JSON bytes (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def decode_json(payload: bytes):
+    return json.loads(payload.decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Content fingerprints -> cache keys
+# ----------------------------------------------------------------------
+
+def make_key(namespace: str, *parts) -> bytes:
+    """Build a logical cache key from a namespace and content parts.
+
+    Parts are joined with an unambiguous length-prefixed framing, so no
+    concatenation of different part lists collides.
+    """
+    digest = hashlib.sha256()
+    digest.update(KEY_FORMAT.encode("ascii"))
+    digest.update(namespace.encode("utf-8"))
+    for part in parts:
+        if isinstance(part, bytes):
+            raw = part
+        else:
+            raw = str(part).encode("utf-8")
+        digest.update(len(raw).to_bytes(8, "little"))
+        digest.update(raw)
+    return namespace.encode("utf-8") + b":" + digest.digest()
+
+
+def model_fingerprint(model) -> str:
+    """Hex digest of a module's full parameter state (θ).
+
+    Computed fresh on every call — parameters change under training, and
+    a stale fingerprint would serve another model's activations, which
+    is the one corruption a checksummed store cannot catch.
+    """
+    digest = hashlib.sha256()
+    for name, array in model.state_dict().items():
+        array = np.ascontiguousarray(array)
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("ascii"))
+        digest.update(str(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def vocab_fingerprint(vocab) -> str:
+    """Hex digest of a vocabulary's token list (cached: vocabs are frozen)."""
+    cached = getattr(vocab, "_store_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for token in vocab._itos:
+        raw = token.encode("utf-8")
+        digest.update(len(raw).to_bytes(4, "little"))
+        digest.update(raw)
+    value = digest.hexdigest()
+    try:
+        vocab._store_fingerprint = value
+    except AttributeError:  # pragma: no cover - slots/frozen vocab
+        pass
+    return value
+
+
+def sentences_fingerprint(sentences) -> str:
+    """Hex digest of sentence content: tokens, spans, domain."""
+    digest = hashlib.sha256()
+    for sentence in sentences:
+        for token in sentence.tokens:
+            raw = token.encode("utf-8")
+            digest.update(len(raw).to_bytes(4, "little"))
+            digest.update(raw)
+        for span in sentence.spans:
+            digest.update(
+                f"[{span.start},{span.end},{span.label}]".encode("utf-8")
+            )
+        digest.update(sentence.domain.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The never-fail wrapper
+# ----------------------------------------------------------------------
+
+class ArrayStore:
+    """Degrading cache facade over a :class:`ContentStore`.
+
+    All methods return ``None``/no-op instead of raising; see the module
+    docstring for the contract.  ``max_errors`` bounds how many store
+    exceptions are tolerated before the wrapper disables itself.
+    """
+
+    def __init__(self, store: ContentStore, max_errors: int = 8):
+        self.store = store
+        self.max_errors = max_errors
+        self.errors = 0
+        self.disabled = False
+        self.counters = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
+
+    # -- internals ------------------------------------------------------
+    def _fail(self, op: str, exc: Exception) -> None:
+        from repro import obs
+
+        self.errors += 1
+        self.counters["errors"] += 1
+        obs.count("store.errors")
+        obs.emit("store.error", op=op, error=f"{type(exc).__name__}: {exc}")
+        if not self.disabled and self.errors >= self.max_errors:
+            self.disabled = True
+            obs.emit("store.disabled", errors=self.errors,
+                     directory=self.store.directory)
+
+    def _get(self, key: bytes) -> bytes | None:
+        from repro import obs
+
+        if self.disabled:
+            return None
+        try:
+            payload = self.store.get(key)
+        except Exception as exc:
+            self._fail("get", exc)
+            payload = None
+        if payload is None:
+            self.counters["misses"] += 1
+            obs.count("store.miss")
+        else:
+            self.counters["hits"] += 1
+            obs.count("store.hit")
+        return payload
+
+    def _put(self, key: bytes, payload: bytes) -> None:
+        from repro import obs
+
+        if self.disabled:
+            return
+        try:
+            if self.store.put(key, payload):
+                self.counters["puts"] += 1
+                obs.count("store.put")
+        except Exception as exc:
+            self._fail("put", exc)
+
+    # -- typed access ---------------------------------------------------
+    def get_bytes(self, key: bytes) -> bytes | None:
+        return self._get(key)
+
+    def put_bytes(self, key: bytes, payload: bytes) -> None:
+        self._put(key, payload)
+
+    def get_array(self, key: bytes) -> np.ndarray | None:
+        payload = self._get(key)
+        if payload is None:
+            return None
+        try:
+            return decode_array(payload)
+        except Exception as exc:  # undecodable ≡ absent
+            self._fail("decode", exc)
+            return None
+
+    def put_array(self, key: bytes, array: np.ndarray) -> None:
+        self._put(key, encode_array(array))
+
+    def get_json(self, key: bytes):
+        payload = self._get(key)
+        if payload is None:
+            return None
+        try:
+            return decode_json(payload)
+        except Exception as exc:
+            self._fail("decode", exc)
+            return None
+
+    def put_json(self, key: bytes, value) -> None:
+        self._put(key, encode_json(value))
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready summary for reports (gateway, obs, CLI stats)."""
+        snap = {
+            "directory": self.store.directory,
+            "writer": self.store.writer,
+            "disabled": self.disabled,
+            **self.counters,
+            **self.store.counters,
+        }
+        try:
+            snap["records"] = len(self.store)
+        except Exception:
+            snap["records"] = None
+        return snap
+
+    def close(self) -> None:
+        with contextlib.suppress(Exception):
+            self.store.close()
+
+
+# ----------------------------------------------------------------------
+# Process-wide session (mirrors repro.obs.telemetry_session)
+# ----------------------------------------------------------------------
+
+_ACTIVE: ArrayStore | None = None
+
+
+def active() -> ArrayStore | None:
+    """The process's active store session, or ``None``.
+
+    Unlike telemetry, forked children *do* see the session — reads are
+    fork-safe and sharing the mmap across replicas is the point.  Writes
+    from children are refused inside :meth:`ContentStore.put`.
+    """
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def store_session(directory: str | None, writer: bool = True,
+                  fault_injector=None, max_segment_bytes: int = 16 << 20,
+                  max_errors: int = 8):
+    """Activate a persistent store for the duration of the block.
+
+    ``directory=None`` yields ``None`` and activates nothing, so call
+    sites can wrap unconditionally (the CLI does).  A store that cannot
+    even *open* (permissions, bad dir) degrades to no store at all —
+    opening must follow the same never-fail contract as use.
+    """
+    global _ACTIVE
+    if directory is None:
+        yield None
+        return
+    from repro import obs
+
+    previous = _ACTIVE
+    wrapper = None
+    try:
+        store = ContentStore(
+            os.fspath(directory), writer=writer,
+            max_segment_bytes=max_segment_bytes,
+            fault_injector=fault_injector,
+        )
+        wrapper = ArrayStore(store, max_errors=max_errors)
+    except Exception as exc:
+        obs.count("store.errors")
+        obs.emit("store.error", op="open",
+                 error=f"{type(exc).__name__}: {exc}")
+        obs.emit("store.disabled", errors=1, directory=str(directory))
+        wrapper = None
+    _ACTIVE = wrapper
+    try:
+        yield wrapper
+    finally:
+        _ACTIVE = previous
+        if wrapper is not None:
+            wrapper.close()

@@ -1,0 +1,643 @@
+"""`ContentStore`: a crash-safe, memory-mapped, content-addressed store.
+
+Layout of a store directory::
+
+    <dir>/
+      segments/seg-00000001.seg     append-only record segments
+      segments/seg-00000002.seg
+      store.lock                    advisory writer-exclusion lock
+
+Records are keyed by the SHA-256 digest of a caller-supplied logical
+key and checksummed individually (:mod:`repro.store.segment`).  Within
+a process:
+
+* **one writer** — the advisory ``store.lock`` file (pid-stamped,
+  stale-broken) admits a single read-write opener per directory; a
+  second writer silently falls back to read-only, because a cache that
+  cannot write must still serve reads;
+* **many readers** — sealed segments are mapped read-only with
+  :mod:`mmap`, so forked gateway replicas and executor workers share
+  the page cache instead of duplicating arrays; the active tail is read
+  with :func:`os.pread` (offset-independent, fork-safe);
+* **open-time recovery** — every segment is scanned; a torn tail (a
+  writer died mid-append) is truncated back to the last valid record,
+  an interior checksum failure quarantines the whole segment
+  (``*.quarantined``, exactly like
+  :class:`~repro.reliability.checkpoint.CheckpointStore`), and either
+  way the surviving records keep serving.
+
+The store *raises* :class:`StoreError` on faults; the
+degrade-never-fail contract lives one layer up, in
+:class:`repro.store.cache.ArrayStore`, which converts every store
+exception into a cache miss.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import mmap
+import os
+import tempfile
+
+from repro.store.segment import (
+    RECORD_HEADER_SIZE,
+    SEGMENT_MAGIC,
+    new_segment_bytes,
+    pack_record,
+    scan_segment,
+)
+
+#: Suffix quarantined segments are renamed to (shared with checkpoints).
+from repro.reliability.integrity import QUARANTINE_SUFFIX, quarantine_file
+
+_SEGMENT_DIR = "segments"
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".seg"
+_LOCK_NAME = "store.lock"
+
+
+class StoreError(RuntimeError):
+    """Any store-level fault (I/O, format, lock, injected)."""
+
+
+class StoreClosedError(StoreError):
+    """The store was closed (or poisoned by a simulated crash)."""
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return False
+    return True
+
+
+def key_digest(key: bytes | str) -> bytes:
+    """32-byte SHA-256 digest of a logical key."""
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    return hashlib.sha256(key).digest()
+
+
+class ContentStore:
+    """One store directory: segments + index + (maybe) the writer lock.
+
+    ``writer=True`` *requests* write access; whether it was granted is
+    :attr:`writer` — lock contention degrades to read-only instead of
+    failing, and :attr:`read_only_fallback` records that it happened.
+    ``fsync`` makes every put durable before returning (slow; the
+    default leaves durability to the OS, which is the right trade for a
+    recomputable cache).  ``fault_injector`` is consulted before every
+    append (see :meth:`FaultInjector.store_append_fault`).
+    """
+
+    def __init__(self, directory: str, writer: bool = True,
+                 max_segment_bytes: int = 16 << 20, fsync: bool = False,
+                 fault_injector=None):
+        if max_segment_bytes < RECORD_HEADER_SIZE + len(SEGMENT_MAGIC):
+            raise ValueError(
+                f"max_segment_bytes={max_segment_bytes} is smaller than "
+                f"one empty record"
+            )
+        self.directory = directory
+        self.max_segment_bytes = int(max_segment_bytes)
+        self.fsync = bool(fsync)
+        self.fault_injector = fault_injector
+        self._pid = os.getpid()
+        self._closed = False
+        self._dead = False
+        self._puts = 0
+        #: Logical-key digest -> (segment path, payload offset, nbytes,
+        #: payload sha).  Later segments / later records win.
+        self._index: dict[bytes, tuple[str, int, int, bytes]] = {}
+        #: Session accounting (also mirrored into repro.obs counters).
+        self.counters = {
+            "quarantined_segments": 0,
+            "truncated_tails": 0,
+            "read_only_fallbacks": 0,
+            "read_corruption": 0,
+        }
+        self.quarantined: list[str] = []
+        self._maps: dict[str, mmap.mmap] = {}
+        self._read_fds: dict[str, int] = {}
+        self._tail_path: str | None = None
+        self._tail_fh = None
+        self._tail_size = 0
+
+        os.makedirs(os.path.join(directory, _SEGMENT_DIR), exist_ok=True)
+        self._owns_lock = False
+        self.writer = bool(writer) and self._acquire_lock()
+        self.read_only_fallback = bool(writer) and not self.writer
+        if self.read_only_fallback:
+            self.counters["read_only_fallbacks"] += 1
+            self._obs_count("store.read_only_fallbacks")
+            self._obs_emit("store.degraded", directory=directory,
+                           reason="writer lock held; serving read-only")
+        self._recover()
+        if self.writer:
+            self._open_tail()
+        self._obs_emit("store.opened", directory=directory,
+                       writer=self.writer, records=len(self._index),
+                       segments=len(self._segment_paths()))
+
+    # ------------------------------------------------------------------
+    # Telemetry (never load-bearing)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _obs_count(name: str, n: int = 1) -> None:
+        from repro import obs
+
+        obs.count(name, n)
+
+    @staticmethod
+    def _obs_emit(name: str, **fields) -> None:
+        from repro import obs
+
+        obs.emit(name, **fields)
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+    @property
+    def _lock_path(self) -> str:
+        return os.path.join(self.directory, _LOCK_NAME)
+
+    def _acquire_lock(self) -> bool:
+        injector = self.fault_injector
+        if injector is not None and getattr(injector,
+                                            "store_lock_blocked", None):
+            if injector.store_lock_blocked():
+                return False
+        for _attempt in range(2):
+            try:
+                fd = os.open(self._lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                try:
+                    with open(self._lock_path, encoding="utf-8") as fh:
+                        holder = int(fh.read().split()[0])
+                except (OSError, ValueError, IndexError):
+                    holder = None
+                if (holder is not None and holder != os.getpid()
+                        and not _pid_alive(holder)):
+                    # Stale lock from a dead writer: break it and retry.
+                    try:
+                        os.unlink(self._lock_path)
+                    except OSError:
+                        return False
+                    continue
+                return False
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(f"{os.getpid()}\n")
+            self._owns_lock = True
+            return True
+        return False
+
+    def _release_lock(self) -> None:
+        if self._owns_lock and self._pid == os.getpid():
+            try:
+                os.unlink(self._lock_path)
+            except OSError:
+                pass
+            self._owns_lock = False
+
+    # ------------------------------------------------------------------
+    # Open-time recovery
+    # ------------------------------------------------------------------
+    def _segment_dir(self) -> str:
+        return os.path.join(self.directory, _SEGMENT_DIR)
+
+    def _segment_paths(self) -> list[str]:
+        names = sorted(
+            n for n in os.listdir(self._segment_dir())
+            if n.startswith(_SEGMENT_PREFIX) and n.endswith(_SEGMENT_SUFFIX)
+        )
+        return [os.path.join(self._segment_dir(), n) for n in names]
+
+    def _next_segment_number(self) -> int:
+        highest = 0
+        for name in os.listdir(self._segment_dir()):
+            if not name.startswith(_SEGMENT_PREFIX):
+                continue
+            stem = name[len(_SEGMENT_PREFIX):].split(".")[0]
+            try:
+                highest = max(highest, int(stem))
+            except ValueError:
+                continue
+        return highest + 1
+
+    def _quarantine_segment(self, path: str, reason: str) -> None:
+        self._drop_segment_handles(path)
+        for key in [k for k, ref in self._index.items() if ref[0] == path]:
+            del self._index[key]
+        if self.writer:
+            quarantine_file(path, with_sidecar=False)
+        self.quarantined.append(path)
+        self.counters["quarantined_segments"] += 1
+        self._obs_count("store.quarantined_segments")
+        self._obs_emit("store.quarantined", segment=os.path.basename(path),
+                       reason=reason)
+
+    def _recover(self) -> None:
+        for path in self._segment_paths():
+            scan = scan_segment(path, verify_payloads=True)
+            if scan.damage == "corrupt":
+                self._quarantine_segment(path, scan.detail)
+                continue
+            if scan.damage == "torn_tail":
+                if self.writer:
+                    if scan.valid_end < len(SEGMENT_MAGIC):
+                        # Header never made it to disk: nothing to keep.
+                        os.unlink(path)
+                    else:
+                        with open(path, "r+b") as fh:
+                            fh.truncate(scan.valid_end)
+                self.counters["truncated_tails"] += 1
+                self._obs_count("store.truncated_tails")
+                self._obs_emit("store.truncated",
+                               segment=os.path.basename(path),
+                               valid_end=scan.valid_end, detail=scan.detail)
+                if scan.valid_end < len(SEGMENT_MAGIC):
+                    continue
+            for record in scan.records:
+                self._index[record.key] = (
+                    path, record.offset, record.nbytes, record.paysha
+                )
+
+    # ------------------------------------------------------------------
+    # Tail management
+    # ------------------------------------------------------------------
+    def _create_segment(self) -> str:
+        """Atomically commit a fresh empty segment (tmp-then-rename)."""
+        number = self._next_segment_number()
+        final = os.path.join(
+            self._segment_dir(),
+            f"{_SEGMENT_PREFIX}{number:08d}{_SEGMENT_SUFFIX}",
+        )
+        fd, tmp = tempfile.mkstemp(dir=self._segment_dir(),
+                                   prefix=".tmp-seg-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(new_segment_bytes())
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return final
+
+    def _open_tail(self) -> None:
+        paths = self._segment_paths()
+        tail = None
+        if paths:
+            last = paths[-1]
+            if os.path.getsize(last) < self.max_segment_bytes:
+                tail = last
+        if tail is None:
+            tail = self._create_segment()
+        self._tail_path = tail
+        self._tail_fh = open(tail, "ab")
+        self._tail_size = os.path.getsize(tail)
+
+    def _seal_tail(self) -> None:
+        if self._tail_fh is not None:
+            try:
+                self._tail_fh.flush()
+                os.fsync(self._tail_fh.fileno())
+            except OSError:
+                pass
+            self._tail_fh.close()
+        self._tail_fh = None
+        self._tail_path = None
+
+    def _rollover(self) -> None:
+        self._seal_tail()
+        self._tail_path = self._create_segment()
+        self._tail_fh = open(self._tail_path, "ab")
+        self._tail_size = os.path.getsize(self._tail_path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _drop_segment_handles(self, path: str) -> None:
+        mapped = self._maps.pop(path, None)
+        if mapped is not None:
+            mapped.close()
+        fd = self._read_fds.pop(path, None)
+        if fd is not None:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def _read_fd(self, path: str) -> int:
+        fd = self._read_fds.get(path)
+        if fd is None:
+            fd = os.open(path, os.O_RDONLY)
+            self._read_fds[path] = fd
+        return fd
+
+    def _read_payload(self, path: str, offset: int, nbytes: int) -> bytes:
+        if path == self._tail_path:
+            # The tail grows; pread is offset-independent and fork-safe.
+            return os.pread(self._read_fd(path), nbytes, offset)
+        mapped = self._maps.get(path)
+        if mapped is None:
+            fd = self._read_fd(path)
+            size = os.fstat(fd).st_size
+            if size == 0:  # pragma: no cover - empty segments are pruned
+                return os.pread(fd, nbytes, offset)
+            mapped = mmap.mmap(fd, size, access=mmap.ACCESS_READ)
+            self._maps[path] = mapped
+        return bytes(mapped[offset:offset + nbytes])
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed or self._dead:
+            raise StoreClosedError(
+                f"store {self.directory!r} is "
+                f"{'closed' if self._closed else 'poisoned by a failed write'}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: bytes | str) -> bool:
+        return key_digest(key) in self._index
+
+    def keys(self) -> list[bytes]:
+        """The 32-byte key digests currently indexed."""
+        return list(self._index)
+
+    def get(self, key: bytes | str) -> bytes | None:
+        """Payload for ``key``, or ``None`` when absent.
+
+        Every read re-verifies the record's payload checksum; a
+        mismatch (corruption *after* the open-time scan — a bit flip
+        under a live store) quarantines the segment and misses.
+        """
+        self._check_open()
+        ref = self._index.get(key_digest(key))
+        if ref is None:
+            return None
+        path, offset, nbytes, paysha = ref
+        try:
+            payload = self._read_payload(path, offset, nbytes)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot read segment {path!r} "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+        if (len(payload) != nbytes
+                or hashlib.sha256(payload).digest() != paysha):
+            self.counters["read_corruption"] += 1
+            self._obs_count("store.read_corruption")
+            # Quarantine *before* reopening the tail: the damaged file is
+            # still the newest segment on disk, and reopening first would
+            # re-adopt it as the tail just as the rename pulls it away.
+            tail_hit = path == self._tail_path
+            if tail_hit:
+                self._seal_tail()
+            self._quarantine_segment(path, "payload checksum failed on read")
+            if tail_hit and self.writer:
+                self._open_tail()
+            return None
+        return payload
+
+    def put(self, key: bytes | str, payload: bytes) -> bool:
+        """Append one record; returns ``False`` when not writable.
+
+        Not writable means: opened read-only (lock contention), or
+        called from a forked child — children share the parent's tail
+        file descriptor, so a child append would interleave bytes with
+        the parent's and tear the segment for both.
+        """
+        self._check_open()
+        if not self.writer or os.getpid() != self._pid:
+            return False
+        digest = key_digest(key)
+        if digest in self._index:
+            return True  # content-addressed: same key, same payload
+        record = pack_record(digest, bytes(payload))
+        if self._tail_size + len(record) > self.max_segment_bytes:
+            self._rollover()
+        index = self._puts
+        self._puts += 1
+        injector = self.fault_injector
+        fault = None
+        if injector is not None:
+            hook = getattr(injector, "store_append_fault", None)
+            if hook is not None:
+                fault = hook(index)
+        fh = self._tail_fh
+        offset = self._tail_size
+        if fault == "enospc":
+            # Fails before any byte lands: the segment stays intact.
+            raise StoreError(
+                f"cannot append to {self._tail_path!r} "
+                f"(OSError: [Errno {errno.ENOSPC}] injected ENOSPC)"
+            )
+        if fault == "torn":
+            # Half the record reaches disk, then the "process dies":
+            # no repair runs, and this handle never writes again.
+            fh.write(record[: len(record) // 2])
+            fh.flush()
+            self._dead = True
+            raise StoreError(
+                f"injected torn write at put #{index} "
+                f"(simulated crash mid-append)"
+            )
+        try:
+            fh.write(record)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            # A real partial append: try to restore the record boundary
+            # so the segment stays appendable; if even that fails, the
+            # open-time scan will truncate the torn tail on next open.
+            try:
+                fh.flush()
+            except OSError:
+                pass
+            try:
+                fh.truncate(offset)
+            except OSError:
+                self._dead = True
+            raise StoreError(
+                f"cannot append to {self._tail_path!r} "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+        self._index[digest] = (
+            self._tail_path, offset + RECORD_HEADER_SIZE, len(payload),
+            record[RECORD_HEADER_SIZE - 32:RECORD_HEADER_SIZE],
+        )
+        self._tail_size += len(record)
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready snapshot: sizes, record counts, session repairs."""
+        paths = self._segment_paths()
+        file_bytes = 0
+        for path in paths:
+            try:
+                file_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+        live_bytes = sum(ref[2] for ref in self._index.values())
+        quarantined_on_disk = sorted(
+            n for n in os.listdir(self._segment_dir())
+            if n.endswith(QUARANTINE_SUFFIX)
+        )
+        return {
+            "directory": self.directory,
+            "writer": self.writer,
+            "segments": len(paths),
+            "records": len(self._index),
+            "live_bytes": live_bytes,
+            "file_bytes": file_bytes,
+            "quarantined_files": quarantined_on_disk,
+            **self.counters,
+        }
+
+    def verify(self) -> dict:
+        """Full integrity scan of every segment; modifies nothing.
+
+        Returns ``{"segments", "records", "bytes", "bad"}`` where
+        ``bad`` lists ``{"segment", "damage", "detail"}`` per damaged
+        file (including ones already excluded from the index).
+        """
+        self._seal_tail()
+        segments = records = total = 0
+        bad = []
+        for path in self._segment_paths():
+            segments += 1
+            scan = scan_segment(path, verify_payloads=True)
+            records += len(scan.records)
+            total += sum(r.nbytes for r in scan.records)
+            if not scan.clean:
+                bad.append({
+                    "segment": os.path.basename(path),
+                    "damage": scan.damage,
+                    "detail": scan.detail,
+                })
+        if self.writer and not self._closed and not self._dead:
+            self._open_tail()
+        return {"segments": segments, "records": records, "bytes": total,
+                "bad": bad}
+
+    def compact(self) -> dict:
+        """Rewrite every live record into one fresh segment.
+
+        The replacement is built complete in a temp file, fsynced, and
+        renamed into place before any old segment is removed — a crash
+        anywhere leaves either the old segments or the new one, never
+        a mix missing records.  Requires the writer lock.
+        """
+        self._check_open()
+        if not self.writer:
+            raise StoreError(
+                f"store {self.directory!r} is read-only; cannot compact"
+            )
+        old_paths = self._segment_paths()
+        live = [
+            (digest, self.get_digest(digest))
+            for digest in list(self._index)
+        ]
+        live = [(d, payload) for d, payload in live if payload is not None]
+        self._seal_tail()
+        number = self._next_segment_number()
+        final = os.path.join(
+            self._segment_dir(),
+            f"{_SEGMENT_PREFIX}{number:08d}{_SEGMENT_SUFFIX}",
+        )
+        fd, tmp = tempfile.mkstemp(dir=self._segment_dir(),
+                                   prefix=".tmp-seg-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(new_segment_bytes())
+                offset = len(SEGMENT_MAGIC)
+                index: dict[bytes, tuple[str, int, int, bytes]] = {}
+                for digest, payload in live:
+                    record = pack_record(digest, payload)
+                    fh.write(record)
+                    index[digest] = (
+                        final, offset + RECORD_HEADER_SIZE, len(payload),
+                        record[RECORD_HEADER_SIZE - 32:RECORD_HEADER_SIZE],
+                    )
+                    offset += len(record)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        before_bytes = 0
+        for path in old_paths:
+            self._drop_segment_handles(path)
+            try:
+                before_bytes += os.path.getsize(path)
+                os.unlink(path)
+            except OSError:
+                pass
+        self._index = index
+        self._open_tail()
+        after_bytes = os.path.getsize(final)
+        self._obs_emit("store.compacted", records=len(live),
+                       before_bytes=before_bytes, after_bytes=after_bytes)
+        return {"records": len(live), "before_bytes": before_bytes,
+                "after_bytes": after_bytes,
+                "segments_removed": len(old_paths)}
+
+    def get_digest(self, digest: bytes) -> bytes | None:
+        """Like :meth:`get` but for an already-hashed 32-byte key."""
+        ref = self._index.get(digest)
+        if ref is None:
+            return None
+        path, offset, nbytes, paysha = ref
+        try:
+            payload = self._read_payload(path, offset, nbytes)
+        except OSError:
+            return None
+        if (len(payload) != nbytes
+                or hashlib.sha256(payload).digest() != paysha):
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if os.getpid() == self._pid:
+            if not self._dead:
+                self._seal_tail()
+            self._release_lock()
+        for path in list(self._maps):
+            self._drop_segment_handles(path)
+        for path in list(self._read_fds):
+            self._drop_segment_handles(path)
+
+    def __enter__(self) -> "ContentStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,161 @@
+"""Append-only segment files: the store's on-disk record format.
+
+A segment is a header followed by a run of self-describing records::
+
+    segment  := SEGMENT_MAGIC (8 bytes)  record*
+    record   := RECORD_MAGIC (4 bytes)
+                key          (32 bytes, sha256 of the logical key)
+                nbytes       (8 bytes, little-endian payload length)
+                paysha       (32 bytes, sha256 of the payload)
+                payload      (nbytes bytes)
+
+Records carry their own checksum, so damage is diagnosable *per
+record*; the scanner (:func:`scan_segment`) distinguishes the two ways
+a segment gets hurt:
+
+* a **torn tail** — the file ends mid-record because a writer died
+  mid-append (or the segment header itself never finished).  Everything
+  up to the last complete, checksum-valid record is intact; the scanner
+  reports ``valid_end`` so a writer can truncate the tail and keep
+  appending.
+* **interior corruption** — a record that parses structurally but fails
+  its payload checksum, or garbage where a record magic should be, with
+  valid data after it.  The damage cannot be skipped safely (record
+  boundaries are lost), so the whole segment must be quarantined.
+
+A checksum failure on the *final* structurally-parsed record is treated
+as a torn tail, not interior corruption: a crash can tear the payload
+bytes of the last append just as easily as its header.
+
+Nothing here touches the filesystem beyond reading; repair decisions
+(truncate vs quarantine) belong to :class:`repro.store.ContentStore`,
+which knows whether it holds the writer lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+
+SEGMENT_MAGIC = b"RSTORE1\n"
+RECORD_MAGIC = b"REC1"
+
+_HEADER = struct.Struct("<4s32sQ32s")
+#: Bytes of fixed per-record header (magic + key + length + payload sha).
+RECORD_HEADER_SIZE = _HEADER.size
+#: Upper bound on a single payload; a length field past this is garbage,
+#: not a record (keeps a corrupt length from provoking a huge read).
+MAX_PAYLOAD_BYTES = 1 << 32
+
+
+@dataclass(frozen=True)
+class RecordRef:
+    """Location of one valid record inside a segment file."""
+
+    key: bytes          #: 32-byte logical-key digest
+    offset: int         #: file offset of the payload (not the header)
+    nbytes: int         #: payload length
+    paysha: bytes       #: expected payload sha256 digest
+
+
+@dataclass
+class SegmentScan:
+    """What :func:`scan_segment` found in one segment file."""
+
+    path: str
+    records: list[RecordRef]
+    #: File offset up to which the segment is intact; a writer may
+    #: truncate to here and resume appending.
+    valid_end: int
+    #: ``None`` (clean), ``"torn_tail"`` (recoverable by truncation) or
+    #: ``"corrupt"`` (interior damage — quarantine the whole file).
+    damage: str | None = None
+    detail: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return self.damage is None
+
+
+def pack_record(key: bytes, payload: bytes) -> bytes:
+    """Serialise one record (header + payload) for appending."""
+    if len(key) != 32:
+        raise ValueError(f"key must be a 32-byte digest, got {len(key)} bytes")
+    paysha = hashlib.sha256(payload).digest()
+    return _HEADER.pack(RECORD_MAGIC, key, len(payload), paysha) + payload
+
+
+def new_segment_bytes() -> bytes:
+    """The contents of a freshly created, empty segment."""
+    return SEGMENT_MAGIC
+
+
+def scan_segment(path: str, verify_payloads: bool = True) -> SegmentScan:
+    """Parse a segment file, classifying any damage found.
+
+    With ``verify_payloads`` every record's payload is hashed and
+    checked (open-time integrity scan); without it only structure is
+    parsed — :meth:`ContentStore.get` still verifies the payload of
+    every record it actually serves.
+    """
+    size = os.path.getsize(path)
+    records: list[RecordRef] = []
+    with open(path, "rb") as fh:
+        header = fh.read(len(SEGMENT_MAGIC))
+        if len(header) < len(SEGMENT_MAGIC):
+            # Crash between file creation and header write.
+            return SegmentScan(path, [], 0, "torn_tail",
+                               f"segment header incomplete ({size} bytes)")
+        if header != SEGMENT_MAGIC:
+            return SegmentScan(path, [], 0, "corrupt",
+                               f"bad segment magic {header!r}")
+        offset = len(SEGMENT_MAGIC)
+        while offset < size:
+            remaining = size - offset
+            if remaining < RECORD_HEADER_SIZE:
+                return SegmentScan(
+                    path, records, offset, "torn_tail",
+                    f"{remaining} trailing bytes, less than a record header",
+                )
+            raw = fh.read(RECORD_HEADER_SIZE)
+            magic, key, nbytes, paysha = _HEADER.unpack(raw)
+            if magic != RECORD_MAGIC:
+                return SegmentScan(
+                    path, records, offset, "corrupt",
+                    f"bad record magic {magic!r} at offset {offset}",
+                )
+            if nbytes > MAX_PAYLOAD_BYTES:
+                return SegmentScan(
+                    path, records, offset, "corrupt",
+                    f"implausible payload length {nbytes} at offset {offset}",
+                )
+            payload_offset = offset + RECORD_HEADER_SIZE
+            if payload_offset + nbytes > size:
+                return SegmentScan(
+                    path, records, offset, "torn_tail",
+                    f"record at offset {offset} extends past end of file",
+                )
+            if verify_payloads:
+                payload = fh.read(nbytes)
+                if hashlib.sha256(payload).digest() != paysha:
+                    end = payload_offset + nbytes
+                    if end == size:
+                        # Checksum failure on the very last record: a
+                        # torn final append, recoverable by truncation.
+                        return SegmentScan(
+                            path, records, offset, "torn_tail",
+                            f"final record at offset {offset} fails its "
+                            f"payload checksum",
+                        )
+                    return SegmentScan(
+                        path, records, offset, "corrupt",
+                        f"record at offset {offset} fails its payload "
+                        f"checksum mid-segment",
+                    )
+            else:
+                fh.seek(nbytes, os.SEEK_CUR)
+            records.append(RecordRef(key, payload_offset, nbytes, paysha))
+            offset = payload_offset + nbytes
+    return SegmentScan(path, records, size, None)

@@ -1,0 +1,201 @@
+"""ContentStore basics: format, roundtrips, locking, maintenance."""
+
+import os
+
+import pytest
+
+from repro.store import ContentStore, StoreClosedError, StoreError, key_digest
+from repro.store.segment import (
+    RECORD_HEADER_SIZE,
+    SEGMENT_MAGIC,
+    new_segment_bytes,
+    pack_record,
+    scan_segment,
+)
+
+
+def _segments(directory):
+    seg_dir = os.path.join(str(directory), "segments")
+    return sorted(
+        os.path.join(seg_dir, name)
+        for name in os.listdir(seg_dir)
+        if name.endswith(".seg")
+    )
+
+
+# ----------------------------------------------------------------------
+# Segment format
+# ----------------------------------------------------------------------
+def test_pack_record_layout():
+    record = pack_record(key_digest(b"k"), b"payload")
+    assert record[:4] == b"REC1"
+    assert len(record) == RECORD_HEADER_SIZE + len(b"payload")
+
+
+def test_scan_clean_segment(tmp_path):
+    path = tmp_path / "seg.seg"
+    blob = new_segment_bytes()
+    blob += pack_record(key_digest(b"a"), b"one")
+    blob += pack_record(key_digest(b"b"), b"two!")
+    path.write_bytes(blob)
+    scan = scan_segment(str(path))
+    assert scan.clean
+    assert [r.nbytes for r in scan.records] == [3, 4]
+    assert scan.valid_end == len(blob)
+
+
+def test_scan_flags_truncated_tail(tmp_path):
+    path = tmp_path / "seg.seg"
+    blob = new_segment_bytes() + pack_record(key_digest(b"a"), b"payload")
+    path.write_bytes(blob[:-3])  # record cut mid-payload
+    scan = scan_segment(str(path))
+    assert scan.damage == "torn_tail"
+    assert scan.records == []
+    assert scan.valid_end == len(SEGMENT_MAGIC)
+
+
+def test_scan_flags_bad_magic(tmp_path):
+    path = tmp_path / "seg.seg"
+    path.write_bytes(b"NOTASTORE" + b"x" * 32)
+    scan = scan_segment(str(path))
+    assert scan.damage == "corrupt"
+
+
+# ----------------------------------------------------------------------
+# Store roundtrips
+# ----------------------------------------------------------------------
+def test_put_get_roundtrip(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        assert store.put(b"key", b"value")
+        assert store.get(b"key") == b"value"
+        assert store.get(b"absent") is None
+        assert b"key" in store
+        assert len(store) == 1
+
+
+def test_roundtrip_survives_reopen(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        store.put(b"key", b"value" * 100)
+    with ContentStore(str(tmp_path)) as store:
+        assert store.get(b"key") == b"value" * 100
+
+
+def test_content_addressed_dedup(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        assert store.put(b"key", b"value")
+        size = os.path.getsize(_segments(tmp_path)[0])
+        assert store.put(b"key", b"value")  # idempotent, no new bytes
+        assert os.path.getsize(_segments(tmp_path)[0]) == size
+        assert len(store) == 1
+
+
+def test_string_and_bytes_keys_are_equivalent(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        store.put("some key", b"payload")
+        assert store.get(b"some key") == b"payload"
+
+
+def test_rollover_creates_new_segment(tmp_path):
+    with ContentStore(str(tmp_path), max_segment_bytes=256) as store:
+        for i in range(8):
+            store.put(f"key-{i}", bytes(64))
+        assert len(_segments(tmp_path)) >= 2
+        for i in range(8):
+            assert store.get(f"key-{i}") == bytes(64)
+
+
+def test_closed_store_raises(tmp_path):
+    store = ContentStore(str(tmp_path))
+    store.close()
+    with pytest.raises(StoreClosedError):
+        store.get(b"key")
+
+
+# ----------------------------------------------------------------------
+# Writer exclusion
+# ----------------------------------------------------------------------
+def test_second_writer_degrades_to_read_only(tmp_path):
+    with ContentStore(str(tmp_path)) as first:
+        first.put(b"key", b"value")
+        second = ContentStore(str(tmp_path), writer=True)
+        try:
+            assert not second.writer
+            assert second.counters["read_only_fallbacks"] == 1
+            assert second.get(b"key") == b"value"
+            assert second.put(b"other", b"x") is False
+        finally:
+            second.close()
+
+
+def test_stale_lock_is_broken(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        store.put(b"key", b"value")
+    # Fake a crashed writer: lock file left behind by a dead pid.
+    with open(os.path.join(str(tmp_path), "store.lock"), "w") as fh:
+        fh.write("999999999")
+    with ContentStore(str(tmp_path)) as store:
+        assert store.writer
+        assert store.put(b"after", b"crash")
+
+
+def test_read_only_open_needs_no_lock(tmp_path):
+    with ContentStore(str(tmp_path)) as writer:
+        writer.put(b"key", b"value")
+        reader = ContentStore(str(tmp_path), writer=False)
+        try:
+            assert reader.get(b"key") == b"value"
+            assert reader.counters["read_only_fallbacks"] == 0
+        finally:
+            reader.close()
+
+
+# ----------------------------------------------------------------------
+# Maintenance
+# ----------------------------------------------------------------------
+def test_stats_shape(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        store.put(b"key", b"value")
+        stats = store.stats()
+    assert stats["records"] == 1
+    assert stats["segments"] == 1
+    assert stats["live_bytes"] == 5
+    assert stats["quarantined_files"] == []
+    assert stats["quarantined_segments"] == 0
+    assert stats["truncated_tails"] == 0
+
+
+def test_verify_clean_store(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        for i in range(4):
+            store.put(f"key-{i}", f"value-{i}".encode())
+        report = store.verify()
+        assert report["bad"] == []
+        assert report["records"] == 4
+        # verify() must leave the store usable
+        assert store.put(b"after-verify", b"x")
+        assert store.get(b"key-0") == b"value-0"
+
+
+def test_compact_merges_segments(tmp_path):
+    with ContentStore(str(tmp_path), max_segment_bytes=256) as store:
+        for i in range(8):
+            store.put(f"key-{i}", bytes([i]) * 32)
+        assert len(_segments(tmp_path)) >= 2
+        result = store.compact()
+        assert result["records"] == 8
+        assert len(_segments(tmp_path)) == 2  # compacted + fresh tail
+        for i in range(8):
+            assert store.get(f"key-{i}") == bytes([i]) * 32
+    with ContentStore(str(tmp_path)) as store:
+        assert len(store) == 8
+
+
+def test_compact_requires_writer(tmp_path):
+    with ContentStore(str(tmp_path)) as writer:
+        writer.put(b"key", b"value")
+        reader = ContentStore(str(tmp_path), writer=False)
+        try:
+            with pytest.raises(StoreError, match="read-only"):
+                reader.compact()
+        finally:
+            reader.close()

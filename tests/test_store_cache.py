@@ -1,0 +1,158 @@
+"""ArrayStore facade, codecs, fingerprint keys, session semantics."""
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ArrayStore,
+    ContentStore,
+    StoreError,
+    active,
+    decode_array,
+    decode_json,
+    encode_array,
+    encode_json,
+    make_key,
+    store_session,
+)
+
+
+# ----------------------------------------------------------------------
+# Codecs
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("array", [
+    np.arange(12.0).reshape(3, 4),
+    np.array(3.5),
+    np.arange(6, dtype=np.int64),
+    np.zeros((2, 0, 3)),
+    np.array([True, False]),
+])
+def test_array_codec_bit_exact(array):
+    decoded = decode_array(encode_array(array))
+    assert decoded.dtype == array.dtype
+    assert decoded.shape == array.shape
+    assert decoded.tobytes() == array.tobytes()
+
+
+def test_json_codec_canonical():
+    value = {"b": [1, 2], "a": None}
+    payload = encode_json(value)
+    assert payload == encode_json({"a": None, "b": [1, 2]})
+    assert decode_json(payload) == value
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_make_key_framing_is_unambiguous():
+    assert make_key("ns", "ab", "c") != make_key("ns", "a", "bc")
+    assert make_key("ns", "x") != make_key("ms", "x")
+    assert make_key("ns", 1, 2) == make_key("ns", 1, 2)
+
+
+def test_vocab_fingerprint_tracks_contents():
+    from repro.data.vocab import Vocabulary
+    from repro.store import vocab_fingerprint
+
+    a = Vocabulary(("alpha", "beta"))
+    b = Vocabulary(("alpha", "gamma"))
+    assert vocab_fingerprint(a) == vocab_fingerprint(Vocabulary(("alpha", "beta")))
+    assert vocab_fingerprint(a) != vocab_fingerprint(b)
+
+
+def test_sentences_fingerprint_tracks_spans():
+    from repro.data.sentence import Sentence, Span
+    from repro.store import sentences_fingerprint
+
+    plain = [Sentence(("a", "b"), (), "news")]
+    tagged = [Sentence(("a", "b"), (Span(0, 1, "PER"),), "news")]
+    assert sentences_fingerprint(plain) != sentences_fingerprint(tagged)
+    assert sentences_fingerprint(plain) == sentences_fingerprint(
+        [Sentence(("a", "b"), (), "news")]
+    )
+
+
+# ----------------------------------------------------------------------
+# Never-fail facade
+# ----------------------------------------------------------------------
+def test_typed_roundtrips(tmp_path):
+    wrapper = ArrayStore(ContentStore(str(tmp_path)))
+    try:
+        array = np.linspace(0.0, 1.0, 7)
+        wrapper.put_array(b"arr", array)
+        np.testing.assert_array_equal(wrapper.get_array(b"arr"), array)
+        wrapper.put_json(b"doc", {"path": [1, 2, 3]})
+        assert wrapper.get_json(b"doc") == {"path": [1, 2, 3]}
+        assert wrapper.get_array(b"missing") is None
+        snap = wrapper.snapshot()
+        assert snap["hits"] == 2 and snap["misses"] == 1
+        assert snap["puts"] == 2 and snap["errors"] == 0
+    finally:
+        wrapper.close()
+
+
+def test_facade_swallows_store_errors_then_disables(tmp_path):
+    class Broken(ContentStore):
+        def get(self, key):
+            raise StoreError("injected")
+
+        def put(self, key, payload):
+            raise StoreError("injected")
+
+    wrapper = ArrayStore(Broken(str(tmp_path)), max_errors=3)
+    try:
+        for _ in range(2):
+            assert wrapper.get_bytes(b"k") is None  # error -> miss
+        wrapper.put_bytes(b"k", b"v")
+        assert wrapper.disabled  # third error crossed max_errors
+        assert wrapper.get_bytes(b"k") is None  # no further store calls
+        assert wrapper.counters["errors"] == 3
+    finally:
+        wrapper.close()
+
+
+def test_undecodable_payload_reads_as_absent(tmp_path):
+    wrapper = ArrayStore(ContentStore(str(tmp_path)))
+    try:
+        wrapper.put_bytes(b"k", b"not an array header")
+        assert wrapper.get_array(b"k") is None
+        assert wrapper.counters["errors"] == 1
+    finally:
+        wrapper.close()
+
+
+# ----------------------------------------------------------------------
+# Sessions
+# ----------------------------------------------------------------------
+def test_session_none_directory_yields_none():
+    with store_session(None) as session:
+        assert session is None
+        assert active() is None
+
+
+def test_session_activates_and_restores(tmp_path):
+    assert active() is None
+    with store_session(str(tmp_path)) as session:
+        assert active() is session
+        session.put_bytes(b"k", b"v")
+        # directory=None adds nothing but leaves an outer session alone
+        with store_session(None) as inner:
+            assert inner is None and active() is session
+        assert active() is session
+    assert active() is None
+
+
+def test_unopenable_store_degrades_to_no_session(tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("a file where the store directory should be")
+    with store_session(str(blocker)) as session:
+        assert session is None
+        assert active() is None
+
+
+def test_sessions_share_data_across_reopens(tmp_path):
+    with store_session(str(tmp_path)) as session:
+        session.put_array(b"k", np.arange(3.0))
+    with store_session(str(tmp_path)) as session:
+        np.testing.assert_array_equal(session.get_array(b"k"), np.arange(3.0))
+        assert session.counters["hits"] == 1

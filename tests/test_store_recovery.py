@@ -1,0 +1,191 @@
+"""Store recovery edges: torn tails, bit flips, crashes, fork sharing."""
+
+import os
+
+import pytest
+
+from repro.reliability import FaultInjector
+from repro.store import ContentStore, StoreError, key_digest
+from repro.store.segment import RECORD_HEADER_SIZE, SEGMENT_MAGIC, pack_record
+
+
+def _segments(directory, suffix=".seg"):
+    seg_dir = os.path.join(str(directory), "segments")
+    return sorted(
+        os.path.join(seg_dir, name)
+        for name in os.listdir(seg_dir)
+        if name.endswith(suffix)
+    )
+
+
+def _populate(directory, n=3):
+    with ContentStore(str(directory)) as store:
+        for i in range(n):
+            store.put(f"key-{i}", f"value-{i}".encode() * 10)
+
+
+# ----------------------------------------------------------------------
+# Torn tails (recoverable)
+# ----------------------------------------------------------------------
+def test_reopen_after_kill_mid_append(tmp_path):
+    _populate(tmp_path)
+    # The "kill": half a record lands at the tail and the process dies
+    # before the rest.
+    with open(_segments(tmp_path)[0], "ab") as fh:
+        record = pack_record(key_digest(b"late"), b"never finished")
+        fh.write(record[: len(record) // 2])
+    with ContentStore(str(tmp_path)) as store:
+        assert store.counters["truncated_tails"] == 1
+        assert store.counters["quarantined_segments"] == 0
+        for i in range(3):
+            assert store.get(f"key-{i}") == f"value-{i}".encode() * 10
+        assert store.get(b"late") is None
+        assert store.put(b"after", b"recovery")  # tail is appendable again
+    with ContentStore(str(tmp_path)) as store:
+        assert store.get(b"after") == b"recovery"
+        assert store.counters["truncated_tails"] == 0  # repair held
+
+
+def test_flipped_byte_in_final_record_truncates(tmp_path):
+    _populate(tmp_path, n=2)
+    FaultInjector.flip_byte(_segments(tmp_path)[0], -1)
+    with ContentStore(str(tmp_path)) as store:
+        assert store.counters["truncated_tails"] == 1
+        assert store.get(b"key-0") is not None
+        assert store.get(b"key-1") is None  # the damaged final record
+
+
+def test_injected_torn_write_recovers_on_reopen(tmp_path):
+    injector = FaultInjector(store_torn_write_at=(1,))
+    store = ContentStore(str(tmp_path), fault_injector=injector)
+    try:
+        assert store.put(b"first", b"landed")
+        with pytest.raises(StoreError, match="torn"):
+            store.put(b"second", b"crashed mid-append")
+    finally:
+        store.close()
+    with ContentStore(str(tmp_path)) as store:
+        assert store.counters["truncated_tails"] == 1
+        assert store.get(b"first") == b"landed"
+        assert store.get(b"second") is None
+
+
+# ----------------------------------------------------------------------
+# Interior corruption (unrecoverable -> quarantine)
+# ----------------------------------------------------------------------
+def test_flipped_byte_mid_record_quarantines_segment(tmp_path):
+    _populate(tmp_path)
+    victim = _segments(tmp_path)[0]
+    FaultInjector.flip_byte(
+        victim, len(SEGMENT_MAGIC) + RECORD_HEADER_SIZE + 1
+    )
+    with ContentStore(str(tmp_path)) as store:
+        assert store.counters["quarantined_segments"] == 1
+        assert not os.path.exists(victim)
+        assert os.path.exists(victim + ".quarantined")
+        assert store.get(b"key-0") is None  # contents gone with the segment
+        assert store.put(b"key-0", b"recomputed")  # but the store still works
+        assert store.get(b"key-0") == b"recomputed"
+
+
+def test_quarantined_segment_number_never_reused(tmp_path):
+    _populate(tmp_path)
+    victim = _segments(tmp_path)[0]
+    FaultInjector.flip_byte(
+        victim, len(SEGMENT_MAGIC) + RECORD_HEADER_SIZE + 1
+    )
+    with ContentStore(str(tmp_path)) as store:
+        store.put(b"fresh", b"record")
+        fresh = _segments(tmp_path)
+        assert fresh and all(p != victim for p in fresh)
+
+
+def test_corruption_under_live_store_caught_on_read(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        store.put(b"key", b"value")
+        FaultInjector.flip_byte(
+            _segments(tmp_path)[0], len(SEGMENT_MAGIC) + RECORD_HEADER_SIZE
+        )
+        assert store.get(b"key") is None
+        assert store.counters["read_corruption"] == 1
+        assert _segments(tmp_path, ".quarantined")
+        assert store.put(b"key", b"again")
+        assert store.get(b"key") == b"again"
+
+
+# ----------------------------------------------------------------------
+# Degenerate files
+# ----------------------------------------------------------------------
+def test_empty_segment_file_is_discarded(tmp_path):
+    _populate(tmp_path, n=1)
+    empty = os.path.join(str(tmp_path), "segments", "seg-00000099.seg")
+    open(empty, "wb").close()
+    with ContentStore(str(tmp_path)) as store:
+        assert not os.path.exists(empty)
+        assert store.get(b"key-0") is not None
+        assert store.put(b"new", b"x")
+
+
+def test_magic_only_segment_is_valid(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        pass  # open creates a bare-magic tail, writes nothing
+    with ContentStore(str(tmp_path)) as store:
+        assert store.counters["truncated_tails"] == 0
+        assert store.counters["quarantined_segments"] == 0
+        assert len(store) == 0
+
+
+def test_enospc_leaves_store_usable(tmp_path):
+    injector = FaultInjector(store_enospc_at=(1,))
+    with ContentStore(str(tmp_path), fault_injector=injector) as store:
+        assert store.put(b"first", b"ok")
+        with pytest.raises(StoreError, match="ENOSPC"):
+            store.put(b"second", b"no space")
+        # ENOSPC fails before any byte lands: same handle keeps working.
+        assert store.put(b"third", b"ok again")
+        assert store.get(b"first") == b"ok"
+        assert store.get(b"third") == b"ok again"
+
+
+# ----------------------------------------------------------------------
+# Concurrent readers
+# ----------------------------------------------------------------------
+def test_reader_unharmed_by_writer_crash(tmp_path):
+    _populate(tmp_path, n=2)
+    injector = FaultInjector(store_torn_write_at=(0,))
+    writer = ContentStore(str(tmp_path), fault_injector=injector)
+    reader = ContentStore(str(tmp_path), writer=False)
+    try:
+        with pytest.raises(StoreError):
+            writer.put(b"doomed", b"half of this tears the tail")
+        # The reader's view predates the torn bytes and stays clean.
+        assert reader.get(b"key-0") == b"value-0" * 10
+        assert reader.get(b"key-1") == b"value-1" * 10
+    finally:
+        writer.close()
+        reader.close()
+
+
+def test_forked_child_reads_but_never_writes(tmp_path):
+    with ContentStore(str(tmp_path)) as store:
+        store.put(b"before-fork", b"shared")
+        read, write = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child
+            os.close(read)
+            try:
+                ok = (store.get(b"before-fork") == b"shared"
+                      and store.put(b"from-child", b"refused") is False)
+                os.write(write, b"1" if ok else b"0")
+            finally:
+                os.close(write)
+                os._exit(0)
+        os.close(write)
+        try:
+            assert os.read(read, 1) == b"1"
+        finally:
+            os.close(read)
+            os.waitpid(pid, 0)
+        # The parent is still the writer after the child exits.
+        assert store.put(b"after-fork", b"parent writes")
+        assert store.get(b"after-fork") == b"parent writes"
