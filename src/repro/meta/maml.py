@@ -50,7 +50,10 @@ class MAML(Adapter):
     def _inner_adapt(self, episode: Episode, steps: int,
                      create_graph: bool) -> dict[str, Tensor]:
         """Fast weights after ``steps`` inner updates on the support set."""
+        import contextlib
+
         from repro import obs
+        from repro.perf.fastpath import recurrent_kernel
 
         with obs.span("encode"):
             batch = self.model.encode(list(episode.support), episode.scheme)
@@ -59,8 +62,15 @@ class MAML(Adapter):
         was_training = self.model.training
         if not self.config.inner_dropout:
             self.model.eval()
+        # Second-order MAML differentiates *through* the inner gradients,
+        # and those cross the recurrent encoder with every parameter as a
+        # requested input — the fused recurrent kernel is first-order
+        # only, so fall back to the per-timestep tape for this loop.
+        rnn_mode = (
+            recurrent_kernel(False) if create_graph else contextlib.nullcontext()
+        )
         try:
-            with obs.span("inner_loop", steps=steps):
+            with obs.span("inner_loop", steps=steps), rnn_mode:
                 for _k in range(steps):
                     with override_params(self.model, fast):
                         loss = self.model.loss(batch)

@@ -3,13 +3,21 @@
 The BiGRU is the context encoder of the paper's CNN-BiGRU-CRF backbone
 (depth 1, hidden size 128 in the paper; sizes are configurable).
 
-Hot-path layout: the input-to-gates projection of a whole sequence is one
+Hot-path layout: by default the whole scan runs as **one** fused tape
+node with a hand-derived BPTT backward
+(:mod:`repro.perf.rnn_kernels`, bit-identical to the tape path in both
+outputs and gradients; toggled by
+:func:`repro.perf.fastpath.recurrent_kernel`).  The legacy per-timestep
+tape path is kept as the parity reference and for second-order work: the
+input-to-gates projection of a whole sequence is one
 ``(B, L, I) @ (I, G·H)`` matmul hoisted out of the step loop (the cells
 expose :meth:`GRUCell.step` / :meth:`LSTMCell.step` that consume the
-precomputed slice), and the loop-invariant scalar one and the per-step
+precomputed slice), the loop-invariant scalar one and the per-step
 keep/frozen mask constants are allocated once instead of per timestep —
 the tape then grows by a fixed number of nodes per step (see
-``tests/test_nn_rnn.py::TestTapeBudget``).
+``tests/test_nn_rnn.py::TestTapeBudget``) — and mask application is
+skipped entirely for full-length batches (all-ones mask), the common
+case under length-band micro-batching in serving.
 """
 
 from __future__ import annotations
@@ -29,6 +37,14 @@ from repro.autodiff.tensor import (
 )
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+from repro.perf.fastpath import recurrent_kernel_enabled
+from repro.perf.rnn_kernels import (
+    bigru_forward_batch,
+    bilstm_forward_batch,
+    effective_mask,
+    gru_forward_batch,
+    lstm_forward_batch,
+)
 
 #: Loop-invariant scalar constant shared by every gate combination step.
 #: Constants never require grad and are never mutated, so one instance
@@ -60,10 +76,11 @@ class GRUCell(Module):
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         return self.step(matmul(x, self.w_x) + self.bias, h)
 
-    def step(self, gates_x: Tensor, h: Tensor) -> Tensor:
+    def step(self, gates_x: Tensor, h: Tensor,
+             w_h: Tensor | None = None) -> Tensor:
         """One step given the precomputed input projection ``x W_x + b``."""
         hs = self.hidden_size
-        gates_h = matmul(h, self.w_h)
+        gates_h = matmul(h, self.w_h if w_h is None else w_h)
         xr = gates_x[:, :hs]
         xz = gates_x[:, hs : 2 * hs]
         xn = gates_x[:, 2 * hs :]
@@ -77,13 +94,57 @@ class GRUCell(Module):
 
 
 def _mask_pairs(mask: np.ndarray) -> list[tuple[Tensor, Tensor]]:
-    """Per-step ``(keep, frozen)`` mask constants, built once per forward."""
+    """Per-step ``(keep, frozen)`` mask constants, built once per forward.
+
+    Callers pass masks through :func:`repro.perf.rnn_kernels.effective_mask`
+    first, so an all-ones mask never reaches here — full-length batches
+    skip mask application entirely.
+    """
     length = mask.shape[1]
     inverse = 1.0 - mask
     return [
         (Tensor(mask[:, t : t + 1]), Tensor(inverse[:, t : t + 1]))
         for t in range(length)
     ]
+
+
+def _tape_unroll(cell, x: Tensor, mask: np.ndarray | None,
+                 reverse: bool, n_state: int) -> Tensor:
+    """Legacy per-timestep tape scan shared by :class:`GRU` and :class:`LSTM`.
+
+    ``cell.step`` consumes the hoisted input projection slice and returns
+    the new state — a single hidden Tensor for the GRU, an ``(h, c)``
+    pair for the LSTM (``n_state`` states, every one frozen on padded
+    steps; ``state[0]`` is the emitted hidden sequence).
+    """
+    batch, length, _input = x.shape
+    state = tuple(zeros((batch, cell.hidden_size)) for _ in range(n_state))
+    # One big input projection instead of ``length`` small ones.
+    gates_x = matmul(x, cell.w_x) + cell.bias
+    # Per-scan recurrent-weight alias: the ``length`` step matmuls
+    # accumulate their gradient on this node, so ``w_h`` itself receives
+    # one pre-summed contribution per scan — the same grouping as the
+    # fused kernel's single tape node.  Without it, a backward that
+    # crosses several scans of one cell folds the per-step contributions
+    # in a different association order and the two paths drift by ULPs.
+    w_h = mul(cell.w_h, _ONE)
+    masks = None if mask is None else _mask_pairs(mask)
+    steps = range(length - 1, -1, -1) if reverse else range(length)
+    outputs: list[Tensor | None] = [None] * length
+    for t in steps:
+        new_state = cell.step(gates_x[:, t, :], *state, w_h=w_h)
+        if not isinstance(new_state, tuple):
+            new_state = (new_state,)
+        if masks is None:
+            state = new_state
+        else:
+            keep, frozen = masks[t]
+            state = tuple(
+                mul(keep, new) + mul(frozen, old)
+                for new, old in zip(new_state, state)
+            )
+        outputs[t] = state[0]
+    return stack(outputs, axis=1)  # (batch, length, hidden)
 
 
 class GRU(Module):
@@ -102,21 +163,10 @@ class GRU(Module):
 
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         batch, length, _input = x.shape
-        if mask is None:
-            mask = np.ones((batch, length))
-        mask = np.asarray(mask, dtype=float)
-        h = zeros((batch, self.hidden_size))
-        # One big input projection instead of ``length`` small ones.
-        gates_x = matmul(x, self.cell.w_x) + self.cell.bias
-        masks = _mask_pairs(mask)
-        steps = range(length - 1, -1, -1) if self.reverse else range(length)
-        outputs: list[Tensor | None] = [None] * length
-        for t in steps:
-            h_new = self.cell.step(gates_x[:, t, :], h)
-            keep, frozen = masks[t]
-            h = mul(keep, h_new) + mul(frozen, h)
-            outputs[t] = h
-        return stack(outputs, axis=1)  # (batch, length, hidden)
+        mask = effective_mask(mask, batch, length)
+        if recurrent_kernel_enabled():
+            return gru_forward_batch(self.cell, x, mask, reverse=self.reverse)
+        return _tape_unroll(self.cell, x, mask, self.reverse, n_state=1)
 
 
 class BiGRU(Module):
@@ -129,6 +179,8 @@ class BiGRU(Module):
         self.output_dim = 2 * hidden_size
 
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        if recurrent_kernel_enabled():
+            return bigru_forward_batch(self, x, mask)
         fwd = self.forward_rnn(x, mask)
         bwd = self.backward_rnn(x, mask)
         return concatenate([fwd, bwd], axis=-1)
@@ -159,10 +211,11 @@ class LSTMCell(Module):
     def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
         return self.step(matmul(x, self.w_x) + self.bias, h, c)
 
-    def step(self, gates_x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+    def step(self, gates_x: Tensor, h: Tensor, c: Tensor,
+             w_h: Tensor | None = None) -> tuple[Tensor, Tensor]:
         """One step given the precomputed input projection ``x W_x + b``."""
         hs = self.hidden_size
-        gates = gates_x + matmul(h, self.w_h)
+        gates = gates_x + matmul(h, self.w_h if w_h is None else w_h)
         i = sigmoid(gates[:, :hs])
         f = sigmoid(gates[:, hs : 2 * hs])
         g = tanh(gates[:, 2 * hs : 3 * hs])
@@ -184,22 +237,10 @@ class LSTM(Module):
 
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         batch, length, _input = x.shape
-        if mask is None:
-            mask = np.ones((batch, length))
-        mask = np.asarray(mask, dtype=float)
-        h = zeros((batch, self.hidden_size))
-        c = zeros((batch, self.hidden_size))
-        gates_x = matmul(x, self.cell.w_x) + self.cell.bias
-        masks = _mask_pairs(mask)
-        steps = range(length - 1, -1, -1) if self.reverse else range(length)
-        outputs: list[Tensor | None] = [None] * length
-        for t in steps:
-            h_new, c_new = self.cell.step(gates_x[:, t, :], h, c)
-            keep, frozen = masks[t]
-            h = mul(keep, h_new) + mul(frozen, h)
-            c = mul(keep, c_new) + mul(frozen, c)
-            outputs[t] = h
-        return stack(outputs, axis=1)
+        mask = effective_mask(mask, batch, length)
+        if recurrent_kernel_enabled():
+            return lstm_forward_batch(self.cell, x, mask, reverse=self.reverse)
+        return _tape_unroll(self.cell, x, mask, self.reverse, n_state=2)
 
 
 class BiLSTM(Module):
@@ -212,6 +253,8 @@ class BiLSTM(Module):
         self.output_dim = 2 * hidden_size
 
     def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        if recurrent_kernel_enabled():
+            return bilstm_forward_batch(self, x, mask)
         fwd = self.forward_rnn(x, mask)
         bwd = self.backward_rnn(x, mask)
         return concatenate([fwd, bwd], axis=-1)

@@ -23,6 +23,11 @@ import weakref
 # shadows the submodule attribute, so resolve the module explicitly.
 _tensor = importlib.import_module("repro.autodiff.tensor")
 
+#: Op names under which the fused recurrent scans register their single
+#: tape node (``_make`` is called directly from these functions, so the
+#: caller-frame op key is the kernel name itself).
+_RNN_KERNEL_OPS = ("gru_forward_batch", "lstm_forward_batch")
+
 
 class TapeProfile:
     """Mutable accumulator filled in while :func:`profile_tape` is active."""
@@ -65,6 +70,16 @@ class TapeProfile:
             return 0.0
         return sum(self.backward_nodes) / len(self.backward_nodes)
 
+    @property
+    def rnn_nodes(self) -> int:
+        """Tape nodes created by the fused recurrent kernels.
+
+        One per GRU/LSTM scan (two per bidirectional layer forward) —
+        the queryable form of the one-node-per-sequence invariant, the
+        fused analogue of the legacy ≤ 24 nodes/step budget.
+        """
+        return sum(self.op_counts.get(op, 0) for op in _RNN_KERNEL_OPS)
+
     def summary(self) -> dict:
         """JSON-ready digest (op counts in sorted order)."""
         return {
@@ -73,6 +88,7 @@ class TapeProfile:
             "max_nodes_per_backward": self.max_nodes_per_backward,
             "mean_nodes_per_backward": round(self.mean_nodes_per_backward, 3),
             "peak_live_bytes": self.peak_live_bytes,
+            "rnn_nodes": self.rnn_nodes,
             "op_counts": {k: self.op_counts[k] for k in sorted(self.op_counts)},
         }
 
@@ -84,7 +100,7 @@ def profile_tape():
     Yields a :class:`TapeProfile`.  On exit the profiler is detached
     and, when a telemetry session is active, the headline numbers are
     published as gauges (``tape.max_nodes_per_backward``,
-    ``tape.peak_live_bytes``) plus a ``tape`` event.
+    ``tape.peak_live_bytes``, ``tape.rnn_nodes``) plus a ``tape`` event.
     """
     from repro import obs
 
@@ -99,4 +115,5 @@ def profile_tape():
             obs.set_gauge("tape.max_nodes_per_backward",
                           profile.max_nodes_per_backward)
             obs.set_gauge("tape.peak_live_bytes", profile.peak_live_bytes)
+            obs.set_gauge("tape.rnn_nodes", profile.rnn_nodes)
             obs.emit("tape", **profile.summary())

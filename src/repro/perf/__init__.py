@@ -2,11 +2,14 @@
 
 Three coordinated pieces:
 
-* :mod:`repro.perf.kernels` + :mod:`repro.perf.fastpath` — batched CRF
-  Viterbi/greedy decode (bit-identical to the per-sentence recursions,
-  on by default), a fused first-order CRF NLL (opt-in via
-  :func:`~repro.perf.fastpath.fastpath`), and the frozen-encoder
-  adaptation cache (on by default, bit-identical);
+* :mod:`repro.perf.kernels` + :mod:`repro.perf.rnn_kernels` +
+  :mod:`repro.perf.fastpath` — batched CRF Viterbi/greedy decode
+  (bit-identical to the per-sentence recursions, on by default), a fused
+  first-order CRF NLL (opt-in via
+  :func:`~repro.perf.fastpath.fastpath`), fused single-tape-node GRU/LSTM
+  scans with hand-derived BPTT backwards (on by default, bit-identical
+  in outputs *and* gradients), and the frozen-encoder adaptation cache
+  (on by default, bit-identical);
 * :mod:`repro.perf.executor` — a fork-based, deterministic, *supervised*
   worker pool (per-task deadlines, crash/hang detection, bounded
   retries, poison-episode quarantine, :class:`ExecutionReport`
@@ -33,6 +36,8 @@ from repro.perf.fastpath import (
     fastpath_state,
     fused_nll_enabled,
     legacy_kernels,
+    recurrent_kernel,
+    recurrent_kernel_enabled,
 )
 
 __all__ = [
@@ -47,4 +52,6 @@ __all__ = [
     "fastpath_state",
     "fused_nll_enabled",
     "legacy_kernels",
+    "recurrent_kernel",
+    "recurrent_kernel_enabled",
 ]

@@ -11,8 +11,10 @@ inputs:
 * ``crf_decode``   — Viterbi: per-sentence recursion vs the batched
   kernel;
 * ``rnn_forward``  — BiGRU forward: per-step cell calls with per-step
-  constant allocation vs the hoisted-projection layer loop;
-* ``rnn_backward`` — the same pair, forward plus backward;
+  constant allocation vs the fused single-tape-node recurrent kernel
+  (:mod:`repro.perf.rnn_kernels`);
+* ``rnn_backward`` — the same pair, forward plus backward (the fused
+  side backprops through one node with the hand-derived BPTT);
 * ``fewner_inner`` — one FEWNER adapt-and-predict episode, legacy vs
   fast kernels;
 * ``episode_eval`` — end-to-end ``evaluate_method``: legacy kernels and
@@ -29,6 +31,11 @@ inputs:
   come back as content-addressed hits, and the timing includes the
   session open — lock, recovery scan, mmap).  Its extra ``warm_hits`` /
   ``warm_misses`` keys record the hit traffic of one warm pass.
+* ``serve_throughput`` — end-to-end warm :class:`TaggingService`
+  request loop (no store): every fast path off vs the shipped defaults
+  (fused recurrent kernel + batched decode).  Its extra
+  ``sentences_per_s`` key is the fast-path throughput, the headline
+  serving number for encode-heavy inference-time adaptation.
 
 Timing goes through :func:`repro.obs.measure`, so medians and IQRs here
 and in ``repro.experiments.timing`` follow one convention.  Results are
@@ -58,6 +65,7 @@ WORKLOADS = (
     "episode_eval",
     "telemetry_overhead",
     "store_roundtrip",
+    "serve_throughput",
 )
 
 #: Repetition counts per preset: (kernel workloads, end-to-end workloads).
@@ -337,6 +345,41 @@ def _bench_store_roundtrip(reps: int, workers: int, seed: int) -> dict:
         shutil.rmtree(directory, ignore_errors=True)
 
 
+def _bench_serve_throughput(reps: int, workers: int, seed: int) -> dict:
+    from repro.data.tags import TagScheme
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+    from repro.perf.fastpath import legacy_kernels
+    from repro.serving import TaggingService
+    from repro.serving.loadgen import synthetic_requests
+
+    pool = ("the", "visited", "today", "reports", "arrived",
+            "Kavox", "Zuqev", "Mirelle", "when", "council", "met", "river")
+    scheme = TagScheme(("0", "1"))
+    model = CNNBiGRUCRF(
+        Vocabulary(pool), CharVocabulary(pool), scheme.num_tags,
+        BackboneConfig(), np.random.default_rng(seed),
+        tag_names=scheme.tags,
+    )
+    requests = synthetic_requests(64, seed=seed, pool=pool)
+    service = TaggingService(model, scheme)  # warm: built once, reused
+
+    def serve_all():
+        for tokens in requests:
+            service.tag(list(tokens))
+
+    def baseline():
+        with legacy_kernels():
+            serve_all()
+
+    result = _paired(baseline, serve_all, reps)
+    fast_s = result["fast"]["median_ms"] / 1000.0
+    result["sentences_per_s"] = (
+        round(len(requests) / fast_s, 1) if fast_s > 0 else float("inf")
+    )
+    return result
+
+
 def telemetry_overhead_pct(seed: int = 0, rounds: int = 3,
                            n_episodes: int = 2) -> dict:
     """Disabled-telemetry cost on ``episode_eval`` — the < 2 % gate.
@@ -418,11 +461,12 @@ _RUNNERS = {
     "episode_eval": _bench_episode_eval,
     "telemetry_overhead": _bench_telemetry_overhead,
     "store_roundtrip": _bench_store_roundtrip,
+    "serve_throughput": _bench_serve_throughput,
 }
 
 #: Workloads timed with the end-to-end repetition count.
 _HEAVY = frozenset({"fewner_inner", "episode_eval", "telemetry_overhead",
-                    "store_roundtrip"})
+                    "store_roundtrip", "serve_throughput"})
 
 
 # ----------------------------------------------------------------------
@@ -540,6 +584,8 @@ def render(document: dict) -> str:
         if "warm_hits" in result:
             line += (f"  ({result['warm_hits']} warm hits, "
                      f"{result['warm_misses']} misses)")
+        if "sentences_per_s" in result:
+            line += f"  ({result['sentences_per_s']:.0f} sentences/s)"
         lines.append(line)
     combined = document.get("crf_nll_decode_speedup")
     if combined is not None:

@@ -1,6 +1,6 @@
 """Thread-local switches that select the performance fast paths.
 
-Three independent toggles, scoped with context managers so callers can
+Four independent toggles, scoped with context managers so callers can
 never leak a mode change past their own frame:
 
 * **Batched decode** (default *on*): Viterbi / greedy decoding of a batch
@@ -19,6 +19,14 @@ never leak a mode change past their own frame:
   undefined and is rejected at backprop time.  Enable it with
   :func:`fastpath` around first-order work only (evaluation-time
   adaptation, supervised training, benchmarking).
+* **Recurrent kernel** (default *on*): GRU/LSTM layers unroll the whole
+  sequence inside one fused numpy scan registered as a *single* tape
+  node with a hand-derived BPTT backward (``repro.perf.rnn_kernels``),
+  instead of emitting ~24 tape ops per timestep.  The fused scan performs
+  the same float operations in the same order as the tape, so outputs
+  *and* parameter gradients are bit-identical — but like the fused NLL
+  the analytic backward is first-order only; second-order
+  differentiation through it is rejected at backprop time.
 * **Adaptation cache** (default *on*): during first-order, dropout-free
   inner-loop adaptation the φ-independent encoder pass (embeddings,
   char-CNN, BiGRU) is computed once per episode and reused as a
@@ -54,6 +62,11 @@ def adaptation_cache_enabled() -> bool:
     return getattr(_state, "adaptation_cache", True)
 
 
+def recurrent_kernel_enabled() -> bool:
+    """Whether the fused single-node recurrent (GRU/LSTM) kernel is active."""
+    return getattr(_state, "recurrent_kernel", True)
+
+
 #: The documented default of every switch; chaos invariants compare
 #: :func:`fastpath_state` against this to prove no scenario leaked a
 #: mode change past its own frame.
@@ -61,6 +74,7 @@ DEFAULT_FASTPATH_STATE = {
     "fused_nll": False,
     "batched_decode": True,
     "adaptation_cache": True,
+    "recurrent_kernel": True,
 }
 
 
@@ -70,6 +84,7 @@ def fastpath_state() -> dict:
         "fused_nll": fused_nll_enabled(),
         "batched_decode": batched_decode_enabled(),
         "adaptation_cache": adaptation_cache_enabled(),
+        "recurrent_kernel": recurrent_kernel_enabled(),
     }
 
 
@@ -89,8 +104,26 @@ def fastpath(enabled: bool = True):
 
 
 @contextlib.contextmanager
+def recurrent_kernel(enabled: bool = True):
+    """Enable (or disable) the fused recurrent kernel inside the block.
+
+    First-order only: differentiating *through* a gradient that crossed
+    the fused scan (``create_graph=True`` and the RNN on the path to a
+    requested input) raises ``RuntimeError``; disable the kernel around
+    such work instead.
+    """
+    prev = recurrent_kernel_enabled()
+    _state.recurrent_kernel = bool(enabled)
+    try:
+        yield
+    finally:
+        _state.recurrent_kernel = prev
+
+
+@contextlib.contextmanager
 def legacy_kernels():
-    """Run with every fast path off: per-sentence decode, composite NLL.
+    """Run with every fast path off: per-sentence decode, composite NLL,
+    per-timestep recurrent tape ops.
 
     Used by the benchmark harness to time the pre-fastpath implementations
     and by parity tests as the reference side.
@@ -99,12 +132,14 @@ def legacy_kernels():
         fused_nll_enabled(),
         batched_decode_enabled(),
         adaptation_cache_enabled(),
+        recurrent_kernel_enabled(),
     )
     _state.fused_nll = False
     _state.batched_decode = False
     _state.adaptation_cache = False
+    _state.recurrent_kernel = False
     try:
         yield
     finally:
         (_state.fused_nll, _state.batched_decode,
-         _state.adaptation_cache) = prev
+         _state.adaptation_cache, _state.recurrent_kernel) = prev

@@ -22,6 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autodiff.tensor import Tensor, _make, is_grad_enabled, mul
+from repro.perf.rnn_kernels import (  # noqa: F401  (recurrent fast paths, re-exported)
+    bigru_forward_batch,
+    bilstm_forward_batch,
+    gru_forward_batch,
+    lstm_forward_batch,
+)
 
 
 def _as_array(emissions) -> np.ndarray:

@@ -369,6 +369,80 @@ def _run_episode_eval_crash(seed, check):
     }
 
 
+@_scenario(
+    "recurrent-kernel-parity",
+    "fused recurrent kernel flipped on/off mid-stream: layer outputs "
+    "and gradients stay bit-identical to the legacy tape, episode "
+    "scores are unchanged, the second-order guard trips",
+)
+def _run_recurrent_kernel_parity(seed, check):
+    import numpy as np
+
+    from repro.autodiff.tensor import Tensor, grad
+    from repro.data.synthetic import generate_dataset
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.experiments.configs import SCALES
+    from repro.meta.evaluate import (
+        build_method, evaluate_method, fixed_episodes,
+    )
+    from repro.nn.rnn import BiGRU
+    from repro.perf.fastpath import recurrent_kernel
+
+    rng = np.random.default_rng(seed)
+    layer = BiGRU(6, 5, np.random.default_rng(seed + 1))
+    x_data = rng.normal(size=(4, 9, 6))
+    lengths = rng.integers(0, 10, size=4)  # includes zero-length rows
+    mask = (np.arange(9)[None, :] < lengths[:, None]).astype(float)
+
+    def outputs_and_grads():
+        x = Tensor(x_data, requires_grad=True)
+        out = layer(x, mask)
+        grads = grad((out * out).sum(), [x] + layer.parameters())
+        return out.data, [g.data for g in grads]
+
+    fused_out, fused_grads = outputs_and_grads()
+    with recurrent_kernel(False):
+        tape_out, tape_grads = outputs_and_grads()
+    check("layer-outputs-bit-identical",
+          np.array_equal(fused_out, tape_out))
+    check("layer-gradients-bit-identical",
+          all(np.array_equal(a, b)
+              for a, b in zip(fused_grads, tape_grads)))
+
+    guard_tripped = False
+    try:
+        x = Tensor(x_data, requires_grad=True)
+        out = layer(x, mask)
+        grad((out * out).sum(), [x], create_graph=True)
+    except RuntimeError:
+        guard_tripped = True
+    check("second-order-guard-trips", guard_tripped,
+          "create_graph=True through the fused scan did not raise")
+
+    dataset = generate_dataset("OntoNotes", scale=0.02, seed=seed % 89)
+    half = len(dataset) // 2
+    train, test = dataset[:half], dataset[half:]
+    scale = SCALES["smoke"]
+    word_vocab = Vocabulary.from_datasets([train])
+    char_vocab = CharVocabulary.from_datasets([train])
+    adapter = build_method("ProtoNet", word_vocab, char_vocab,
+                           scale.n_way, scale.method_config)
+    episodes = fixed_episodes(test, scale.n_way, 1, 2, seed=7,
+                              query_size=scale.query_size)
+    fused_eval = evaluate_method(adapter, episodes, workers=0)
+    with recurrent_kernel(False):
+        tape_eval = evaluate_method(adapter, episodes, workers=0)
+    check("episode-scores-bit-identical",
+          fused_eval.episode_scores == tape_eval.episode_scores,
+          f"fused {fused_eval.episode_scores} != "
+          f"tape {tape_eval.episode_scores}")
+    return {
+        "episodes": len(episodes),
+        "f1": fused_eval.f1,
+        "lengths": lengths.tolist(),
+    }
+
+
 # ----------------------------------------------------------------------
 # Training-layer scenario (guarded step)
 # ----------------------------------------------------------------------

@@ -120,14 +120,20 @@ class TestTapeBudget:
     Before the constant-hoisting pass, every step allocated fresh
     scalar-one and mask tensors; hoisting them caps the per-step budget,
     and this test pins it so a refactor cannot silently regrow the tape.
+    These bounds are about the *legacy* per-timestep path (the default
+    fused kernel registers one node per sequence regardless of length —
+    see ``tests/test_perf_rnn_kernels.py``), so it is forced on here.
     """
 
     def _per_step_nodes(self, module_cls, rng, lengths=(4, 8, 12)):
+        from repro.perf.fastpath import legacy_kernels
+
         sizes = []
-        for length in lengths:
-            layer = module_cls(3, 4, np.random.default_rng(0))
-            x = Tensor(rng.normal(size=(2, length, 3)), requires_grad=True)
-            sizes.append(_tape_size(layer(x).sum()))
+        with legacy_kernels():
+            for length in lengths:
+                layer = module_cls(3, 4, np.random.default_rng(0))
+                x = Tensor(rng.normal(size=(2, length, 3)), requires_grad=True)
+                sizes.append(_tape_size(layer(x).sum()))
         deltas = {
             (sizes[i + 1] - sizes[i]) // (lengths[i + 1] - lengths[i])
             for i in range(len(sizes) - 1)
@@ -149,9 +155,11 @@ class TestTapeBudget:
         """All GRU steps reuse the module-level constant — the tape holds
         exactly one scalar-one tensor, not one per step."""
         from repro.nn import rnn as rnn_module
+        from repro.perf.fastpath import legacy_kernels
 
         gru = GRU(3, 4, rng)
-        out = gru(Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True))
+        with legacy_kernels():
+            out = gru(Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True))
         seen = set()
         stack = [out.sum()]
         ones = 0

@@ -1,0 +1,313 @@
+"""Fused recurrent kernels: bit-identity, tape shape, second-order guard.
+
+The contract under test (see ``repro/perf/rnn_kernels.py``): the fused
+single-tape-node GRU/LSTM scans produce outputs *and* gradients that are
+bit-identical — exact array equality, not tolerance — to the legacy
+per-timestep tape path, across directions, ragged masks and zero-length
+rows; the whole sequence registers as one tape node; and, mirroring
+``crf_nll_fused``, differentiating through the fused backward with
+``create_graph=True`` is rejected rather than silently wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor, grad
+from repro.nn.rnn import GRU, LSTM, BiGRU, BiLSTM
+from repro.perf.fastpath import (
+    fastpath_state,
+    legacy_kernels,
+    recurrent_kernel,
+    recurrent_kernel_enabled,
+)
+from repro.perf.rnn_kernels import effective_mask
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def _layers(input_size=6, hidden_size=4):
+    return {
+        "gru": GRU(input_size, hidden_size, np.random.default_rng(1)),
+        "gru-reverse": GRU(input_size, hidden_size,
+                           np.random.default_rng(2), reverse=True),
+        "bigru": BiGRU(input_size, hidden_size, np.random.default_rng(3)),
+        "lstm": LSTM(input_size, hidden_size, np.random.default_rng(4)),
+        "lstm-reverse": LSTM(input_size, hidden_size,
+                             np.random.default_rng(5), reverse=True),
+        "bilstm": BiLSTM(input_size, hidden_size, np.random.default_rng(6)),
+    }
+
+
+def _masks(rng, batch, length):
+    ragged = np.zeros((batch, length))
+    for b in range(batch):
+        ragged[b, : rng.integers(1, length + 1)] = 1.0
+    zero_row = ragged.copy()
+    zero_row[0, :] = 0.0
+    return {
+        "none": None,
+        "all-ones": np.ones((batch, length)),
+        "ragged": ragged,
+        "zero-length-row": zero_row,
+    }
+
+
+def _run(layer, x, mask):
+    """Forward + grads w.r.t. the input and every parameter."""
+    out = layer(x, mask)
+    grads = grad((out * out).sum(), [x] + layer.parameters())
+    return out.data, [g.data for g in grads]
+
+
+class TestBitIdentity:
+    """Fused vs legacy tape: exact equality of outputs and gradients."""
+
+    @pytest.mark.parametrize("layer_name", sorted(_layers()))
+    @pytest.mark.parametrize("mask_name",
+                             ["none", "all-ones", "ragged", "zero-length-row"])
+    def test_outputs_and_gradients_bit_identical(
+            self, rng, layer_name, mask_name):
+        batch, length = 5, 7
+        layer = _layers()[layer_name]
+        mask = _masks(rng, batch, length)[mask_name]
+        x = Tensor(rng.normal(size=(batch, length, 6)), requires_grad=True)
+
+        assert recurrent_kernel_enabled()  # fused is the default
+        fused_out, fused_grads = _run(layer, x, mask)
+        with legacy_kernels():
+            tape_out, tape_grads = _run(layer, x, mask)
+
+        assert np.array_equal(fused_out, tape_out)
+        assert len(fused_grads) == len(tape_grads)
+        for fused_g, tape_g in zip(fused_grads, tape_grads):
+            assert np.array_equal(fused_g, tape_g)
+
+    def test_repeated_backwards_reuse_is_sound(self, rng):
+        """Distinct losses produce distinct cotangents; the per-``g``
+        backward cache must not leak results across them."""
+        layer = GRU(3, 4, np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 5, 3)), requires_grad=True)
+        out = layer(x)
+        (g1,) = grad(out.sum(), [x])
+        (g2,) = grad((out * out).sum(), [x])
+        with legacy_kernels():
+            ref = layer(x)
+            (r1,) = grad(ref.sum(), [x])
+            (r2,) = grad((ref * ref).sum(), [x])
+        assert np.array_equal(g1.data, r1.data)
+        assert np.array_equal(g2.data, r2.data)
+        assert not np.array_equal(g1.data, g2.data)
+
+    def test_parameter_only_grads_match(self, rng):
+        """Grads requested for a subset of inputs (just ``w_h``) agree."""
+        layer = LSTM(3, 4, np.random.default_rng(0))
+        mask = _masks(rng, 2, 5)["ragged"]
+        x = Tensor(rng.normal(size=(2, 5, 3)))
+        (fused,) = grad(layer(x, mask).sum(), [layer.cell.w_h])
+        with legacy_kernels():
+            (tape,) = grad(layer(x, mask).sum(), [layer.cell.w_h])
+        assert np.array_equal(fused.data, tape.data)
+
+    @pytest.mark.parametrize("layer_name", ["gru", "bigru", "lstm"])
+    def test_backward_spanning_multiple_scans_matches(self, rng, layer_name):
+        """One backward over several scans of the same cell.
+
+        The recurrent weight then receives one contribution per scan in
+        both paths (the legacy scan pre-sums its per-step contributions
+        on a per-scan alias node), so the gradient association order —
+        and therefore the bits — agree.  This is the shape supervised
+        pretraining produces when the loss encodes more than one batch.
+        """
+        layer = _layers(input_size=4, hidden_size=3)[layer_name]
+        mask = _masks(rng, 3, 6)["ragged"]
+        xs = [Tensor(rng.normal(size=(3, 6, 4)), requires_grad=True)
+              for _ in range(3)]
+
+        def run():
+            loss = None
+            for k, x in enumerate(xs):
+                out = layer(x, mask if k % 2 else None)
+                term = (out * out).sum()
+                loss = term if loss is None else loss + term
+            return [g.data for g in grad(loss, xs + layer.parameters())]
+
+        fused = run()
+        with legacy_kernels():
+            tape = run()
+        for fused_g, tape_g in zip(fused, tape):
+            assert np.array_equal(fused_g, tape_g)
+
+    def test_backward_after_parameter_swap_uses_forward_weights(self, rng):
+        """The fused backward must close over the weights the forward ran
+        with, not re-read them from the cell — MAML's ``override_params``
+        restores the originals before the outer backward runs."""
+        from repro.nn.module import override_params
+
+        layer = GRU(3, 4, np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 5, 3)), requires_grad=True)
+        fast = {
+            name: Tensor(param.data * 1.5 + 0.1, requires_grad=True)
+            for name, param in layer.named_parameters()
+        }
+
+        def run():
+            with override_params(layer, fast):
+                out = layer(x)
+            # Backward outside the override: the cell's parameters are
+            # the originals again.
+            return [g.data for g in
+                    grad((out * out).sum(), [x] + list(fast.values()))]
+
+        fused = run()
+        with legacy_kernels():
+            tape = run()
+        for fused_g, tape_g in zip(fused, tape):
+            assert np.array_equal(fused_g, tape_g)
+
+
+def _tape_size(out):
+    seen = set()
+    stack = [out]
+    while stack:
+        t = stack.pop()
+        if id(t) in seen:
+            continue
+        seen.add(id(t))
+        if t._node is not None:
+            stack.extend(t._node.parents)
+    return len(seen)
+
+
+class TestTapeShape:
+    """One node per scan, regardless of sequence length."""
+
+    def test_gru_tape_is_length_independent(self, rng):
+        sizes = []
+        for length in (4, 8, 16):
+            layer = GRU(3, 4, np.random.default_rng(0))
+            x = Tensor(rng.normal(size=(2, length, 3)), requires_grad=True)
+            sizes.append(_tape_size(layer(x).sum()))
+        assert len(set(sizes)) == 1, f"fused tape grew with length: {sizes}"
+
+    def test_rnn_nodes_counted_by_tape_profiler(self, rng):
+        from repro.obs import profile_tape
+
+        layer = BiGRU(3, 4, np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        with profile_tape() as profile:
+            layer(x).sum().backward()
+        assert profile.rnn_nodes == 2  # one fused node per direction
+        assert profile.summary()["rnn_nodes"] == 2
+
+    def test_rnn_nodes_zero_on_legacy_path(self, rng):
+        from repro.obs import profile_tape
+
+        layer = BiGRU(3, 4, np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        with profile_tape() as profile, legacy_kernels():
+            layer(x).sum().backward()
+        assert profile.rnn_nodes == 0
+        assert profile.nodes_created > 0
+
+    def test_no_node_recorded_without_grad(self, rng):
+        from repro.autodiff.tensor import no_grad
+
+        layer = GRU(3, 4, np.random.default_rng(0))
+        with no_grad():
+            out = layer(Tensor(rng.normal(size=(2, 5, 3))))
+        assert out._node is None
+
+
+class TestSecondOrderGuard:
+    """Mirror of the ``crf_nll_fused`` guard tests."""
+
+    def _double_grad(self, layer, x):
+        out = layer(x)
+        (gx,) = grad((out * out).sum(), [x], create_graph=True)
+        return grad(gx.sum(), [x])
+
+    def test_create_graph_through_fused_scan_raises(self, rng):
+        layer = GRU(3, 4, np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        with pytest.raises(RuntimeError, match="first-order only"):
+            self._double_grad(layer, x)
+
+    def test_recurrent_kernel_off_allows_second_order(self, rng):
+        layer = GRU(3, 4, np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+        with recurrent_kernel(False):
+            (gg,) = self._double_grad(layer, x)
+        assert np.isfinite(gg.data).all()
+
+    def test_create_graph_not_through_scan_is_fine(self, rng):
+        """FewNER-style second order: the requested input sits *after*
+        the encoder, so the fused node is never on the path and its
+        guard must not fire."""
+        layer = GRU(3, 4, np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(2, 4, 3)))
+        phi = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        out = layer(x)
+        loss = ((out * phi) ** 2).sum()
+        (g_phi,) = grad(loss, [phi], create_graph=True)
+        (gg,) = grad((g_phi * g_phi).sum(), [phi])
+        assert np.isfinite(gg.data).all()
+
+
+class TestFlagPlumbing:
+    def test_default_state_includes_recurrent_kernel(self):
+        assert fastpath_state()["recurrent_kernel"] is True
+
+    def test_legacy_kernels_disables_and_restores(self):
+        assert recurrent_kernel_enabled()
+        with legacy_kernels():
+            assert not recurrent_kernel_enabled()
+        assert recurrent_kernel_enabled()
+
+    def test_recurrent_kernel_context_restores_on_error(self):
+        with pytest.raises(ValueError):
+            with recurrent_kernel(False):
+                assert not recurrent_kernel_enabled()
+                raise ValueError("boom")
+        assert recurrent_kernel_enabled()
+
+    def test_kernels_namespace_reexports(self):
+        from repro.perf import kernels
+
+        for name in ("gru_forward_batch", "bigru_forward_batch",
+                     "lstm_forward_batch", "bilstm_forward_batch"):
+            assert callable(getattr(kernels, name))
+
+
+class TestEffectiveMask:
+    def test_all_ones_collapses_to_none(self):
+        assert effective_mask(np.ones((3, 5)), 3, 5) is None
+        assert effective_mask(None, 3, 5) is None
+
+    def test_ragged_mask_passes_through_as_float(self):
+        mask = np.array([[1, 1, 0], [1, 0, 0]])
+        out = effective_mask(mask, 2, 3)
+        assert out is not None
+        assert out.dtype == float
+        assert np.array_equal(out, mask.astype(float))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mask shape"):
+            effective_mask(np.ones((2, 3)), 2, 4)
+
+    def test_full_length_batch_skips_mask_nodes_on_legacy_path(self):
+        """With an all-ones mask the legacy scan emits no keep/frozen
+        constants — the tape is the same size as the mask-less call."""
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        with legacy_kernels():
+            layer = GRU(3, 4, np.random.default_rng(1))
+            with_ones = _tape_size(layer(x, np.ones((2, 6))).sum())
+            without = _tape_size(layer(x).sum())
+            ragged = _tape_size(
+                layer(x, _masks(rng, 2, 6)["ragged"]).sum()
+            )
+        assert with_ones == without
+        assert ragged > with_ones
