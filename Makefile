@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-gateway verify-chaos verify-obs verify-store
+.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-gateway verify-overload verify-chaos verify-obs verify-store
 
 install:
 	$(PYTHON) setup.py develop
@@ -30,6 +30,14 @@ verify-gateway:
 	    tests/test_obs_fleet.py -q
 	PYTHONPATH=src $(PYTHON) -m repro chaos soak \
 	    --scenario gateway-replica-kill --max-rounds 2 \
+	    --time-budget-s 120 --seed 0
+
+verify-overload:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_serving_overload.py \
+	    tests/test_serving_overload_service.py \
+	    tests/test_serving_overload_gateway.py -q
+	PYTHONPATH=src $(PYTHON) -m repro chaos soak \
+	    --scenario overload-storm --max-rounds 2 \
 	    --time-budget-s 120 --seed 0
 
 verify-chaos:

@@ -379,12 +379,20 @@ def cmd_tag(args: argparse.Namespace) -> int:
     return 0
 
 
+def _overload_config(args):
+    """The shared :class:`OverloadConfig` when ``--overload`` is set."""
+    from repro.serving import OverloadConfig
+
+    return OverloadConfig() if getattr(args, "overload", False) else None
+
+
 def _gateway_factory(args):
     """Build the per-replica service factory (and fail fast in the
     parent if the checkpoint is unusable)."""
     from repro.serving import ServiceConfig, TaggingService
 
-    config = ServiceConfig(default_deadline_ms=args.deadline_ms)
+    config = ServiceConfig(default_deadline_ms=args.deadline_ms,
+                           overload=_overload_config(args))
     # Load once in the parent: surfaces checkpoint errors before any
     # replica forks, and the model is inherited copy-on-write.
     probe = TaggingService.from_checkpoint(args.checkpoint, config=config)
@@ -418,7 +426,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         factory,
         GatewayConfig(replicas=args.replicas,
                       max_shard_queue=args.max_shard_queue,
-                      hedge_after_ms=args.hedge_after_ms),
+                      hedge_after_ms=args.hedge_after_ms,
+                      overload=_overload_config(args)),
         backend=args.backend,
         telemetry_path=getattr(args, "telemetry", None),
     )
@@ -468,12 +477,23 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     models = (("open", "closed") if args.model == "both"
               else (args.model,))
     requests = synthetic_requests(args.requests, seed=args.seed)
+    priorities = None
+    if args.priority_mix:
+        from repro.serving import assign_priorities, parse_priority_mix
+
+        try:
+            mix = parse_priority_mix(args.priority_mix)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        priorities = assign_priorities(args.requests, mix, seed=args.seed)
     reports = {}
     for model in models:
         gateway = ShardedGateway(
             factory,
             GatewayConfig(replicas=args.replicas,
-                          max_shard_queue=args.max_shard_queue),
+                          max_shard_queue=args.max_shard_queue,
+                          overload=_overload_config(args)),
             backend=args.backend,
             telemetry_path=getattr(args, "telemetry", None),
         )
@@ -481,7 +501,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             slo = run_load(
                 gateway, requests, model=model, rate_rps=args.rate,
                 concurrency=args.concurrency, seed=args.seed,
-                timeout_s=args.timeout_s,
+                timeout_s=args.timeout_s, priorities=priorities,
             )
         finally:
             gateway.shutdown()
@@ -759,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "in-flight latency (default: off)")
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="per-request decode budget in milliseconds")
+    p.add_argument("--overload", action="store_true",
+                   help="enable adaptive overload control (priority "
+                        "admission, CoDel queues, AIMD concurrency, "
+                        "retry budget, brownout ladder)")
     p.add_argument("--rolling-reload", action="store_true",
                    help="run a rolling drain/swap/readmit reload while "
                         "serving (demonstrates zero-loss reload)")
@@ -794,6 +818,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-shard-queue", type=int, default=64)
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="per-request decode budget in milliseconds")
+    p.add_argument("--overload", action="store_true",
+                   help="enable adaptive overload control (priority "
+                        "admission, CoDel queues, AIMD concurrency, "
+                        "retry budget, brownout ladder)")
+    p.add_argument("--priority-mix", default=None, metavar="SPEC",
+                   help="attach priority classes to the synthetic "
+                        "traffic and report per-class SLOs, e.g. "
+                        "'interactive=0.2,standard=0.5,batch=0.3'")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timeout-s", type=float, default=60.0,
                    help="wall-clock bound per run (default 60)")

@@ -180,6 +180,19 @@ def build_report(records: list[dict]) -> dict:
                     "hedges_won", "deaths", "wedges", "rebuilds", "reloads",
                     "breaker_transitions")
     }
+    gauges = metrics["gauges"]
+    overload = {
+        "level": gauges.get("overload.level"),
+        "transitions": counters.get("overload.transitions", 0),
+        "shed": {
+            name: counters.get(f"overload.shed.{name}", 0)
+            for name in ("interactive", "standard", "batch")
+        },
+        "expired": counters.get("serving.expired", 0),
+        "hedges_denied": counters.get("gateway.hedges_denied", 0),
+        "evictions": counters.get("gateway.evictions", 0),
+        "retry_budget_balance": gauges.get("retry_budget.balance"),
+    }
     s_hits = counters.get("store.hit", 0)
     s_misses = counters.get("store.miss", 0)
     store = {
@@ -201,6 +214,7 @@ def build_report(records: list[dict]) -> dict:
         "cache": cache,
         "store": store,
         "gateway": gateway,
+        "overload": overload,
         "metrics": metrics,
         "events": events,
     }
@@ -260,6 +274,24 @@ def render_report(report: dict) -> str:
             "deaths {deaths}, wedges {wedges}, rebuilds {rebuilds}, "
             "refunds {refunds}, reloads {reloads}, "
             "breaker transitions {breaker_transitions}".format(**gateway)
+        )
+
+    overload = report.get("overload", {})
+    shed = overload.get("shed", {})
+    if (overload.get("transitions") or any(shed.values())
+            or overload.get("expired") or overload.get("hedges_denied")):
+        balance = overload.get("retry_budget_balance")
+        level = overload.get("level")
+        lines.append(
+            f"  overload: level {int(level) if level is not None else 0} "
+            f"({overload.get('transitions', 0)} transitions), shed "
+            f"interactive={shed.get('interactive', 0)} "
+            f"standard={shed.get('standard', 0)} "
+            f"batch={shed.get('batch', 0)}, "
+            f"expired {overload.get('expired', 0)}, "
+            f"hedges denied {overload.get('hedges_denied', 0)}, "
+            f"evictions {overload.get('evictions', 0)}"
+            + (f", retry budget {balance:g}" if balance is not None else "")
         )
 
     cache = report.get("cache", {})

@@ -51,6 +51,26 @@ from repro.serving.gateway import (
     ShardedGateway,
 )
 from repro.serving.loadgen import SLOReport, run_load, synthetic_requests
+from repro.serving.overload import (
+    BATCH,
+    INTERACTIVE,
+    MODE_CACHED,
+    MODE_FULL,
+    MODE_GREEDY,
+    MODE_SHED,
+    MODES,
+    PRIORITIES,
+    PRIORITY_RANK,
+    STANDARD,
+    AIMDLimiter,
+    BrownoutLadder,
+    CoDelController,
+    OverloadConfig,
+    RetryBudget,
+    assign_priorities,
+    mode_for,
+    parse_priority_mix,
+)
 from repro.serving.routing import HashRing, request_key
 from repro.serving.sanitize import (
     InvalidRequest,
@@ -59,6 +79,7 @@ from repro.serving.sanitize import (
     SanitizerConfig,
 )
 from repro.serving.service import (
+    Expired,
     Overloaded,
     Rejected,
     ServiceConfig,
@@ -89,9 +110,28 @@ __all__ = [
     "RequestSanitizer",
     "SanitizedRequest",
     "SanitizerConfig",
+    "Expired",
     "Overloaded",
     "Rejected",
     "ServiceConfig",
     "TaggingService",
     "TagResult",
+    "OverloadConfig",
+    "AIMDLimiter",
+    "BrownoutLadder",
+    "CoDelController",
+    "RetryBudget",
+    "INTERACTIVE",
+    "STANDARD",
+    "BATCH",
+    "PRIORITIES",
+    "PRIORITY_RANK",
+    "MODES",
+    "MODE_FULL",
+    "MODE_GREEDY",
+    "MODE_CACHED",
+    "MODE_SHED",
+    "mode_for",
+    "parse_priority_mix",
+    "assign_priorities",
 ]

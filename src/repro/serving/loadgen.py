@@ -95,15 +95,22 @@ class SLOReport:
     mean_ms: float
     #: Raw bucket snapshot backing the quantiles.
     histogram: dict
+    #: Requests whose deadline was spent before decode (``Expired``).
+    expired: int = 0
+    #: Per-priority-class breakdown (only when the run carried
+    #: priorities): class → offered/completed/shed/expired/degraded,
+    #: p50/p95/p99, shed_rate, degraded_rate.
+    per_priority: dict | None = None
 
     def summary(self) -> dict:
-        return {
+        out = {
             "model": self.model,
             "offered": self.offered,
             "completed": self.completed,
             "shed": self.shed,
             "rejected": self.rejected,
             "degraded": self.degraded,
+            "expired": self.expired,
             "duration_s": round(self.duration_s, 6),
             "throughput_rps": round(self.throughput_rps, 3),
             "p50_ms": self.p50_ms,
@@ -111,6 +118,9 @@ class SLOReport:
             "p99_ms": self.p99_ms,
             "mean_ms": round(self.mean_ms, 3),
         }
+        if self.per_priority is not None:
+            out["per_priority"] = self.per_priority
+        return out
 
     def render(self) -> str:
         def ms(v: float) -> str:
@@ -120,13 +130,24 @@ class SLOReport:
             f"load report ({self.model} loop)",
             f"  offered {self.offered}, completed {self.completed}, "
             f"shed {self.shed}, rejected {self.rejected}, "
-            f"degraded {self.degraded}",
+            f"degraded {self.degraded}, expired {self.expired}",
             f"  duration {self.duration_s:.3f} s, "
             f"throughput {self.throughput_rps:.1f} req/s",
             f"  latency p50 <= {ms(self.p50_ms)} ms, "
             f"p95 <= {ms(self.p95_ms)} ms, p99 <= {ms(self.p99_ms)} ms "
             f"(mean {self.mean_ms:.3f} ms)",
         ]
+        for name, stats in (self.per_priority or {}).items():
+            lines.append(
+                f"  [{name}] offered {stats['offered']}, "
+                f"completed {stats['completed']}, "
+                f"shed {stats['shed']} ({stats['shed_rate']:.1%}), "
+                f"degraded {stats['degraded']} "
+                f"({stats['degraded_rate']:.1%}), "
+                f"p50 <= {ms(stats['p50_ms'])} ms, "
+                f"p95 <= {ms(stats['p95_ms'])} ms, "
+                f"p99 <= {ms(stats['p99_ms'])} ms"
+            )
         return "\n".join(lines)
 
 
@@ -134,22 +155,28 @@ def _classify(result) -> str:
     status = getattr(result, "status", "?")
     if status == "ok":
         return "degraded" if getattr(result, "degraded", False) else "ok"
-    if status == "rejected":
+    if status in ("rejected", "invalid"):
         return "rejected"
+    if status == "expired":
+        return "expired"
     return "shed"  # Overloaded: gateway admission or replica queue
 
 
 def run_load(gateway, requests, model: str = "open",
              rate_rps: float = 200.0, concurrency: int = 8,
-             seed: int = 0, timeout_s: float | None = 60.0) -> SLOReport:
+             seed: int = 0, timeout_s: float | None = 60.0,
+             priorities=None) -> SLOReport:
     """Drive ``gateway`` with ``requests`` under one arrival model.
 
     ``gateway`` needs the :class:`~repro.serving.gateway.ShardedGateway`
     surface (``submit`` / ``pump`` / ``collect`` / ``clock`` /
     ``outstanding``).  On a manual clock the generator *advances* time
     instead of sleeping, so open-loop schedules are exact and tests are
-    instant.  Returns the :class:`SLOReport`; per-request latencies are
-    also mirrored into the active telemetry session as the
+    instant.  ``priorities`` (one class per request, e.g. from
+    :func:`repro.serving.overload.assign_priorities`) attaches priority
+    classes and switches on the per-class breakdown in the report.
+    Returns the :class:`SLOReport`; per-request latencies are also
+    mirrored into the active telemetry session as the
     ``loadgen.latency_ms`` histogram.
     """
     if model not in ("open", "closed"):
@@ -160,11 +187,28 @@ def run_load(gateway, requests, model: str = "open",
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     requests = [list(r) for r in requests]
     n = len(requests)
+    if priorities is not None and len(priorities) != n:
+        raise ValueError(
+            f"priorities ({len(priorities)}) must match requests ({n})"
+        )
     clock = gateway.clock
     manual = hasattr(clock, "advance")
     poll_s = getattr(gateway.config, "poll_interval_s", 0.002)
     hist = Histogram("loadgen.latency_ms", LATENCY_MS_BUCKETS)
-    outcomes = {"ok": 0, "degraded": 0, "rejected": 0, "shed": 0}
+    outcomes = {"ok": 0, "degraded": 0, "rejected": 0, "shed": 0,
+                "expired": 0}
+    per: dict[str, dict] | None = None
+    ticket_priority: dict[int, str] = {}
+    if priorities is not None:
+        per = {}
+        for name in priorities:
+            if name not in per:
+                per[name] = {
+                    "offered": 0, "completed": 0, "shed": 0,
+                    "expired": 0, "degraded": 0, "rejected": 0,
+                    "hist": Histogram(f"loadgen.latency_ms.{name}",
+                                      LATENCY_MS_BUCKETS),
+                }
     t_wall0 = time.monotonic()
     t0 = clock()
 
@@ -176,14 +220,34 @@ def run_load(gateway, requests, model: str = "open",
         else:
             time.sleep(dt)
 
+    def offer(index: int) -> None:
+        if priorities is None:
+            gateway.submit(requests[index])
+            return
+        name = priorities[index]
+        ticket = gateway.submit(requests[index], priority=name)
+        ticket_priority[ticket] = name
+        per[name]["offered"] += 1
+
     def absorb() -> int:
         got = 0
-        for routed in gateway.collect().values():
+        for ticket, routed in gateway.collect().items():
             got += 1
-            outcomes[_classify(routed.result)] += 1
+            kind = _classify(routed.result)
+            outcomes[kind] += 1
             if routed.replica is not None:
                 hist.observe(routed.latency_ms)
                 obs.observe("loadgen.latency_ms", routed.latency_ms)
+            if per is not None and ticket in ticket_priority:
+                stats = per[ticket_priority.pop(ticket)]
+                if kind in ("ok", "degraded"):
+                    stats["completed"] += 1
+                    if kind == "degraded":
+                        stats["degraded"] += 1
+                else:
+                    stats[kind] += 1
+                if routed.replica is not None:
+                    stats["hist"].observe(routed.latency_ms)
         return got
 
     submitted = 0
@@ -194,7 +258,7 @@ def run_load(gateway, requests, model: str = "open",
         while done < n:
             now = clock()
             while submitted < n and arrivals[submitted] <= now:
-                gateway.submit(requests[submitted])
+                offer(submitted)
                 submitted += 1
             gateway.pump()
             done += absorb()
@@ -209,7 +273,7 @@ def run_load(gateway, requests, model: str = "open",
     else:
         while done < n:
             while submitted < n and (submitted - done) < concurrency:
-                gateway.submit(requests[submitted])
+                offer(submitted)
                 submitted += 1
             gateway.pump()
             delivered = absorb()
@@ -223,6 +287,21 @@ def run_load(gateway, requests, model: str = "open",
 
     duration = max(clock() - t0, 1e-9)
     completed = outcomes["ok"] + outcomes["degraded"]
+    per_priority = None
+    if per is not None:
+        per_priority = {}
+        for name, stats in per.items():
+            offered = stats["offered"]
+            class_hist = stats.pop("hist")
+            per_priority[name] = {
+                **stats,
+                "shed_rate": stats["shed"] / offered if offered else 0.0,
+                "degraded_rate": (stats["degraded"] / offered
+                                  if offered else 0.0),
+                "p50_ms": histogram_quantile(class_hist, 0.50),
+                "p95_ms": histogram_quantile(class_hist, 0.95),
+                "p99_ms": histogram_quantile(class_hist, 0.99),
+            }
     return SLOReport(
         model=model,
         offered=submitted,
@@ -230,6 +309,7 @@ def run_load(gateway, requests, model: str = "open",
         shed=outcomes["shed"],
         rejected=outcomes["rejected"],
         degraded=outcomes["degraded"],
+        expired=outcomes["expired"],
         duration_s=duration,
         throughput_rps=done / duration,
         p50_ms=histogram_quantile(hist, 0.50),
@@ -237,4 +317,5 @@ def run_load(gateway, requests, model: str = "open",
         p99_ms=histogram_quantile(hist, 0.99),
         mean_ms=hist.mean,
         histogram=hist.snapshot(),
+        per_priority=per_priority,
     )

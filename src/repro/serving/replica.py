@@ -59,9 +59,9 @@ def _replica_main(replica_id: int, generation: int, request_q, response_q):
     """Worker entry point: serve requests until told to stop.
 
     Runs the fork-inherited service factory, announces readiness, then
-    answers ``("req", ticket, tokens, deadline_ms)`` messages with
-    ``("res", ticket, result)`` until a ``("stop",)`` message (or EOF)
-    arrives.  If a telemetry path was active in the supervisor, the
+    answers ``("req", ticket, tokens, deadline_ms, priority)`` messages
+    with ``("res", ticket, result)`` until a ``("stop",)`` message (or
+    EOF) arrives.  If a telemetry path was active in the supervisor, the
     replica opens its *own* child session on a per-replica sibling file
     (``<path>.replica-<id>``), so fleet events are never interleaved
     into the parent's stream — ``repro obs report`` merges the siblings
@@ -89,14 +89,15 @@ def _replica_main(replica_id: int, generation: int, request_q, response_q):
                 break
             if message is None or message[0] == "stop":
                 break
-            _kind, ticket, tokens, deadline_ms = message
+            _kind, ticket, tokens, deadline_ms, priority = message
             try:
                 # Equality, not identity: the sentinel was pickled
                 # through the request queue.
                 if deadline_ms == _UNSET_SENTINEL:
-                    result = service.tag(tokens)
+                    result = service.tag(tokens, priority=priority)
                 else:
-                    result = service.tag(tokens, deadline_ms=deadline_ms)
+                    result = service.tag(tokens, deadline_ms=deadline_ms,
+                                         priority=priority)
             except Exception as exc:  # the service never raises by design
                 from repro.serving.service import Overloaded
 
@@ -156,13 +157,15 @@ class InProcessReplica:
     def ready(self) -> bool:
         return self._alive
 
-    def send(self, ticket: int, tokens: Sequence[str], deadline_ms) -> None:
+    def send(self, ticket: int, tokens: Sequence[str], deadline_ms,
+             priority: str = "standard") -> None:
         if not self._alive:
             return  # like writing into a dead process's pipe buffer
         if deadline_ms == _UNSET_SENTINEL:
-            result = self.service.tag(tokens)
+            result = self.service.tag(tokens, priority=priority)
         else:
-            result = self.service.tag(tokens, deadline_ms=deadline_ms)
+            result = self.service.tag(tokens, deadline_ms=deadline_ms,
+                                      priority=priority)
         delay = (self._service_time(tokens, ticket)
                  if self._service_time is not None else 0.0)
         self._pending.append((self._clock() + delay, int(ticket), result))
@@ -250,10 +253,11 @@ class ProcessReplica:
         return None if self._proc is None else self._proc.exitcode
 
     # ------------------------------------------------------------------
-    def send(self, ticket: int, tokens: Sequence[str], deadline_ms) -> None:
+    def send(self, ticket: int, tokens: Sequence[str], deadline_ms,
+             priority: str = "standard") -> None:
         try:
             self._request_q.put(("req", int(ticket), list(tokens),
-                                 deadline_ms))
+                                 deadline_ms, priority))
         except (OSError, ValueError):  # torn pipe to a dead replica
             pass  # the gateway's death sweep requeues the ticket
 

@@ -51,6 +51,19 @@ from repro import obs
 from repro.obs.metrics import MetricsRegistry
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.deadline import Clock, Deadline
+from repro.serving.overload import (
+    MODE_CACHED,
+    MODE_FULL,
+    MODE_GREEDY,
+    MODE_SHED,
+    PRIORITIES,
+    PRIORITY_RANK,
+    STANDARD,
+    BrownoutLadder,
+    CoDelController,
+    OverloadConfig,
+    validate_priority,
+)
 from repro.serving.sanitize import InvalidRequest, RequestSanitizer, SanitizerConfig
 
 _UNSET = object()
@@ -115,8 +128,31 @@ class Overloaded:
     """Load was shed before any work happened (the 503 of this service)."""
 
     reason: str
+    #: Milliseconds the request waited in a queue before being shed
+    #: (zero when shed at admission).
+    queue_wait_ms: float = 0.0
 
     status: ClassVar[str] = "overloaded"
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Expired:
+    """The request's deadline was spent before decode started (the 504).
+
+    Distinct from :class:`Overloaded` (the service had no room) and from
+    a degraded :class:`TagResult` (a cheap answer was still served):
+    here the budget was already gone, so serving anything — even greedy
+    — would arrive after the caller stopped listening.
+    """
+
+    reason: str
+    queue_wait_ms: float = 0.0
+
+    status: ClassVar[str] = "expired"
 
     @property
     def ok(self) -> bool:
@@ -144,6 +180,9 @@ class ServiceConfig:
     breaker_threshold: int = 3
     #: Cool-down before a tripped breaker half-opens.
     breaker_cooldown_ms: float = 1000.0
+    #: Overload-control knobs; ``None`` keeps the legacy binary
+    #: shed-at-max-pending behaviour bit-for-bit.
+    overload: OverloadConfig | None = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -164,6 +203,8 @@ class _Pending:
     modified: bool
     #: Service-clock time of admission (queue-wait measurement origin).
     admitted_at: float = 0.0
+    #: Priority class (overload control); ``standard`` when unset.
+    priority: str = STANDARD
 
 
 # ----------------------------------------------------------------------
@@ -197,12 +238,26 @@ class TaggingService:
             on_transition=self._on_breaker_transition,
         )
         self._pending: list[_Pending] = []
-        self._done: dict[int, TagResult | Rejected | Overloaded] = {}
+        self._done: dict[int, TagResult | Rejected | Overloaded | Expired] = {}
         self._next_ticket = 0
         self.stats = {
             "served": 0, "degraded": 0, "invalid": 0, "shed": 0,
-            "decode_errors": 0, "batches": 0, "store_hits": 0,
+            "decode_errors": 0, "batches": 0, "store_hits": 0, "expired": 0,
         }
+        if self.config.overload is not None:
+            self.ladder = BrownoutLadder(
+                self.config.overload, clock=clock,
+                on_transition=self._on_overload_transition,
+            )
+            self.codel = CoDelController(
+                self.config.overload.codel_target_ms,
+                self.config.overload.codel_interval_ms, clock=clock,
+            )
+            self.overload_sheds = {name: 0 for name in PRIORITIES}
+        else:
+            self.ladder = None
+            self.codel = None
+            self.overload_sheds = None
         #: Per-instance metrics (two services never share counters); the
         #: active telemetry session, when any, gets mirrored updates.
         self.metrics = MetricsRegistry()
@@ -225,6 +280,38 @@ class TaggingService:
         obs.count("serving.breaker_transitions")
         obs.emit("breaker", old=old, new=new,
                  failures=breaker._consecutive_failures, trips=breaker.trips)
+
+    def _on_overload_transition(self, old: int, new: int,
+                                miss_rate: float) -> None:
+        self.metrics.gauge("overload.level").set(new)
+        obs.set_gauge("overload.level", new)
+        self.metrics.counter("overload.transitions").inc()
+        obs.count("overload.transitions")
+        obs.emit("overload", old=old, new=new, miss_rate=round(miss_rate, 4))
+
+    def _shed(self, ticket: int, priority: str, reason: str,
+              wait_ms: float = 0.0) -> None:
+        """Record one shed: result, ledger, and per-priority counters."""
+        self._bump("shed")
+        if self.overload_sheds is not None:
+            self.overload_sheds[priority] += 1
+            self.metrics.counter(f"overload.shed.{priority}").inc()
+            obs.count(f"overload.shed.{priority}")
+        self._done[ticket] = Overloaded(reason, queue_wait_ms=wait_ms)
+
+    def _expire(self, ticket: int, reason: str, wait_ms: float = 0.0) -> None:
+        self._bump("expired")
+        self._done[ticket] = Expired(reason, queue_wait_ms=wait_ms)
+
+    def overload_snapshot(self) -> dict | None:
+        """Ladder/CoDel/shed state for health checks and reports."""
+        if self.ladder is None:
+            return None
+        snap = self.ladder.snapshot()
+        snap["codel_drops"] = self.codel.drops
+        snap["shed_by_priority"] = dict(self.overload_sheds)
+        snap["expired"] = self.stats["expired"]
+        return snap
 
     # ------------------------------------------------------------------
     # Checkpoint loading
@@ -274,33 +361,52 @@ class TaggingService:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def tag(self, tokens: Sequence[str],
-            deadline_ms=_UNSET) -> TagResult | Rejected | Overloaded:
+    def tag(self, tokens: Sequence[str], deadline_ms=_UNSET,
+            priority: str = STANDARD,
+            ) -> TagResult | Rejected | Overloaded | Expired:
         """Tag one sentence through the full pipeline."""
-        return self.tag_many([tokens], deadline_ms=deadline_ms)[0]
+        return self.tag_many([tokens], deadline_ms=deadline_ms,
+                             priority=priority)[0]
 
     def tag_many(self, requests: Iterable[Sequence[str]],
-                 deadline_ms=_UNSET) -> list[TagResult | Rejected | Overloaded]:
+                 deadline_ms=_UNSET, priority: str = STANDARD,
+                 ) -> list[TagResult | Rejected | Overloaded | Expired]:
         """Tag a batch of sentences; one result per request, same order."""
         tickets = [
-            self.submit(tokens, deadline_ms=deadline_ms)
+            self.submit(tokens, deadline_ms=deadline_ms, priority=priority)
             for tokens in requests
         ]
         done = self.drain()
         return [done[ticket] for ticket in tickets]
 
-    def submit(self, tokens: Sequence[str], deadline_ms=_UNSET) -> int:
+    def submit(self, tokens: Sequence[str], deadline_ms=_UNSET,
+               priority: str = STANDARD) -> int:
         """Admit (or immediately shed/reject) one request; returns a ticket.
 
         The request's deadline starts *now*: time spent waiting in the
-        queue for :meth:`drain` is part of its budget.
+        queue for :meth:`drain` is part of its budget.  A request that
+        arrives with its budget already spent (``deadline_ms <= 0``) is
+        failed immediately with an :class:`Expired` result rather than
+        wasting a decode slot.  With overload control enabled, admission
+        is priority-weighted: the brownout ladder may shed the class
+        outright, and a full queue evicts strictly-lower-priority work
+        before shedding the arrival.
         """
+        priority = validate_priority(priority)
         ticket = self._next_ticket
         self._next_ticket += 1
-        if len(self._pending) >= self.config.max_pending:
-            self._bump("shed")
-            self._done[ticket] = Overloaded(
-                f"queue full ({self.config.max_pending} pending requests)"
+        if self.ladder is not None and self.ladder.mode(priority) == MODE_SHED:
+            self._shed(
+                ticket, priority,
+                f"brownout: {priority} traffic shed at level "
+                f"{self.ladder.pressure}",
+            )
+            return ticket
+        if len(self._pending) >= self.config.max_pending \
+                and not self._evict_for(priority):
+            self._shed(
+                ticket, priority,
+                f"queue full ({self.config.max_pending} pending requests)",
             )
             return ticket
         try:
@@ -313,17 +419,45 @@ class TaggingService:
             self.config.default_deadline_ms
             if deadline_ms is _UNSET else deadline_ms
         )
+        if budget is not None and budget <= 0:
+            self._expire(ticket, "deadline budget already spent at admission")
+            return ticket
         deadline = (
             Deadline.after_ms(budget, clock=self.clock)
             if budget is not None else None
         )
         self._pending.append(_Pending(
             ticket, Sentence(clean.tokens), deadline, clean.modified,
-            admitted_at=self.clock(),
+            admitted_at=self.clock(), priority=priority,
         ))
         self.metrics.gauge("serving.queue_depth").set(len(self._pending))
         obs.set_gauge("serving.queue_depth", len(self._pending))
         return ticket
+
+    def _evict_for(self, priority: str) -> bool:
+        """Try to free a queue slot for an arrival of ``priority``.
+
+        Evicts the freshest, lowest-priority queued request when it ranks
+        strictly below the arrival — batch never displaces interactive,
+        and nothing evicts within its own class.  Returns True when a
+        slot was freed.
+        """
+        if self.ladder is None or not self._pending:
+            return False
+        worst = max(
+            range(len(self._pending)),
+            key=lambda i: (PRIORITY_RANK[self._pending[i].priority], i),
+        )
+        victim = self._pending[worst]
+        if PRIORITY_RANK[victim.priority] <= PRIORITY_RANK[priority]:
+            return False
+        del self._pending[worst]
+        wait_ms = max(0.0, (self.clock() - victim.admitted_at) * 1000.0)
+        self._observe_ms("serving.queue_wait_ms", wait_ms)
+        self._shed(victim.key, victim.priority,
+                   f"evicted by a {priority} arrival while queued",
+                   wait_ms=wait_ms)
+        return True
 
     def drain(self) -> dict[int, TagResult | Rejected | Overloaded]:
         """Process all queued work and hand back every finished result.
@@ -335,10 +469,42 @@ class TaggingService:
         pending, self._pending = self._pending, []
         self.metrics.gauge("serving.queue_depth").set(0)
         obs.set_gauge("serving.queue_depth", 0)
+        if self.ladder is not None:
+            self.ladder.tick()
+            pending = self._police_queue(pending)
         for batch in self._micro_batches(pending):
             self._process_batch(batch)
         done, self._done = self._done, {}
         return done
+
+    def _police_queue(self, pending: list[_Pending]) -> list[_Pending]:
+        """Overload-control pass over the queue before batching.
+
+        Fails requests whose deadline expired while they waited, runs
+        the CoDel staleness discipline over the rest, and orders the
+        survivors highest-priority-first (FIFO within a class).  Both
+        expiries and CoDel drops count as deadline misses for the
+        brownout ladder — they are symptoms of a standing queue.
+        """
+        survivors: list[_Pending] = []
+        for item in pending:
+            wait_ms = max(0.0, (self.clock() - item.admitted_at) * 1000.0)
+            if item.deadline is not None and item.deadline.expired:
+                self._observe_ms("serving.queue_wait_ms", wait_ms)
+                self._expire(item.key, "deadline expired while queued",
+                             wait_ms=wait_ms)
+                self.ladder.observe(True)
+                continue
+            if self.codel.offer(wait_ms):
+                self._observe_ms("serving.queue_wait_ms", wait_ms)
+                self._shed(item.key, item.priority,
+                           "queue standing beyond CoDel target; "
+                           "stale request shed", wait_ms=wait_ms)
+                self.ladder.observe(True)
+                continue
+            survivors.append(item)
+        survivors.sort(key=lambda it: (PRIORITY_RANK[it.priority], it.key))
+        return survivors
 
     # ------------------------------------------------------------------
     # Pipeline internals
@@ -350,10 +516,14 @@ class TaggingService:
         never padded to a 400-token clause — without reordering requests
         inside a band.
         """
-        bands: dict[int, list[_Pending]] = {}
-        order: list[int] = []
+        bands: dict[tuple, list[_Pending]] = {}
+        order: list[tuple] = []
         for item in pending:
-            band = (len(item.sentence) - 1) // self.config.length_band
+            band = ((len(item.sentence) - 1) // self.config.length_band,)
+            if self.ladder is not None:
+                # One priority class per micro-batch, so the brownout
+                # mode is uniform across the batch.
+                band = (PRIORITY_RANK[item.priority],) + band
             if band not in bands:
                 bands[band] = []
                 order.append(band)
@@ -455,6 +625,19 @@ class TaggingService:
         }
         for wait_ms in waits.values():
             self._observe_ms("serving.queue_wait_ms", wait_ms)
+        # Batches are single-priority when overload control is on, so
+        # one ladder lookup fixes the brownout mode for the whole batch.
+        mode = (
+            self.ladder.mode(batch[0].priority)
+            if self.ladder is not None else MODE_FULL
+        )
+        if mode == MODE_SHED:
+            # The ladder escalated between admission and drain.
+            for p in batch:
+                self._shed(p.key, p.priority,
+                           f"brownout: {p.priority} traffic shed at level "
+                           f"{self.ladder.pressure}", wait_ms=waits[p.key])
+            return
         hits, store_keys = self._store_probe(batch)
         if hits:
             # Serve cached full-fidelity paths without decoding; the
@@ -474,9 +657,20 @@ class TaggingService:
                     oov_rate=self._oov_rate(p.sentence.tokens),
                     modified=p.modified, queue_wait_ms=waits[p.key],
                 )
+                if self.ladder is not None:
+                    self.ladder.observe(False)
             batch = [p for p in batch if p.key not in hits]
             if not batch:
                 return
+        if mode == MODE_CACHED:
+            # Cached-only brownout: anything the store cannot answer is
+            # shed rather than spending decode budget under pressure.
+            for p in batch:
+                self._shed(p.key, p.priority,
+                           f"brownout: cached-only at level "
+                           f"{self.ladder.pressure}; no stored path",
+                           wait_ms=waits[p.key])
+            return
         sentences = [p.sentence for p in batch]
         try:
             if self._injector is not None:
@@ -486,10 +680,15 @@ class TaggingService:
             # No injector → no per-sentence hook, which lets the decoder
             # take its batched bulk path when the deadline allows.
             on_sentence = self._on_decode if self._injector is not None else None
+            # A browned-out batch goes straight to greedy without
+            # consulting the breaker: consuming its half-open probe for
+            # work the ladder already downgraded would waste the probe.
             paths, statuses = self.model.decode_within(
                 sentences, phi=self.phi, deadline=deadline,
                 on_sentence=on_sentence,
-                allow_viterbi=self.breaker.allow(),
+                allow_viterbi=(
+                    self.breaker.allow() if mode == MODE_FULL else False
+                ),
             )
         except Exception as exc:  # encoding/emissions failed outright
             self._observe_ms(
@@ -508,6 +707,8 @@ class TaggingService:
                          f"no spans served",
                     queue_wait_ms=waits[p.key],
                 )
+                if self.ladder is not None:
+                    self.ladder.observe(True)
             return
         self._observe_ms(
             "serving.decode_ms", (self.clock() - decode_started) * 1000.0
@@ -535,6 +736,10 @@ class TaggingService:
             self._bump("served")
             if degraded:
                 self._bump("degraded")
+            note = _STATUS_NOTES.get(status)
+            if mode == MODE_GREEDY and status == DEGRADED_BREAKER:
+                note = (f"brownout: greedy decode served "
+                        f"(level {self.ladder.pressure})")
             spans = tuple(
                 (start, end, label)
                 for start, end, label in self.scheme.decode(path)
@@ -542,6 +747,8 @@ class TaggingService:
             self._done[p.key] = TagResult(
                 p.sentence.tokens, spans, degraded=degraded,
                 oov_rate=self._oov_rate(p.sentence.tokens),
-                modified=p.modified, note=_STATUS_NOTES.get(status),
+                modified=p.modified, note=note,
                 queue_wait_ms=waits[p.key],
             )
+            if self.ladder is not None:
+                self.ladder.observe(status in (OVERRUN, DEGRADED_DEADLINE))
