@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-gateway verify-overload verify-chaos verify-obs verify-store
+.PHONY: install test bench bench-smoke bench-tables-smoke examples lint verify-reliability verify-serving verify-gateway verify-overload verify-chaos verify-obs verify-store verify-trace
 
 install:
 	$(PYTHON) setup.py develop
@@ -62,6 +62,14 @@ verify-obs:
 	PYTHONPATH=src $(PYTHON) -m repro experiment figure_adaptation \
 	    --preset smoke --telemetry /tmp/verify_obs.jsonl > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro obs report /tmp/verify_obs.jsonl
+
+verify-trace:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_obs_reqtrace.py \
+	    tests/test_serving_trace.py \
+	    tests/test_obs_fleet.py -q
+	PYTHONPATH=src $(PYTHON) -m repro chaos soak \
+	    --scenario trace-determinism --scenario gateway-replica-kill \
+	    --max-rounds 2 --time-budget-s 120 --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -23,6 +23,8 @@ Commands:
   run report (per-phase time breakdown, executor retry/quarantine
   counts, adaptation-cache and persistent-store hit rates, notable
   events);
+* ``obs trace``  — render one request's cross-process hop timeline
+  from a traced telemetry stream (see ``--trace-requests``);
 * ``store``      — inspect/maintain a persistent store directory
   (``stats``, ``verify``, ``compact``).
 
@@ -78,6 +80,19 @@ def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
                         help="append tracing spans, events and metrics "
                              "to this JSONL file (inspect with "
                              "'repro obs report PATH')")
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-requests", action="store_true",
+                        help="mint a deterministic trace id per admitted "
+                             "request and record per-hop spans into the "
+                             "--telemetry stream (inspect with "
+                             "'repro obs trace PATH TRACE_ID')")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="arm the in-memory flight recorder; recent "
+                             "events are dumped to DIR/flight-<pid>.jsonl "
+                             "on breaker-open, brownout escalation or "
+                             "replica death (works without --telemetry)")
 
 
 def _add_store_arg(parser: argparse.ArgumentParser) -> None:
@@ -557,18 +572,64 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     import os
 
     from repro.obs import build_report, load_events, render_report
+    from repro.obs.report import SchemaVersionError
 
     if not os.path.exists(args.telemetry_file):
         print(f"error: telemetry file {args.telemetry_file!r} does not "
               f"exist", file=sys.stderr)
         return 2
-    report = build_report(load_events(args.telemetry_file))
+    try:
+        report = build_report(load_events(args.telemetry_file))
+    except SchemaVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         import json
 
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(render_report(report))
+    return 0
+
+
+def cmd_obs_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import load_events
+    from repro.obs.report import (
+        SchemaVersionError,
+        assemble_traces,
+        check_schema,
+        find_traces,
+        render_trace,
+    )
+
+    if not os.path.exists(args.telemetry_file):
+        print(f"error: telemetry file {args.telemetry_file!r} does not "
+              f"exist", file=sys.stderr)
+        return 2
+    records = load_events(args.telemetry_file)
+    try:
+        check_schema(records)
+    except SchemaVersionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    traces = assemble_traces(records)
+    matches = find_traces(traces, args.trace_id)
+    if not matches:
+        print(f"error: no trace matching {args.trace_id!r} "
+              f"({len(traces)} trace(s) in the stream)", file=sys.stderr)
+        return 1
+    if len(matches) > 1 and not args.json:
+        print(f"note: {len(matches)} traces match prefix "
+              f"{args.trace_id!r}", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(matches if len(matches) > 1 else matches[0],
+                         indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(render_trace(t) for t in matches))
     return 0
 
 
@@ -793,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="also print the machine-readable gateway report")
     _add_telemetry_arg(p)
+    _add_trace_args(p)
     _add_store_arg(p)
     p.set_defaults(func=cmd_serve)
 
@@ -832,6 +894,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="also print machine-readable SLO summaries")
     _add_telemetry_arg(p)
+    _add_trace_args(p)
     _add_store_arg(p)
     p.set_defaults(func=cmd_loadgen)
 
@@ -898,6 +961,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the machine-readable report instead of "
                         "the rendered breakdown")
     p.set_defaults(func=cmd_obs_report)
+    p = obs_sub.add_parser(
+        "trace",
+        help="render one request's cross-process hop timeline from a "
+             "--telemetry stream (accepts a trace-id prefix)",
+    )
+    p.add_argument("telemetry_file",
+                   help="JSONL file written by a traced --telemetry run "
+                        "(replica sibling files are stitched in "
+                        "automatically)")
+    p.add_argument("trace_id",
+                   help="trace id (or unambiguous prefix) to render")
+    p.add_argument("--json", action="store_true",
+                   help="print the assembled trace as JSON instead of "
+                        "the rendered timeline")
+    p.set_defaults(func=cmd_obs_trace)
 
     p = sub.add_parser("store", help="persistent-store tools")
     store_sub = p.add_subparsers(dest="store_command", required=True)
@@ -948,6 +1026,14 @@ def main(argv: list[str] | None = None) -> int:
             from repro.obs import telemetry_session
 
             stack.enter_context(telemetry_session(telemetry))
+        if getattr(args, "trace_requests", False):
+            from repro.obs.reqtrace import request_tracing
+
+            stack.enter_context(request_tracing())
+        if getattr(args, "flight_dir", None):
+            from repro.obs.reqtrace import flight_recorder
+
+            stack.enter_context(flight_recorder(args.flight_dir))
         if store_dir:
             # Entered after telemetry so store open/degrade events land
             # in the JSONL stream and the final metrics snapshot.

@@ -30,6 +30,7 @@ import os
 import time
 
 from repro.obs.events import (
+    SCHEMA_VERSION,
     BufferSink,
     JsonlSink,
     render_event,
@@ -70,6 +71,7 @@ __all__ = [
     "BufferSink",
     "render_event",
     "sibling_paths",
+    "SCHEMA_VERSION",
     "TapeProfile",
     "profile_tape",
     "TimingStat",
@@ -117,7 +119,8 @@ class Telemetry:
         self.tracer = Tracer(self.sink.write, clock, t0=self.t0)
         self._suspended = 0
         self._closed = False
-        self.sink.write({"kind": "session", "version": __version__})
+        self.sink.write({"kind": "session", "version": __version__,
+                         "schema_version": SCHEMA_VERSION})
 
     def emit(self, name: str, **fields) -> None:
         record = {"kind": "event", "name": name,
@@ -213,14 +216,20 @@ def set_gauge(name: str, value: float) -> None:
 
 
 def observe(name: str, value: float,
-            buckets: tuple[float, ...] | None = None) -> None:
-    """Record ``value`` into histogram ``name`` on the active session."""
+            buckets: tuple[float, ...] | None = None,
+            trace_id: str | None = None) -> None:
+    """Record ``value`` into histogram ``name`` on the active session.
+
+    ``trace_id`` attaches a latency exemplar: the histogram remembers
+    the trace behind the bucket-max sample so reports can link tail
+    quantiles to concrete request traces.
+    """
     t = _ACTIVE
     if t is None:
         return
     if t.pid != os.getpid() or t._suspended:
         return
-    t.registry.histogram(name, buckets).observe(value)
+    t.registry.histogram(name, buckets).observe(value, trace_id)
 
 
 def emit(name: str, **fields) -> None:

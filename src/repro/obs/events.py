@@ -27,6 +27,15 @@ import glob
 import json
 import os
 
+#: Version of the telemetry JSONL schema, stamped into every session
+#: header record.  Major bumps mean "old readers must refuse" (record
+#: shapes changed incompatibly); minor bumps are additive.  Readers
+#: treat a missing ``schema_version`` as 1.0 (pre-versioning streams).
+SCHEMA_VERSION = "1.0"
+
+#: Highest major version this build knows how to read.
+SCHEMA_MAJOR = 1
+
 
 class JsonlSink:
     """Append-only JSONL event stream with per-record flush.
@@ -118,8 +127,20 @@ def render_event(record: dict) -> str:
     """Format one structured record as a human-readable line.
 
     Unknown kinds/names fall back to a compact key=value dump so new
-    event types are never invisible.
+    event types are never invisible, and **no record can raise**: a
+    malformed record (wrong field types, non-dict, exotic values) falls
+    back to a compact repr-style line instead of killing the report.
     """
+    try:
+        return _render_event(record)
+    except Exception:
+        try:
+            return f"unrenderable record: {record!r:.300}"
+        except Exception:
+            return "unrenderable record"
+
+
+def _render_event(record: dict) -> str:
     kind = record.get("kind", "event")
     name = record.get("name", "")
     if kind == "span":
@@ -173,6 +194,18 @@ def render_event(record: dict) -> str:
     if name == "episode":
         return (f"episode {record.get('index', '?')}: {record.get('outcome', '?')}"
                 f" (attempts {record.get('attempts', 1)})")
+    if name == "trace.hop":
+        extras = " ".join(
+            f"{key}={record[key]}" for key in sorted(record)
+            if key not in ("kind", "name", "t", "trace", "span", "hop")
+        )
+        line = (f"trace {record.get('trace', '?')} "
+                f"{record.get('hop', '?')}")
+        return f"{line} {extras}" if extras else line
+    if name == "flight.dump":
+        return (f"flight recorder dumped to {record.get('path', '?')} "
+                f"({record.get('reason', '?')}, "
+                f"{record.get('events', 0)} events)")
     skip = {"kind", "name", "t"}
     body = " ".join(f"{k}={record[k]}" for k in sorted(record) if k not in skip)
     label = name or kind

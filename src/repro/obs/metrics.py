@@ -72,9 +72,14 @@ class Histogram:
     An observation lands in the first bucket whose bound is ``>=`` the
     value, via :func:`bisect.bisect_left` — exact boundary values always
     land in the bounded bucket, never the next one, on every platform.
+
+    Observations may carry a ``trace_id`` **exemplar**: the histogram
+    remembers, per bucket, the trace that produced the largest value
+    seen in that bucket, so a report can link "p99 = 48 ms" to a
+    concrete request trace.  Exemplars never change counts or sums.
     """
 
-    __slots__ = ("name", "buckets", "counts", "count", "total")
+    __slots__ = ("name", "buckets", "counts", "count", "total", "exemplars")
 
     def __init__(self, name: str, buckets: tuple[float, ...] = LATENCY_MS_BUCKETS):
         if not buckets:
@@ -87,24 +92,37 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.total = 0.0
+        #: bucket index -> (value, trace_id) of the bucket-max sample.
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         value = float(value)
-        self.counts[bisect_left(self.buckets, value)] += 1
+        index = bisect_left(self.buckets, value)
+        self.counts[index] += 1
         self.count += 1
         self.total += value
+        if trace_id is not None:
+            current = self.exemplars.get(index)
+            if current is None or value >= current[0]:
+                self.exemplars[index] = (value, trace_id)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
             "count": self.count,
             "sum": round(self.total, 6),
         }
+        if self.exemplars:
+            snap["exemplars"] = {
+                str(index): {"value": round(value, 6), "trace": trace}
+                for index, (value, trace) in sorted(self.exemplars.items())
+            }
+        return snap
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count})"
@@ -150,6 +168,10 @@ class MetricsRegistry:
             )
         return instrument
 
+    def existing_histogram(self, name: str) -> Histogram | None:
+        """Look up a histogram without creating it (for read-only stats)."""
+        return self._histograms.get(name)
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-ready digest with deterministically ordered keys."""
@@ -161,6 +183,27 @@ class MetricsRegistry:
             "histograms": {n: self._histograms[n].snapshot()
                            for n in sorted(self._histograms)},
         }
+
+
+def histogram_quantile(hist: Histogram, q: float) -> float:
+    """Upper-bound quantile from fixed bucket counts (Prometheus-style).
+
+    Returns the smallest bucket upper bound covering fraction ``q`` of
+    observations; observations past the last bound report ``inf`` (the
+    histogram cannot see above its top bucket).  Zero observations
+    report 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if hist.count == 0:
+        return 0.0
+    target = q * hist.count
+    cumulative = 0
+    for bound, count in zip(hist.buckets, hist.counts):
+        cumulative += count
+        if cumulative >= target:
+            return bound
+    return float("inf")  # lives in the overflow bucket
 
 
 #: Process-wide fallback registry for direct (sessionless) use.

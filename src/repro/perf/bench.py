@@ -288,7 +288,11 @@ def _bench_telemetry_overhead(reps: int, workers: int, seed: int) -> dict:
         evaluate_method(fixture.adapter, fixture.episodes, fast=True)
 
     def instrumented():
-        with obs.telemetry_session():
+        # Request tracing is armed too, so the enabled-telemetry cost
+        # includes the trace-context machinery it ships with.
+        from repro.obs.reqtrace import request_tracing
+
+        with obs.telemetry_session(), request_tracing():
             evaluate_method(fixture.adapter, fixture.episodes, fast=True)
 
     result = _paired(baseline, instrumented, reps)
@@ -441,6 +445,78 @@ def telemetry_overhead_pct(seed: int = 0, rounds: int = 3,
     return {
         "disabled_s": round(best, 6),
         "helper_calls": calls,
+        "per_call_ns": round(per_call_s * 1e9, 1),
+        "overhead_pct": round(overhead, 3),
+    }
+
+
+def request_tracing_overhead_pct(seed: int = 0, rounds: int = 3,
+                                 n_requests: int = 24) -> dict:
+    """Disabled request-tracing cost on the serving path — same gate.
+
+    Same bounding construction as :func:`telemetry_overhead_pct`, for
+    the :mod:`repro.obs.reqtrace` hop sites on the serving hot path:
+    count how many hop calls one fully *traced* serve pass makes (by
+    wrapping ``reqtrace.hop``), microbenchmark the disabled fast path
+    (``hop(None, ...)`` returns on its first check — the worst case for
+    a site whose guard was compiled in but whose trace is ``None``),
+    and take their product relative to the untraced serve wall time.
+    Returns ``{"disabled_s", "hop_calls", "per_call_ns",
+    "overhead_pct"}``.
+    """
+    from repro.data.tags import TagScheme
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+    from repro.obs import reqtrace
+    from repro.serving import TaggingService
+    from repro.serving.loadgen import synthetic_requests
+
+    pool = ("the", "visited", "today", "reports", "arrived",
+            "Kavox", "Zuqev", "Mirelle")
+    scheme = TagScheme(("0", "1"))
+    model = CNNBiGRUCRF(
+        Vocabulary(pool), CharVocabulary(pool), scheme.num_tags,
+        BackboneConfig(), np.random.default_rng(seed),
+        tag_names=scheme.tags,
+    )
+    service = TaggingService(model, scheme)
+    requests = synthetic_requests(n_requests, seed=seed, pool=pool)
+
+    def serve_all(traced: bool = False) -> None:
+        for i, tokens in enumerate(requests):
+            service.tag(list(tokens),
+                        trace=f"{i:016x}" if traced else None)
+
+    serve_all()  # warm-up
+    best = min(
+        _wall_time(serve_all) for _ in range(max(1, rounds))
+    )
+
+    original = reqtrace.hop
+    calls = 0
+
+    def counting(*args, **kwargs):
+        nonlocal calls
+        calls += 1
+        return original(*args, **kwargs)
+
+    try:
+        reqtrace.hop = counting
+        serve_all(traced=True)
+    finally:
+        reqtrace.hop = original
+
+    loops = 20_000
+    hop = reqtrace.hop
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        hop(None, "decode")
+    per_call_s = (time.perf_counter() - t0) / loops
+
+    overhead = 100.0 * calls * per_call_s / best if best > 0 else 0.0
+    return {
+        "disabled_s": round(best, 6),
+        "hop_calls": calls,
         "per_call_ns": round(per_call_s * 1e9, 1),
         "overhead_pct": round(overhead, 3),
     }

@@ -618,16 +618,23 @@ def _run_serving_burst(seed, check):
 
 @_scenario(
     "gateway-replica-kill",
-    "SIGKILL gateway replicas under live traffic: every admitted request "
-    "is answered bit-identically to a single-process oracle, none lost "
-    "or duplicated, and the gateway report accounts every kill",
+    "SIGKILL gateway replicas under live, traced traffic: every admitted "
+    "request is answered bit-identically to a single-process oracle, "
+    "none lost or duplicated, every answer stitches into one complete "
+    "cross-process trace, and the flight recorder dumps on each kill",
 )
 def _run_gateway_replica_kill(seed, check):
+    import shutil
+    import tempfile
+
     import numpy as np
 
+    from repro import obs
     from repro.data.tags import TagScheme
     from repro.data.vocab import CharVocabulary, Vocabulary
     from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+    from repro.obs.report import assemble_traces
+    from repro.obs.reqtrace import flight_recorder, request_tracing
     from repro.serving import ServiceConfig, TaggingService
     from repro.serving.gateway import GatewayConfig, ShardedGateway
     from repro.serving.loadgen import synthetic_requests
@@ -651,12 +658,8 @@ def _run_gateway_replica_kill(seed, check):
     kill_at = set(int(i) for i in
                   chaos_rng.choice(np.arange(6, 42), size=3, replace=False))
     backend = "process" if fork_available() else "in-process"
-    gateway = ShardedGateway(
-        factory,
-        GatewayConfig(replicas=3, max_shard_queue=256,
-                      breaker_cooldown_ms=50.0),
-        backend=backend,
-    )
+    tmpdir = tempfile.mkdtemp(prefix="chaos-trace-")
+    telemetry_path = os.path.join(tmpdir, "telemetry.jsonl")
     kills = 0
     tickets: list[int] = []
     results: dict[int, object] = {}
@@ -668,24 +671,69 @@ def _run_gateway_replica_kill(seed, check):
             deliveries[ticket] = deliveries.get(ticket, 0) + 1
 
     try:
-        for i, toks in enumerate(requests):
-            tickets.append(gateway.submit(toks))
-            gateway.pump()
-            absorb(gateway.collect())
-            if i in kill_at:
-                # Only a live, ready replica is a meaningful target.
-                live = [s["replica"] for s in gateway.health()["per_replica"]
-                        if s["alive"] and s["state"] == "ready"]
-                if live:
-                    victim = live[int(chaos_rng.integers(len(live)))]
-                    gateway.kill_replica(victim)
-                    kills += 1
-        absorb(gateway.drain(timeout_s=60.0))
-        report = gateway.report
+        with obs.telemetry_session(telemetry_path), request_tracing(), \
+                flight_recorder(tmpdir):
+            gateway = ShardedGateway(
+                factory,
+                GatewayConfig(replicas=3, max_shard_queue=256,
+                              breaker_cooldown_ms=50.0, seed=seed),
+                backend=backend,
+                telemetry_path=telemetry_path,
+            )
+            try:
+                for i, toks in enumerate(requests):
+                    tickets.append(gateway.submit(toks))
+                    gateway.pump()
+                    absorb(gateway.collect())
+                    if i in kill_at:
+                        # Only a live, ready replica is a meaningful target.
+                        live = [s["replica"]
+                                for s in gateway.health()["per_replica"]
+                                if s["alive"] and s["state"] == "ready"]
+                        if live:
+                            victim = live[int(chaos_rng.integers(len(live)))]
+                            gateway.kill_replica(victim)
+                            kills += 1
+                absorb(gateway.drain(timeout_s=60.0))
+                report = gateway.report
+            finally:
+                gateway.shutdown()
+        # Session closed: stitch the main stream with every replica
+        # sibling file and check the traces (kill forensics included).
+        traces = assemble_traces(obs.load_events(telemetry_path))
+        by_id = {entry["trace"]: entry for entry in traces}
+        flights = sorted(name for name in os.listdir(tmpdir)
+                         if name.startswith("flight-"))
     finally:
-        gateway.shutdown()
+        shutil.rmtree(tmpdir, ignore_errors=True)
 
     check("kills-actually-injected", kills >= 2, f"only {kills} kill(s)")
+    untraced = [t for t, r in results.items()
+                if getattr(r, "trace", None) is None]
+    check("every-answer-carries-a-trace", results and not untraced,
+          f"{len(untraced)} answer(s) without a trace id: {untraced[:5]}")
+    broken = [
+        t for t, r in results.items()
+        if getattr(r, "trace", None) is not None
+        and not by_id.get(r.trace, {}).get("complete", False)
+    ]
+    check("every-trace-stitched-complete", not broken,
+          f"{len(broken)} trace(s) with gaps or no terminal hop: "
+          f"{broken[:5]}")
+    check("no-orphan-traces",
+          all(entry["rooted"] for entry in traces),
+          f"orphans: {[e['trace'] for e in traces if not e['rooted']][:5]}")
+    served_traces = [
+        by_id[r.trace] for r in results.values()
+        if r.replica is not None and getattr(r, "trace", None) in by_id
+    ]
+    check("traces-span-processes",
+          backend != "process"
+          or any(len(entry["sources"]) >= 2 for entry in served_traces),
+          "no served trace stitches hops from more than one stream")
+    check("flight-recorder-dumped-on-kill",
+          kills == 0 or bool(flights),
+          f"{kills} kill(s) but no flight-<pid>.jsonl dump")
     check("no-request-lost",
           set(tickets) == set(results),
           f"{len(tickets) - len(results)} ticket(s) unanswered")
@@ -720,7 +768,8 @@ def _run_gateway_replica_kill(seed, check):
           all(not r.result.ok for t, r in results.items()
               if r.replica is None),
           "a shed ticket carried a served result")
-    return {"backend": backend, "kills": kills, **report.summary()}
+    return {"backend": backend, "kills": kills, "traces": len(traces),
+            "flight_dumps": len(flights), **report.summary()}
 
 
 @_scenario(
@@ -872,6 +921,121 @@ def _run_overload_storm(seed, check):
         "peak_level": peak_level,
         "storm": storm.summary(),
         **report.summary(),
+    }
+
+
+@_scenario(
+    "trace-determinism",
+    "two same-seed traced runs on a manual clock, hedges and a replica "
+    "kill included: every request assembles into one complete trace, "
+    "byte-identical across the runs, and 'repro obs trace' renders it",
+)
+def _run_trace_determinism(seed, check):
+    import json
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from repro import obs
+    from repro.data.tags import TagScheme
+    from repro.data.vocab import CharVocabulary, Vocabulary
+    from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+    from repro.obs.report import assemble_traces, render_trace
+    from repro.obs.reqtrace import flight_recorder, request_tracing
+    from repro.serving import ManualClock, ServiceConfig, TaggingService
+    from repro.serving.gateway import GatewayConfig, ShardedGateway
+    from repro.serving.loadgen import synthetic_requests
+
+    pool = ("the", "visited", "today", "reports", "arrived",
+            "Kavox", "Zuqev", "Mirelle")
+    scheme = TagScheme(("0", "1"))
+    model = CNNBiGRUCRF(Vocabulary(pool), CharVocabulary(pool),
+                        scheme.num_tags, BackboneConfig(),
+                        np.random.default_rng(seed), tag_names=scheme.tags)
+    requests = synthetic_requests(24, seed=seed, pool=pool)
+
+    def run_once(tmpdir):
+        # One manual clock drives the gateway, every replica service
+        # *and* the telemetry session, so hop timestamps, queue waits
+        # and latencies are pure functions of the schedule below.
+        clock = ManualClock()
+
+        def factory(replica_id):
+            return TaggingService(model, scheme, ServiceConfig(),
+                                  clock=clock)
+
+        path = os.path.join(tmpdir, "telemetry.jsonl")
+        with obs.telemetry_session(path, clock=clock), \
+                request_tracing(), flight_recorder(tmpdir):
+            gateway = ShardedGateway(
+                factory,
+                GatewayConfig(replicas=2, hedge_after_ms=40.0,
+                              breaker_cooldown_ms=50.0, seed=seed),
+                backend="in-process", clock=clock,
+                # Every 7th ticket is slow enough to hedge.
+                service_time_s=(lambda tokens, ticket:
+                                0.2 if ticket % 7 == 3 else 0.02),
+            )
+            results = {}
+            try:
+                for i, toks in enumerate(requests):
+                    gateway.submit(toks)
+                    gateway.pump()
+                    clock.advance(0.01)
+                    results.update(gateway.collect())
+                    if i == 9:
+                        gateway.kill_replica(0)
+                results.update(gateway.drain(timeout_s=30.0))
+                report = gateway.report
+            finally:
+                gateway.shutdown()
+        traces = assemble_traces(obs.load_events(path))
+        flights = sorted(name for name in os.listdir(tmpdir)
+                         if name.startswith("flight-"))
+        return results, traces, report, flights
+
+    dir_a = tempfile.mkdtemp(prefix="chaos-trace-a-")
+    dir_b = tempfile.mkdtemp(prefix="chaos-trace-b-")
+    try:
+        results_a, traces_a, report_a, flights_a = run_once(dir_a)
+        results_b, traces_b, _report_b, _flights_b = run_once(dir_b)
+    finally:
+        shutil.rmtree(dir_a, ignore_errors=True)
+        shutil.rmtree(dir_b, ignore_errors=True)
+
+    by_id = {entry["trace"]: entry for entry in traces_a}
+    check("every-request-answered",
+          len(results_a) == len(requests),
+          f"{len(results_a)} answer(s) for {len(requests)} requests")
+    broken = [
+        t for t, r in results_a.items()
+        if getattr(r, "trace", None) is None
+        or not by_id.get(r.trace, {}).get("complete", False)
+    ]
+    check("every-request-traced-complete", not broken,
+          f"{len(broken)} answer(s) without a complete trace: "
+          f"{broken[:5]}")
+    check("hedges-traced", report_a.hedges >= 1
+          and any(h.get("hop") == "hedge"
+                  for e in traces_a for h in e["hops"]),
+          f"hedges={report_a.hedges}, no hedge hop in any trace")
+    check("kill-dumped-flight", bool(flights_a),
+          "replica kill left no flight-<pid>.jsonl dump")
+    check("traces-byte-identical-across-runs",
+          json.dumps(traces_a, sort_keys=True)
+          == json.dumps(traces_b, sort_keys=True),
+          "same-seed runs assembled different traces")
+    rendered = [render_trace(by_id[r.trace]) for r in results_a.values()
+                if getattr(r, "trace", None) in by_id]
+    check("every-trace-renders",
+          rendered and all(text.startswith("trace ") for text in rendered),
+          f"{len(rendered)} rendered")
+    return {
+        "requests": len(requests),
+        "traces": len(traces_a),
+        "hedges": report_a.hedges,
+        "flight_dumps": len(flights_a),
     }
 
 

@@ -52,7 +52,8 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro import obs
-from repro.obs.metrics import MetricsRegistry
+from repro.obs import reqtrace
+from repro.obs.metrics import MetricsRegistry, histogram_quantile
 from repro.serving.breaker import BREAKER_STATE_CODES, OPEN, CircuitBreaker
 from repro.serving.replica import (
     _UNSET_SENTINEL,
@@ -165,6 +166,8 @@ class RoutedResult:
     requeues: int = 0
     #: Priority class the request was admitted with.
     priority: str = STANDARD
+    #: Request-trace id minted at admission (``None`` when tracing off).
+    trace: str | None = None
 
 
 @dataclass
@@ -216,6 +219,9 @@ class GatewayReport:
     #: when no ``--store-dir`` session is active; forked replicas
     #: count store hits in their own telemetry streams).
     store: dict = field(default_factory=dict)
+    #: Per-priority queue-wait quantiles (admission → first dispatch),
+    #: filled at shutdown: ``{priority: {count, p50_ms, p95_ms, p99_ms}}``.
+    queue_wait: dict = field(default_factory=dict)
     per_replica: list[dict] = field(default_factory=list)
 
     @property
@@ -253,6 +259,7 @@ class GatewayReport:
             "reloads": self.reloads,
             "breaker_transitions": self.breaker_transitions,
             "max_concurrent_draining": self.max_concurrent_draining,
+            "queue_wait": dict(self.queue_wait),
             "per_replica": list(self.per_replica),
         }
 
@@ -269,6 +276,17 @@ class GatewayReport:
                      f"evictions={self.evictions} "
                      f"hedges_denied={self.hedges_denied} "
                      f"shed_by_priority={dict(self.shed_by_priority)}")
+        if self.queue_wait:
+            parts = []
+            for name in ("interactive", "standard", "batch"):
+                qw = self.queue_wait.get(name)
+                if qw:
+                    parts.append(
+                        f"{name} p50={qw['p50_ms']:g}/p95={qw['p95_ms']:g}"
+                        f"/p99={qw['p99_ms']:g} (n={qw['count']})"
+                    )
+            if parts:
+                line += "\nqueue wait ms: " + ", ".join(parts)
         return line
 
 
@@ -291,6 +309,8 @@ class _Request:
     hedge_shard: int | None = None
     requeues: int = 0
     priority: str = STANDARD
+    #: Trace id minted at admission (``None`` when tracing is off).
+    trace: str | None = None
 
 
 class _Shard:
@@ -427,8 +447,32 @@ class ShardedGateway:
         self._closed = True
         self.report.store = self._store_snapshot()
         self.report.overload = self._overload_snapshot()
+        self.report.queue_wait = self._queue_wait_stats()
         for shard in self._shards:
             shard.handle.stop()
+
+    def _queue_wait_stats(self) -> dict:
+        """Per-priority queue-wait quantiles (admission → first dispatch)."""
+        out: dict[str, dict] = {}
+        for name in PRIORITIES:
+            hist = self.metrics.existing_histogram(
+                f"gateway.queue_wait_ms.{name}"
+            )
+            if hist is None or not hist.count:
+                continue
+            out[name] = {
+                "count": hist.count,
+                "p50_ms": histogram_quantile(hist, 0.50),
+                "p95_ms": histogram_quantile(hist, 0.95),
+                "p99_ms": histogram_quantile(hist, 0.99),
+            }
+        return out
+
+    def _observe_queue_wait(self, priority: str, wait_ms: float,
+                            trace_id: str | None = None) -> None:
+        name = f"gateway.queue_wait_ms.{priority}"
+        self.metrics.histogram(name).observe(wait_ms, trace_id)
+        obs.observe(name, wait_ms, trace_id=trace_id)
 
     def _overload_snapshot(self) -> dict:
         """Overload-control state: budget, limiter caps, replica ladders."""
@@ -473,6 +517,10 @@ class ShardedGateway:
             obs.set_gauge(f"gateway.replica.{shard_id}.breaker_state",
                           BREAKER_STATE_CODES[new])
             obs.emit("gateway.breaker", replica=shard_id, old=old, new=new)
+            reqtrace.record("gateway.breaker", replica=shard_id,
+                            old=old, new=new)
+            if new == OPEN:
+                reqtrace.incident("breaker_open", replica=shard_id)
         return observer
 
     def _count(self, name: str, n: int = 1) -> None:
@@ -523,6 +571,8 @@ class ShardedGateway:
             submitted_at=self.clock(),
             preference=self.ring.preference(request_key(tokens)),
             priority=validate_priority(priority),
+            trace=(reqtrace.mint(self.config.seed, ticket)
+                   if reqtrace.tracing_enabled() else None),
         )
         shard = self._choose_shard(request)
         if shard is None and self._overload is not None:
@@ -539,6 +589,11 @@ class ShardedGateway:
         self._requests[ticket] = request
         shard.queue.append(ticket)
         request.inflight_on.add(shard.id)
+        if request.trace is not None:
+            reqtrace.hop(request.trace, "admit", ticket=ticket,
+                         where="gateway", priority=request.priority)
+            reqtrace.hop(request.trace, "route", ticket=ticket,
+                         where="gateway", replica=shard.id, attempt=0)
         return ticket
 
     def _shed_ticket(self, ticket: int, request: _Request | None,
@@ -555,15 +610,18 @@ class ShardedGateway:
         """
         wait_ms = 0.0
         priority = STANDARD
+        trace = None
         if request is not None:
             wait_ms = max(0.0, (self.clock() - request.submitted_at) * 1000.0)
             priority = request.priority
+            trace = request.trace
         self.report.shed += 1
         self._count("shed")
         self.metrics.counter("serving.shed").inc()
         obs.count("serving.shed")
-        self.metrics.histogram("serving.queue_wait_ms").observe(wait_ms)
-        obs.observe("serving.queue_wait_ms", wait_ms)
+        self.metrics.histogram("serving.queue_wait_ms").observe(wait_ms, trace)
+        obs.observe("serving.queue_wait_ms", wait_ms, trace_id=trace)
+        self._observe_queue_wait(priority, wait_ms, trace)
         if self._overload is not None:
             self.report.shed_by_priority[priority] += 1
             self.metrics.counter(f"overload.shed.{priority}").inc()
@@ -572,9 +630,14 @@ class ShardedGateway:
             self.report.shed_queued += 1
             self.report.completed += 1
             self._count("completed")
+        if trace is not None:
+            reqtrace.hop(trace, "shed", ticket=ticket, where="gateway",
+                         priority=priority, wait_ms=round(wait_ms, 3),
+                         queued=queued)
         self._done[ticket] = RoutedResult(
             ticket, Overloaded(reason, queue_wait_ms=wait_ms),
             replica=None, latency_ms=wait_ms, priority=priority,
+            trace=trace,
         )
 
     def _evict_for(self, request: _Request) -> _Shard | None:
@@ -603,6 +666,9 @@ class ShardedGateway:
         victim_request = self._requests.get(victim)
         if victim_request is not None:
             victim_request.inflight_on.discard(shard.id)
+            if victim_request.trace is not None:
+                reqtrace.hop(victim_request.trace, "evict", ticket=victim,
+                             where="gateway", by=request.priority)
         self.report.evictions += 1
         self._count("evictions")
         self._shed_ticket(
@@ -671,6 +737,10 @@ class ShardedGateway:
             return
         shard.queue.appendleft(ticket)  # innocents go to the front
         request.inflight_on.add(shard.id)
+        if request.trace is not None:
+            reqtrace.hop(request.trace, "route", ticket=ticket,
+                         where="gateway", replica=shard.id,
+                         attempt=request.requeues)
 
     # ------------------------------------------------------------------
     # Supervision pump
@@ -709,6 +779,10 @@ class ShardedGateway:
             self._count("wedges")
         obs.emit("gateway.replica_down", replica=shard.id, kind=kind,
                  inflight=len(shard.inflight), queued=len(shard.queue))
+        reqtrace.record("gateway.replica_down", replica=shard.id,
+                        failure=kind, inflight=len(shard.inflight),
+                        queued=len(shard.queue))
+        reqtrace.incident("replica_down", replica=shard.id, failure=kind)
         shard.breaker.record_failure()
         # Refund in-flight work (the replica died, not the request) and
         # reroute anything still queued.
@@ -755,6 +829,10 @@ class ShardedGateway:
                 self._count("rebuilds")
                 obs.emit("gateway.replica_rebuilt", replica=shard.id,
                          generation=shard.handle.generation)
+                reqtrace.record("gateway.replica_rebuilt", replica=shard.id,
+                                generation=shard.handle.generation)
+                reqtrace.incident("replica_rebuilt", replica=shard.id,
+                                  generation=shard.handle.generation)
 
     def _sweep_wedges(self, now: float) -> None:
         if self.config.replica_timeout_s is None:
@@ -849,14 +927,21 @@ class ShardedGateway:
             request.hedge_shard = shard.id
             self.report.hedges += 1
             self._count("hedges")
+            primary = next(iter(request.inflight_on))
             obs.emit("gateway.hedge", ticket=ticket,
-                     primary=next(iter(request.inflight_on)),
-                     hedge=shard.id)
+                     primary=primary, hedge=shard.id)
+            reqtrace.record("gateway.hedge", ticket=ticket,
+                            primary=primary, hedge=shard.id)
+            if request.trace is not None:
+                reqtrace.hop(request.trace, "hedge", ticket=ticket,
+                             where="gateway", primary=primary,
+                             replica=shard.id)
             shard.inflight[ticket] = now
             request.inflight_on.add(shard.id)
             shard.handle.send(ticket, list(request.tokens),
                               request.deadline_ms,
-                              priority=request.priority)
+                              priority=request.priority,
+                              trace=request.trace)
 
     def _retry_limbo(self) -> None:
         for _ in range(len(self._limbo)):
@@ -891,9 +976,25 @@ class ShardedGateway:
                 shard.inflight[ticket] = now
                 if request.first_sent_at is None:
                     request.first_sent_at = now
+                    wait_ms = max(
+                        0.0, (now - request.submitted_at) * 1000.0
+                    )
+                    self._observe_queue_wait(request.priority, wait_ms,
+                                             request.trace)
+                    if request.trace is not None:
+                        reqtrace.hop(request.trace, "dispatch",
+                                     ticket=ticket, where="gateway",
+                                     replica=shard.id,
+                                     attempt=request.requeues,
+                                     wait_ms=round(wait_ms, 3))
+                elif request.trace is not None:
+                    reqtrace.hop(request.trace, "dispatch", ticket=ticket,
+                                 where="gateway", replica=shard.id,
+                                 attempt=request.requeues)
                 shard.handle.send(ticket, list(request.tokens),
                                   request.deadline_ms,
-                                  priority=request.priority)
+                                  priority=request.priority,
+                                  trace=request.trace)
 
     def _pop_next(self, shard: _Shard) -> int:
         """Next ticket to dispatch: FIFO, or priority-ordered under
@@ -977,6 +1078,7 @@ class ShardedGateway:
                     ticket, result, replica=shard.id,
                     latency_ms=latency_ms, hedged=request.hedged,
                     requeues=request.requeues, priority=request.priority,
+                    trace=request.trace,
                 )
                 delivered += 1
                 shard.served += 1
@@ -996,9 +1098,16 @@ class ShardedGateway:
                     else:
                         shard.limiter.on_success()
                 self.metrics.histogram("gateway.latency_ms").observe(
-                    latency_ms
+                    latency_ms, request.trace
                 )
-                obs.observe("gateway.latency_ms", latency_ms)
+                obs.observe("gateway.latency_ms", latency_ms,
+                            trace_id=request.trace)
+                if request.trace is not None:
+                    reqtrace.hop(request.trace, "respond", ticket=ticket,
+                                 where="gateway", replica=shard.id,
+                                 latency_ms=round(latency_ms, 3),
+                                 status=getattr(result, "status", "?"),
+                                 hedged=request.hedged)
                 # Cancel the losing hedge leg: stop tracking it there.
                 for other_id in list(request.inflight_on):
                     other = self._shards[other_id]
@@ -1087,6 +1196,7 @@ class ShardedGateway:
             "reloading": self.reloading,
             "outstanding": self.outstanding,
             "store": self._store_snapshot(),
+            "queue_wait": self._queue_wait_stats(),
             "per_replica": statuses,
         }
         if self._overload is not None:

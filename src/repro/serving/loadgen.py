@@ -31,7 +31,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.obs.metrics import LATENCY_MS_BUCKETS, Histogram
+from repro.obs.metrics import (  # noqa: F401  (re-export for back-compat)
+    LATENCY_MS_BUCKETS,
+    Histogram,
+    histogram_quantile,
+)
 
 #: Default token pool for synthetic traffic: common-ish words plus
 #: novel-entity-shaped tokens, so requests mix in-vocabulary and OOV.
@@ -54,27 +58,6 @@ def synthetic_requests(n: int, seed: int = 0,
         length = int(rng.integers(min_len, max_len + 1))
         out.append([pool[int(i)] for i in rng.integers(0, len(pool), length)])
     return out
-
-
-def histogram_quantile(hist: Histogram, q: float) -> float:
-    """Upper-bound quantile from fixed bucket counts (Prometheus-style).
-
-    Returns the smallest bucket upper bound covering fraction ``q`` of
-    observations; observations past the last bound report ``inf`` (the
-    histogram cannot see above its top bucket).  Zero observations
-    report 0.0.
-    """
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"q must be in [0, 1], got {q}")
-    if hist.count == 0:
-        return 0.0
-    target = q * hist.count
-    cumulative = 0
-    for bound, count in zip(hist.buckets, hist.counts):
-        cumulative += count
-        if cumulative >= target:
-            return bound
-    return float("inf")  # lives in the overflow bucket
 
 
 @dataclass(frozen=True)
@@ -236,8 +219,10 @@ def run_load(gateway, requests, model: str = "open",
             kind = _classify(routed.result)
             outcomes[kind] += 1
             if routed.replica is not None:
-                hist.observe(routed.latency_ms)
-                obs.observe("loadgen.latency_ms", routed.latency_ms)
+                trace = getattr(routed, "trace", None)
+                hist.observe(routed.latency_ms, trace_id=trace)
+                obs.observe("loadgen.latency_ms", routed.latency_ms,
+                            trace_id=trace)
             if per is not None and ticket in ticket_priority:
                 stats = per[ticket_priority.pop(ticket)]
                 if kind in ("ok", "degraded"):
@@ -247,7 +232,8 @@ def run_load(gateway, requests, model: str = "open",
                 else:
                     stats[kind] += 1
                 if routed.replica is not None:
-                    stats["hist"].observe(routed.latency_ms)
+                    stats["hist"].observe(routed.latency_ms,
+                                          trace_id=trace)
         return got
 
     submitted = 0

@@ -59,9 +59,11 @@ def _replica_main(replica_id: int, generation: int, request_q, response_q):
     """Worker entry point: serve requests until told to stop.
 
     Runs the fork-inherited service factory, announces readiness, then
-    answers ``("req", ticket, tokens, deadline_ms, priority)`` messages
-    with ``("res", ticket, result)`` until a ``("stop",)`` message (or
-    EOF) arrives.  If a telemetry path was active in the supervisor, the
+    answers ``("req", ticket, tokens, deadline_ms, priority, trace)``
+    messages with ``("res", ticket, result)`` until a ``("stop",)``
+    message (or EOF) arrives.  ``trace`` is the request's trace id (or
+    ``None``); five-field messages from an older supervisor are still
+    accepted.  If a telemetry path was active in the supervisor, the
     replica opens its *own* child session on a per-replica sibling file
     (``<path>.replica-<id>``), so fleet events are never interleaved
     into the parent's stream — ``repro obs report`` merges the siblings
@@ -89,15 +91,17 @@ def _replica_main(replica_id: int, generation: int, request_q, response_q):
                 break
             if message is None or message[0] == "stop":
                 break
-            _kind, ticket, tokens, deadline_ms, priority = message
+            _kind, ticket, tokens, deadline_ms, priority = message[:5]
+            trace = message[5] if len(message) > 5 else None
             try:
                 # Equality, not identity: the sentinel was pickled
                 # through the request queue.
                 if deadline_ms == _UNSET_SENTINEL:
-                    result = service.tag(tokens, priority=priority)
+                    result = service.tag(tokens, priority=priority,
+                                         trace=trace)
                 else:
                     result = service.tag(tokens, deadline_ms=deadline_ms,
-                                         priority=priority)
+                                         priority=priority, trace=trace)
             except Exception as exc:  # the service never raises by design
                 from repro.serving.service import Overloaded
 
@@ -158,14 +162,14 @@ class InProcessReplica:
         return self._alive
 
     def send(self, ticket: int, tokens: Sequence[str], deadline_ms,
-             priority: str = "standard") -> None:
+             priority: str = "standard", trace: str | None = None) -> None:
         if not self._alive:
             return  # like writing into a dead process's pipe buffer
         if deadline_ms == _UNSET_SENTINEL:
-            result = self.service.tag(tokens, priority=priority)
+            result = self.service.tag(tokens, priority=priority, trace=trace)
         else:
             result = self.service.tag(tokens, deadline_ms=deadline_ms,
-                                      priority=priority)
+                                      priority=priority, trace=trace)
         delay = (self._service_time(tokens, ticket)
                  if self._service_time is not None else 0.0)
         self._pending.append((self._clock() + delay, int(ticket), result))
@@ -254,10 +258,10 @@ class ProcessReplica:
 
     # ------------------------------------------------------------------
     def send(self, ticket: int, tokens: Sequence[str], deadline_ms,
-             priority: str = "standard") -> None:
+             priority: str = "standard", trace: str | None = None) -> None:
         try:
             self._request_q.put(("req", int(ticket), list(tokens),
-                                 deadline_ms, priority))
+                                 deadline_ms, priority, trace))
         except (OSError, ValueError):  # torn pipe to a dead replica
             pass  # the gateway's death sweep requeues the ticket
 

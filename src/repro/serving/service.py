@@ -48,8 +48,9 @@ from repro.models.decoding import (
     OVERRUN,
 )
 from repro import obs
+from repro.obs import reqtrace
 from repro.obs.metrics import MetricsRegistry
-from repro.serving.breaker import CircuitBreaker
+from repro.serving.breaker import OPEN, CircuitBreaker
 from repro.serving.deadline import Clock, Deadline
 from repro.serving.overload import (
     MODE_CACHED,
@@ -205,6 +206,8 @@ class _Pending:
     admitted_at: float = 0.0
     #: Priority class (overload control); ``standard`` when unset.
     priority: str = STANDARD
+    #: Request-trace id carried from gateway admission (``None`` = untraced).
+    trace: str | None = None
 
 
 # ----------------------------------------------------------------------
@@ -271,15 +274,20 @@ class TaggingService:
         self.metrics.counter(f"serving.{name}").inc(n)
         obs.count(f"serving.{name}", n)
 
-    def _observe_ms(self, name: str, value_ms: float) -> None:
-        self.metrics.histogram(name).observe(value_ms)
-        obs.observe(name, value_ms)
+    def _observe_ms(self, name: str, value_ms: float,
+                    trace_id: str | None = None) -> None:
+        self.metrics.histogram(name).observe(value_ms, trace_id)
+        obs.observe(name, value_ms, trace_id=trace_id)
 
     def _on_breaker_transition(self, old: str, new: str, breaker) -> None:
         self.metrics.counter("serving.breaker_transitions").inc()
         obs.count("serving.breaker_transitions")
         obs.emit("breaker", old=old, new=new,
                  failures=breaker._consecutive_failures, trips=breaker.trips)
+        reqtrace.record("breaker", old=old, new=new)
+        if new == OPEN:
+            reqtrace.incident("breaker_open", old=old,
+                              trips=breaker.trips)
 
     def _on_overload_transition(self, old: int, new: int,
                                 miss_rate: float) -> None:
@@ -288,9 +296,14 @@ class TaggingService:
         self.metrics.counter("overload.transitions").inc()
         obs.count("overload.transitions")
         obs.emit("overload", old=old, new=new, miss_rate=round(miss_rate, 4))
+        reqtrace.record("overload", old=old, new=new)
+        recorder = reqtrace.flight_active()
+        if recorder is not None and new > old \
+                and new >= recorder.brownout_level:
+            reqtrace.incident("brownout_escalation", old=old, new=new)
 
     def _shed(self, ticket: int, priority: str, reason: str,
-              wait_ms: float = 0.0) -> None:
+              wait_ms: float = 0.0, trace: str | None = None) -> None:
         """Record one shed: result, ledger, and per-priority counters."""
         self._bump("shed")
         if self.overload_sheds is not None:
@@ -298,10 +311,17 @@ class TaggingService:
             self.metrics.counter(f"overload.shed.{priority}").inc()
             obs.count(f"overload.shed.{priority}")
         self._done[ticket] = Overloaded(reason, queue_wait_ms=wait_ms)
+        if trace is not None:
+            reqtrace.hop(trace, "shed", ticket=ticket, where="service",
+                         priority=priority, wait_ms=round(wait_ms, 3))
 
-    def _expire(self, ticket: int, reason: str, wait_ms: float = 0.0) -> None:
+    def _expire(self, ticket: int, reason: str, wait_ms: float = 0.0,
+                trace: str | None = None) -> None:
         self._bump("expired")
         self._done[ticket] = Expired(reason, queue_wait_ms=wait_ms)
+        if trace is not None:
+            reqtrace.hop(trace, "expire", ticket=ticket, where="service",
+                         wait_ms=round(wait_ms, 3))
 
     def overload_snapshot(self) -> dict | None:
         """Ladder/CoDel/shed state for health checks and reports."""
@@ -362,25 +382,27 @@ class TaggingService:
     # Public API
     # ------------------------------------------------------------------
     def tag(self, tokens: Sequence[str], deadline_ms=_UNSET,
-            priority: str = STANDARD,
+            priority: str = STANDARD, trace: str | None = None,
             ) -> TagResult | Rejected | Overloaded | Expired:
         """Tag one sentence through the full pipeline."""
         return self.tag_many([tokens], deadline_ms=deadline_ms,
-                             priority=priority)[0]
+                             priority=priority, trace=trace)[0]
 
     def tag_many(self, requests: Iterable[Sequence[str]],
                  deadline_ms=_UNSET, priority: str = STANDARD,
+                 trace: str | None = None,
                  ) -> list[TagResult | Rejected | Overloaded | Expired]:
         """Tag a batch of sentences; one result per request, same order."""
         tickets = [
-            self.submit(tokens, deadline_ms=deadline_ms, priority=priority)
+            self.submit(tokens, deadline_ms=deadline_ms, priority=priority,
+                        trace=trace)
             for tokens in requests
         ]
         done = self.drain()
         return [done[ticket] for ticket in tickets]
 
     def submit(self, tokens: Sequence[str], deadline_ms=_UNSET,
-               priority: str = STANDARD) -> int:
+               priority: str = STANDARD, trace: str | None = None) -> int:
         """Admit (or immediately shed/reject) one request; returns a ticket.
 
         The request's deadline starts *now*: time spent waiting in the
@@ -393,13 +415,14 @@ class TaggingService:
         before shedding the arrival.
         """
         priority = validate_priority(priority)
+        trace = reqtrace.wire_id(trace)
         ticket = self._next_ticket
         self._next_ticket += 1
         if self.ladder is not None and self.ladder.mode(priority) == MODE_SHED:
             self._shed(
                 ticket, priority,
                 f"brownout: {priority} traffic shed at level "
-                f"{self.ladder.pressure}",
+                f"{self.ladder.pressure}", trace=trace,
             )
             return ticket
         if len(self._pending) >= self.config.max_pending \
@@ -407,6 +430,7 @@ class TaggingService:
             self._shed(
                 ticket, priority,
                 f"queue full ({self.config.max_pending} pending requests)",
+                trace=trace,
             )
             return ticket
         try:
@@ -414,13 +438,17 @@ class TaggingService:
         except InvalidRequest as exc:
             self._bump("invalid")
             self._done[ticket] = Rejected.from_error(exc)
+            if trace is not None:
+                reqtrace.hop(trace, "respond", ticket=ticket,
+                             where="service", status="invalid")
             return ticket
         budget = (
             self.config.default_deadline_ms
             if deadline_ms is _UNSET else deadline_ms
         )
         if budget is not None and budget <= 0:
-            self._expire(ticket, "deadline budget already spent at admission")
+            self._expire(ticket, "deadline budget already spent at admission",
+                         trace=trace)
             return ticket
         deadline = (
             Deadline.after_ms(budget, clock=self.clock)
@@ -428,10 +456,13 @@ class TaggingService:
         )
         self._pending.append(_Pending(
             ticket, Sentence(clean.tokens), deadline, clean.modified,
-            admitted_at=self.clock(), priority=priority,
+            admitted_at=self.clock(), priority=priority, trace=trace,
         ))
         self.metrics.gauge("serving.queue_depth").set(len(self._pending))
         obs.set_gauge("serving.queue_depth", len(self._pending))
+        if trace is not None:
+            reqtrace.hop(trace, "queue", ticket=ticket, where="service",
+                         priority=priority, depth=len(self._pending))
         return ticket
 
     def _evict_for(self, priority: str) -> bool:
@@ -453,10 +484,14 @@ class TaggingService:
             return False
         del self._pending[worst]
         wait_ms = max(0.0, (self.clock() - victim.admitted_at) * 1000.0)
-        self._observe_ms("serving.queue_wait_ms", wait_ms)
+        self._observe_ms("serving.queue_wait_ms", wait_ms,
+                         trace_id=victim.trace)
+        if victim.trace is not None:
+            reqtrace.hop(victim.trace, "evict", ticket=victim.key,
+                         where="service", by=priority)
         self._shed(victim.key, victim.priority,
                    f"evicted by a {priority} arrival while queued",
-                   wait_ms=wait_ms)
+                   wait_ms=wait_ms, trace=victim.trace)
         return True
 
     def drain(self) -> dict[int, TagResult | Rejected | Overloaded]:
@@ -490,16 +525,19 @@ class TaggingService:
         for item in pending:
             wait_ms = max(0.0, (self.clock() - item.admitted_at) * 1000.0)
             if item.deadline is not None and item.deadline.expired:
-                self._observe_ms("serving.queue_wait_ms", wait_ms)
+                self._observe_ms("serving.queue_wait_ms", wait_ms,
+                                 trace_id=item.trace)
                 self._expire(item.key, "deadline expired while queued",
-                             wait_ms=wait_ms)
+                             wait_ms=wait_ms, trace=item.trace)
                 self.ladder.observe(True)
                 continue
             if self.codel.offer(wait_ms):
-                self._observe_ms("serving.queue_wait_ms", wait_ms)
+                self._observe_ms("serving.queue_wait_ms", wait_ms,
+                                 trace_id=item.trace)
                 self._shed(item.key, item.priority,
                            "queue standing beyond CoDel target; "
-                           "stale request shed", wait_ms=wait_ms)
+                           "stale request shed", wait_ms=wait_ms,
+                           trace=item.trace)
                 self.ladder.observe(True)
                 continue
             survivors.append(item)
@@ -616,6 +654,24 @@ class TaggingService:
                 hits[p.key] = path
         return hits, keys
 
+    def _trace_served(self, p: _Pending, wait_ms: float, status: str,
+                      degraded: bool = False, decode_ms: float | None = None,
+                      cached: bool = False) -> None:
+        """Emit the service-side decode+respond hops for one request."""
+        if p.trace is None:
+            return
+        fields = {"ticket": p.key, "where": "service",
+                  "wait_ms": round(wait_ms, 3), "status": status}
+        if decode_ms is not None:
+            fields["decode_ms"] = round(decode_ms, 3)
+        if cached:
+            fields["cached"] = True
+        if degraded:
+            fields["degraded"] = True
+        reqtrace.hop(p.trace, "decode", **fields)
+        reqtrace.hop(p.trace, "respond", ticket=p.key, where="service",
+                     status=status)
+
     def _process_batch(self, batch: list[_Pending]) -> None:
         deadline = self._batch_deadline(batch)
         decode_started = self.clock()
@@ -623,8 +679,9 @@ class TaggingService:
             p.key: max(0.0, (decode_started - p.admitted_at) * 1000.0)
             for p in batch
         }
-        for wait_ms in waits.values():
-            self._observe_ms("serving.queue_wait_ms", wait_ms)
+        for p in batch:
+            self._observe_ms("serving.queue_wait_ms", waits[p.key],
+                             trace_id=p.trace)
         # Batches are single-priority when overload control is on, so
         # one ladder lookup fixes the brownout mode for the whole batch.
         mode = (
@@ -636,7 +693,8 @@ class TaggingService:
             for p in batch:
                 self._shed(p.key, p.priority,
                            f"brownout: {p.priority} traffic shed at level "
-                           f"{self.ladder.pressure}", wait_ms=waits[p.key])
+                           f"{self.ladder.pressure}", wait_ms=waits[p.key],
+                           trace=p.trace)
             return
         hits, store_keys = self._store_probe(batch)
         if hits:
@@ -657,6 +715,7 @@ class TaggingService:
                     oov_rate=self._oov_rate(p.sentence.tokens),
                     modified=p.modified, queue_wait_ms=waits[p.key],
                 )
+                self._trace_served(p, waits[p.key], "ok", cached=True)
                 if self.ladder is not None:
                     self.ladder.observe(False)
             batch = [p for p in batch if p.key not in hits]
@@ -669,7 +728,7 @@ class TaggingService:
                 self._shed(p.key, p.priority,
                            f"brownout: cached-only at level "
                            f"{self.ladder.pressure}; no stored path",
-                           wait_ms=waits[p.key])
+                           wait_ms=waits[p.key], trace=p.trace)
             return
         sentences = [p.sentence for p in batch]
         try:
@@ -691,9 +750,8 @@ class TaggingService:
                 ),
             )
         except Exception as exc:  # encoding/emissions failed outright
-            self._observe_ms(
-                "serving.decode_ms", (self.clock() - decode_started) * 1000.0
-            )
+            decode_ms = (self.clock() - decode_started) * 1000.0
+            self._observe_ms("serving.decode_ms", decode_ms)
             self._bump("decode_errors")
             self.breaker.record_failure()
             for p in batch:
@@ -707,12 +765,13 @@ class TaggingService:
                          f"no spans served",
                     queue_wait_ms=waits[p.key],
                 )
+                self._trace_served(p, waits[p.key], "error", degraded=True,
+                                   decode_ms=decode_ms)
                 if self.ladder is not None:
                     self.ladder.observe(True)
             return
-        self._observe_ms(
-            "serving.decode_ms", (self.clock() - decode_started) * 1000.0
-        )
+        decode_ms = (self.clock() - decode_started) * 1000.0
+        self._observe_ms("serving.decode_ms", decode_ms)
         self._bump("batches")
         store = None
         if store_keys:
@@ -750,5 +809,7 @@ class TaggingService:
                 modified=p.modified, note=note,
                 queue_wait_ms=waits[p.key],
             )
+            self._trace_served(p, waits[p.key], status, degraded=degraded,
+                               decode_ms=decode_ms)
             if self.ladder is not None:
                 self.ladder.observe(status in (OVERRUN, DEGRADED_DEADLINE))

@@ -169,6 +169,66 @@ class TestFleetMerge:
         assert "gateway: 10 admitted" in text
 
 
+class TestSiblingEdgeCases:
+    """Fleet-file pathologies the loader and assembler must absorb."""
+
+    def test_replica_file_created_after_parent_sink_closes(self, tmp_path):
+        from repro import obs
+
+        path = str(tmp_path / "ev.jsonl")
+        with obs.telemetry_session(path) as session:
+            session.emit("parent")
+        # A straggler replica flushes its stream only after the parent
+        # session closed; siblings are discovered at *load* time, so the
+        # late file still merges.
+        write_jsonl(f"{path}.replica-3", [
+            {"kind": "event", "name": "late", "t": 0.1},
+            metrics_record(counters={"serving.served": 4}),
+        ])
+        report = build_report(load_events(path))
+        assert report["metrics"]["counters"]["serving.served"] == 4
+        assert len(report["sources"]) == 2
+
+    def test_gaps_in_replica_ids_merge_fine(self, tmp_path):
+        path = str(tmp_path / "ev.jsonl")
+        write_jsonl(path, [metrics_record(counters={"gateway.admitted": 2})])
+        # Replicas 1..6 died before opening a stream: only 0 and 7 wrote.
+        for replica in (0, 7):
+            write_jsonl(f"{path}.replica-{replica}", [
+                metrics_record(counters={"serving.served": 1}),
+            ])
+        assert len(sibling_paths(path)) == 3
+        report = build_report(load_events(path))
+        assert report["metrics"]["counters"]["serving.served"] == 2
+
+    def test_torn_final_line_in_sibling_is_skipped(self, tmp_path):
+        from repro.obs.report import assemble_traces
+
+        path = str(tmp_path / "ev.jsonl")
+        trace = "ab" * 8
+        write_jsonl(path, [
+            {"kind": "event", "name": "trace.hop", "t": 0.1,
+             "trace": trace, "span": "aa", "hop": "admit", "ticket": 1},
+            {"kind": "event", "name": "trace.hop", "t": 0.3,
+             "trace": trace, "span": "cc", "hop": "respond", "ticket": 1,
+             "latency_ms": 2.0},
+        ])
+        sibling = f"{path}.replica-0"
+        write_jsonl(sibling, [
+            {"kind": "event", "name": "trace.hop", "t": 0.2,
+             "trace": trace, "span": "bb", "hop": "decode", "ticket": 1},
+        ])
+        with open(sibling, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "event", "name": "trace.hop", "tr')  # SIGKILL
+        records = load_events(path)
+        assert len(records) == 3  # torn tail dropped, intact lines kept
+        entry = assemble_traces(records)[0]
+        assert [h["hop"] for h in entry["hops"]] == [
+            "admit", "decode", "respond",
+        ]
+        assert entry["complete"]
+
+
 class TestRenderGatewayEvents:
     @pytest.mark.parametrize("record,needle", [
         ({"kind": "event", "name": "gateway.breaker", "replica": 1,

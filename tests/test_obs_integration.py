@@ -210,3 +210,13 @@ class TestDisabledOverhead:
         assert result["disabled_s"] > 0
         assert result["helper_calls"] > 0  # the eval path is instrumented
         assert result["overhead_pct"] < 2.0, result
+
+    def test_disabled_tracing_overhead_under_two_percent(self):
+        # Request tracing compiled into the serving path but switched
+        # off must honour the same gate as the rest of telemetry.
+        from repro.perf.bench import request_tracing_overhead_pct
+
+        result = request_tracing_overhead_pct(seed=0, rounds=3)
+        assert result["disabled_s"] > 0
+        assert result["hop_calls"] > 0  # the serving path is traced
+        assert result["overhead_pct"] < 2.0, result

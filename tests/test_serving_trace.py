@@ -1,0 +1,246 @@
+"""End-to-end request tracing through the gateway and the service."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data.tags import TagScheme
+from repro.data.vocab import CharVocabulary, Vocabulary
+from repro.models.backbone import BackboneConfig, CNNBiGRUCRF
+from repro.obs.report import assemble_traces, build_report, render_report
+from repro.obs.reqtrace import mint, request_tracing
+from repro.serving import (
+    GatewayConfig,
+    ManualClock,
+    ServiceConfig,
+    ShardedGateway,
+    TaggingService,
+)
+
+TOKENS = ["the", "Kavox", "visited", "Zuqev", "today", "reports", "arrived"]
+
+
+@pytest.fixture(scope="module")
+def model():
+    scheme = TagScheme(("0", "1"))
+    return CNNBiGRUCRF(
+        Vocabulary(TOKENS), CharVocabulary(TOKENS), scheme.num_tags,
+        BackboneConfig(), np.random.default_rng(0), tag_names=scheme.tags,
+    ), scheme
+
+
+def make_gateway(model, config=None, clock=None, service_time_s=None):
+    backbone, scheme = model
+    clock = clock or ManualClock()
+
+    def factory(replica_id):
+        return TaggingService(backbone, scheme, ServiceConfig(),
+                              clock=clock)
+
+    gateway = ShardedGateway(
+        factory, config or GatewayConfig(replicas=2, seed=5),
+        backend="in-process", clock=clock, service_time_s=service_time_s,
+    )
+    return gateway, clock
+
+
+def run_traced(model, requests, **kwargs):
+    # One manual clock for the gateway AND the telemetry session, so
+    # hop timestamps are a pure function of the pump schedule.
+    clock = kwargs.pop("clock", None) or ManualClock()
+    with obs.telemetry_session(clock=clock) as session:
+        with request_tracing():
+            gateway, _clock = make_gateway(model, clock=clock, **kwargs)
+            with gateway:
+                tickets = [gateway.submit(toks) for toks in requests]
+                done = gateway.drain(timeout_s=10)
+                report = gateway.report
+    return session.sink.records, tickets, done, report
+
+
+class TestGatewayTracing:
+    def test_disabled_tracing_mints_nothing(self, model):
+        with obs.telemetry_session() as session:
+            gateway, _clock = make_gateway(model)
+            with gateway:
+                done = gateway.drain(timeout_s=10)
+                ticket = gateway.submit(["the", "Kavox"])
+                done = gateway.drain(timeout_s=10)
+        assert done[ticket].trace is None
+        assert all(r.get("name") != "trace.hop" for r in session.sink.records)
+
+    def test_deterministic_ids_from_seed_and_ticket(self, model):
+        _records, tickets, done, _report = run_traced(
+            model, [["the"], ["Kavox", "visited"]],
+        )
+        for ticket in tickets:
+            assert done[ticket].trace == mint(5, ticket)
+
+    def test_served_request_covers_admission_to_response(self, model):
+        records, tickets, done, _report = run_traced(
+            model, [["the", "Kavox"], ["Zuqev"], ["reports", "arrived"]],
+        )
+        traces = assemble_traces(records)
+        by_id = {entry["trace"]: entry for entry in traces}
+        assert len(traces) == len(tickets)
+        for ticket in tickets:
+            entry = by_id[done[ticket].trace]
+            names = [h["hop"] for h in entry["hops"]]
+            assert names[0] == "admit"
+            assert entry["terminal"] == "respond"
+            assert entry["complete"]
+            assert entry["ticket"] == ticket
+            assert "dispatch" in names and "decode" in names
+            # The in-process service emits its hops into the same
+            # session, so the service-side queue hop is present too.
+            assert "queue" in names
+
+    def test_hedged_request_traces_both_replicas(self, model):
+        clock = ManualClock()
+        records, tickets, done, report = run_traced(
+            model, [["the", "Kavox"]] * 6,
+            config=GatewayConfig(replicas=2, hedge_after_ms=40.0, seed=5),
+            clock=clock,
+            service_time_s=lambda tokens, ticket: 0.2 if ticket == 2 else 0.01,
+        )
+        assert report.hedges >= 1
+        hedged = [h for r in [records] for h in r
+                  if h.get("name") == "trace.hop" and h.get("hop") == "hedge"]
+        assert hedged
+        assert hedged[0]["trace"] == done[2].trace
+
+    def test_same_seed_runs_trace_byte_identically(self, model):
+        runs = []
+        for _ in range(2):
+            records, _tickets, _done, _report = run_traced(
+                model, [["the", "Kavox"], ["Zuqev"], ["visited"]],
+            )
+            runs.append(json.dumps(assemble_traces(records), sort_keys=True))
+        assert runs[0] == runs[1]
+
+    def test_latency_exemplars_link_to_traces(self, model):
+        with obs.telemetry_session() as session:
+            with request_tracing():
+                gateway, _clock = make_gateway(model)
+                with gateway:
+                    gateway.submit(["the", "Kavox"])
+                    done = gateway.drain(timeout_s=10)
+        snapshot = session.registry.snapshot()
+        exemplars = snapshot["histograms"]["gateway.latency_ms"]["exemplars"]
+        trace_ids = {e["trace"] for e in exemplars.values()}
+        assert trace_ids == {r.trace for r in done.values()}
+
+
+class TestTraceReportSection:
+    def test_report_counts_and_exemplar_links(self, model):
+        records, tickets, _done, _report = run_traced(
+            model, [["the"], ["Kavox", "visited"]],
+        )
+        report = build_report(records)
+        assert report["schema_version"]
+        traces = report["traces"]
+        assert traces["count"] == len(tickets)
+        assert traces["complete"] == len(tickets)
+        assert traces["incomplete"] == 0
+        assert traces["orphans"] == []
+        assert "gateway.latency_ms" in traces["exemplars"]
+        assert traces["exemplars"]["gateway.latency_ms"]["trace"]
+        text = render_report(report)
+        assert f"traces: {len(tickets)} assembled" in text
+        assert "slowest gateway.latency_ms" in text
+
+    def test_trace_records_do_not_pollute_notable_events(self, model):
+        records, _tickets, _done, _report = run_traced(model, [["the"]])
+        report = build_report(records)
+        assert all("trace.hop" not in e.get("name", "")
+                   for e in report["events"])
+
+
+class TestPerPriorityQueueWait:
+    def test_report_and_health_carry_quantiles(self, model):
+        with obs.telemetry_session():
+            gateway, _clock = make_gateway(model)
+            with gateway:
+                for priority in ("interactive", "standard", "batch"):
+                    for _ in range(3):
+                        gateway.submit(["the", "Kavox"], priority=priority)
+                gateway.drain(timeout_s=10)
+                health = gateway.health()
+            report = gateway.report
+        for snapshot in (report.queue_wait, health["queue_wait"]):
+            for priority in ("interactive", "standard", "batch"):
+                stats = snapshot[priority]
+                assert stats["count"] == 3
+                assert 0.0 <= stats["p50_ms"] <= stats["p99_ms"]
+        assert report.queue_wait == report.summary()["queue_wait"]
+        text = report.render()
+        assert "queue wait ms" in text
+        assert "interactive" in text
+
+    def test_quantiles_work_without_a_telemetry_session(self, model):
+        # The gateway owns its registry, so operators get queue-wait
+        # quantiles in the report even with --telemetry off.
+        gateway, _clock = make_gateway(model)
+        with gateway:
+            gateway.submit(["the"])
+            gateway.drain(timeout_s=10)
+        report = gateway.report
+        assert report.queue_wait["standard"]["count"] == 1
+        assert "queue wait ms" in report.render()
+
+
+class TestCliObsTrace:
+    def _write_traced_stream(self, model, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with obs.telemetry_session(path):
+            with request_tracing():
+                gateway, _clock = make_gateway(model)
+                with gateway:
+                    gateway.submit(["the", "Kavox"])
+                    done = gateway.drain(timeout_s=10)
+        return path, next(iter(done.values())).trace
+
+    def test_renders_a_timeline(self, model, tmp_path, capsys):
+        from repro.cli import main
+
+        path, trace_id = self._write_traced_stream(model, tmp_path)
+        assert main(["obs", "trace", path, trace_id]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {trace_id}" in out
+        assert "admit" in out and "respond" in out
+        assert "critical path" in out
+
+    def test_prefix_lookup_and_json(self, model, tmp_path, capsys):
+        from repro.cli import main
+
+        path, trace_id = self._write_traced_stream(model, tmp_path)
+        assert main(["obs", "trace", path, trace_id[:6], "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"] == trace_id
+        assert payload["complete"]
+
+    def test_unknown_trace_fails_clearly(self, model, tmp_path, capsys):
+        from repro.cli import main
+
+        path, _trace_id = self._write_traced_stream(model, tmp_path)
+        assert main(["obs", "trace", path, "feedfeed"]) == 1
+        assert "no trace matching" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["obs", "trace", str(tmp_path / "nope.jsonl"),
+                     "aa"]) == 2
+
+    def test_future_major_schema_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "future.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "session",
+                                 "schema_version": "2.0"}) + "\n")
+        assert main(["obs", "trace", path, "aa"]) == 2
+        assert "upgrade repro" in capsys.readouterr().err
+        assert main(["obs", "report", path]) == 2
